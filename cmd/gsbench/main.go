@@ -1,0 +1,125 @@
+// Command gsbench regenerates the paper's tables and figures from the
+// simulated testbed. Each experiment runs the sweep it needs (sharing runs
+// where tables come from the same traces) and prints the same rows/series
+// the paper reports.
+//
+// Usage:
+//
+//	gsbench -exp all                     # everything, full fidelity
+//	gsbench -exp table4 -iters 5         # one table, fewer runs
+//	gsbench -exp figure2 -scale 0.2      # compressed timeline
+//	gsbench -exp figure3 -aqm fq_codel   # future-work AQM variant
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/figures"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1|figure2|figure3|figure4|table3|table4|table5|loss|harm|mix|aqmcmp|ablation|responserecovery|qoe|summary|all")
+		iters   = flag.Int("iters", 15, "iterations per condition (paper: 15)")
+		scale   = flag.Float64("scale", 1.0, "timeline compression factor (1.0 = full 9-minute traces)")
+		workers = flag.Int("workers", runtime.NumCPU(), "parallel runs")
+		aqm     = flag.String("aqm", experiment.AQMDropTail, "bottleneck queue discipline: droptail|codel|fq_codel")
+		saveDir = flag.String("save", "", "save materialised sweeps into this directory")
+		loadDir = flag.String("load", "", "load previously saved sweeps from this directory")
+	)
+	flag.Parse()
+
+	c := figures.NewCampaign(figures.Options{
+		Iterations: *iters,
+		TimeScale:  *scale,
+		Workers:    *workers,
+		AQM:        *aqm,
+	})
+
+	if *loadDir != "" {
+		if err := c.Load(*loadDir); err != nil {
+			fmt.Fprintln(os.Stderr, "gsbench: load:", err)
+			os.Exit(1)
+		}
+	}
+
+	start := time.Now()
+	run := func(name string) {
+		switch name {
+		case "table1":
+			fmt.Println(c.Table1())
+		case "figure2":
+			panels := c.Figure2()
+			var names []string
+			for n := range panels {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				fmt.Printf("## Figure 2 panel: %s (25 Mb/s)\n%s\n", n, panels[n])
+			}
+		case "figure3":
+			for _, h := range c.Figure3() {
+				fmt.Println(h)
+			}
+		case "figure4":
+			fmt.Println(c.Figure4Table())
+		case "table3":
+			fmt.Println(c.Table3())
+		case "table4":
+			fmt.Println(c.Table4())
+		case "table5":
+			fmt.Println(c.Table5())
+		case "loss":
+			fmt.Println(c.LossTables())
+		case "harm":
+			fmt.Println(c.HarmTable())
+		case "mix":
+			fmt.Println(c.MixTable())
+		case "aqmcmp":
+			fmt.Println(c.AQMTable())
+		case "ablation":
+			fmt.Println(c.AblationTable())
+		case "responserecovery":
+			fmt.Println(c.ResponseRecoveryTable())
+		case "qoe":
+			fmt.Println(c.QoETable())
+		case "summary":
+			fmt.Println(c.Summary())
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{
+			"table1", "figure2", "figure3", "figure4",
+			"table3", "table4", "table5", "loss",
+			"responserecovery", "summary",
+		} {
+			run(name)
+		}
+	} else {
+		// Comma-separated experiments share one campaign (one set of
+		// sweeps) within this process.
+		for _, name := range strings.Split(*exp, ",") {
+			run(strings.TrimSpace(name))
+		}
+	}
+	if *saveDir != "" {
+		if err := c.Save(*saveDir); err != nil {
+			fmt.Fprintln(os.Stderr, "gsbench: save:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "gsbench: done in %v (iters=%d scale=%g workers=%d aqm=%s)\n",
+		time.Since(start), *iters, *scale, *workers, *aqm)
+}

@@ -1,0 +1,131 @@
+// Command gsreport reads a trace CSV produced by gssim and recomputes the
+// paper's derived measures offline: original/adjusted bitrates, response
+// and recovery times, adaptiveness inputs, fairness ratio, and RTT/frame
+// rate summaries. This separates data collection from analysis the way the
+// paper's Wireshark-then-scripts pipeline did.
+//
+// Usage:
+//
+//	gssim -system luna -cca bbr > trace.csv
+//	gsreport -capacity 25 trace.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+func main() {
+	capacity := flag.Float64("capacity", 25, "bottleneck capacity in Mb/s (for the fairness ratio)")
+	flowStart := flag.Float64("flow-start", 185, "competing flow arrival (s)")
+	flowStop := flag.Float64("flow-stop", 370, "competing flow departure (s)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gsreport [flags] trace.csv")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gsreport:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	cols, err := readCSV(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gsreport:", err)
+		os.Exit(1)
+	}
+	tcol, ok := cols["t_sec"]
+	if !ok || len(tcol) < 2 {
+		fmt.Fprintln(os.Stderr, "gsreport: trace has no t_sec column")
+		os.Exit(1)
+	}
+	bin := time.Duration((tcol[1] - tcol[0]) * float64(time.Second))
+	tl := metrics.Timeline{
+		FlowStart: time.Duration(*flowStart * float64(time.Second)),
+		FlowStop:  time.Duration(*flowStop * float64(time.Second)),
+		TraceEnd:  time.Duration(tcol[len(tcol)-1]*float64(time.Second)) + bin,
+	}
+
+	game := metrics.Series{Bin: bin, V: cols["game_mbps"]}
+	tcp := metrics.Series{Bin: bin, V: cols["tcp_mbps"]}
+
+	rr := metrics.MeasureResponseRecovery(game, tl)
+	ff, ft := tl.FairnessWindow()
+	g := game.MeanBetween(ff, ft)
+	t := tcp.MeanBetween(ff, ft)
+
+	fmt.Printf("trace: %s (%d bins of %v)\n", flag.Arg(0), len(tcol), bin)
+	fmt.Printf("original bitrate:   %6.1f Mb/s\n", rr.OriginalMbs)
+	fmt.Printf("contended bitrate:  %6.1f Mb/s (tcp %.1f Mb/s)\n", rr.AdjustedMbs, t)
+	fmt.Printf("fairness ratio:     %+6.2f\n", metrics.FairnessRatio(g, t, *capacity))
+	fmt.Printf("response time:      %6.1f s (settled=%v)\n", rr.Response.Seconds(), rr.Responded)
+	fmt.Printf("recovery time:      %6.1f s (settled=%v)\n", rr.Recovery.Seconds(), rr.Recovered)
+
+	transient := (*flowStop - *flowStart) / 5
+	if rtt := window(cols["rtt_ms"], tcol, *flowStart+transient, *flowStop); len(rtt) > 0 {
+		s := stats.Summarize(nonzero(rtt))
+		fmt.Printf("RTT (contention):   %6.1f ms (sd %.1f)\n", s.Mean, s.StdDev)
+	}
+	if fps := window(cols["fps"], tcol, *flowStart+transient, *flowStop); len(fps) > 0 {
+		s := stats.Summarize(fps)
+		fmt.Printf("frame rate:         %6.1f f/s (sd %.1f)\n", s.Mean, s.StdDev)
+	}
+	if loss := window(cols["game_loss"], tcol, *flowStart+transient, *flowStop); len(loss) > 0 {
+		fmt.Printf("game loss:          %6.3f %%\n", 100*stats.Mean(loss))
+	}
+}
+
+// readCSV parses a headered numeric CSV into named columns.
+func readCSV(f *os.File) (map[string][]float64, error) {
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("empty file")
+	}
+	headers := strings.Split(strings.TrimSpace(sc.Text()), ",")
+	cols := make(map[string][]float64, len(headers))
+	for sc.Scan() {
+		fields := strings.Split(strings.TrimSpace(sc.Text()), ",")
+		for i, h := range headers {
+			v := 0.0
+			if i < len(fields) && fields[i] != "" {
+				v, _ = strconv.ParseFloat(fields[i], 64)
+			}
+			cols[h] = append(cols[h], v)
+		}
+	}
+	return cols, sc.Err()
+}
+
+// window selects vals whose timestamps fall in [from, to) seconds.
+func window(vals, tcol []float64, from, to float64) []float64 {
+	var out []float64
+	for i, v := range vals {
+		if i < len(tcol) && tcol[i] >= from && tcol[i] < to {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// nonzero filters zero placeholders (bins with no RTT sample).
+func nonzero(xs []float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		if x != 0 {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+// Command gssim runs a single experiment condition and prints its 0.5 s
+// time series (game bitrate, competing-flow bitrate, RTT, frame rate, loss)
+// as CSV — the raw data behind one line of Figure 2.
+//
+// Usage:
+//
+//	gssim -system stadia -cca cubic -capacity 25 -queue 2 > trace.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gamestream"
+	"repro/internal/packet"
+	"repro/internal/pcap"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		system   = flag.String("system", "stadia", "game system: stadia|geforce|luna")
+		cca      = flag.String("cca", "cubic", "competing flow: cubic|bbr|none")
+		capacity = flag.Float64("capacity", 25, "bottleneck capacity in Mb/s")
+		queue    = flag.Float64("queue", 2, "queue size in multiples of BDP")
+		aqm      = flag.String("aqm", core.DropTail, "queue discipline")
+		seed     = flag.Uint64("seed", 1, "run seed")
+		scale    = flag.Float64("scale", 1, "timeline compression")
+		pcapPath = flag.String("pcap", "", "also write the bottleneck trace as a pcap file")
+	)
+	flag.Parse()
+
+	ccaVal := *cca
+	if ccaVal == "none" {
+		ccaVal = core.None
+	}
+	cfg := core.Config{
+		System:    gamestream.System(*system),
+		CCA:       ccaVal,
+		Capacity:  core.Mbps(*capacity),
+		Queue:     *queue,
+		AQM:       *aqm,
+		Seed:      *seed,
+		TimeScale: *scale,
+	}
+	if *pcapPath != "" {
+		f, err := os.Create(*pcapPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gssim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		bw := bufio.NewWriterSize(f, 1<<20)
+		defer bw.Flush()
+		pw, err := pcap.NewWriter(bw)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gssim:", err)
+			os.Exit(1)
+		}
+		cfg.OnPacket = func(at sim.Time, p *packet.Packet) {
+			if err := pw.Write(at, p); err != nil {
+				fmt.Fprintln(os.Stderr, "gssim: pcap:", err)
+				os.Exit(1)
+			}
+		}
+		defer func() {
+			fmt.Fprintf(os.Stderr, "gssim: wrote %d packets to %s\n", pw.Packets(), *pcapPath)
+		}()
+	}
+	res := core.Run(cfg)
+
+	n := len(res.GameMbps)
+	tcol := make([]float64, n)
+	rttCol := make([]float64, n)
+	fpsCol := make([]float64, n)
+	for i := 0; i < n; i++ {
+		at := time.Duration(i) * res.Bin
+		tcol[i] = at.Seconds()
+		if xs := res.RTTBetween(at, at+res.Bin); len(xs) > 0 {
+			sum := 0.0
+			for _, x := range xs {
+				sum += x
+			}
+			rttCol[i] = sum / float64(len(xs))
+		}
+		fpsBin := int(at / time.Second)
+		if fpsBin < len(res.FPSBins) {
+			fpsCol[i] = res.FPSBins[fpsBin]
+		}
+	}
+	fmt.Print(report.CSV(
+		[]string{"t_sec", "game_mbps", "tcp_mbps", "rtt_ms", "fps", "game_loss"},
+		[][]float64{tcol, res.GameMbps, res.TCPMbps, rttCol, fpsCol, res.GameLossBins},
+	))
+
+	rr := res.ResponseRecovery()
+	fmt.Fprintf(os.Stderr,
+		"run %s: original %.1f Mb/s, contended %.1f Mb/s, fairness %+.2f, response %.0fs, recovery %.0fs, rtt %.1f ms, fps %.1f\n",
+		res.Cfg.Condition, rr.OriginalMbs, rr.AdjustedMbs, res.FairnessRatio(),
+		rr.Response.Seconds(), rr.Recovery.Seconds(), res.MeanRTT(), res.MeanFPS())
+}

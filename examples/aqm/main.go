@@ -1,0 +1,36 @@
+// AQM: the paper's future-work experiment — rerun a bad bufferbloat
+// condition (7x BDP queue, competing TCP Cubic) with the drop-tail queue
+// replaced by CoDel and FQ-CoDel, showing active queue management removes
+// the latency penalty the paper measured and FQ-CoDel additionally isolates
+// the game stream's share.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	fmt.Println("Stadia vs TCP Cubic, 25 Mb/s, 7x BDP buffer — queue discipline comparison")
+	fmt.Printf("%-10s  %10s  %12s  %12s  %8s\n", "qdisc", "RTT (ms)", "game (Mb/s)", "tcp (Mb/s)", "f/s")
+	for _, aqm := range []string{core.DropTail, core.CoDel, core.FQCoDel} {
+		res := core.Run(core.Config{
+			System:    core.Stadia,
+			CCA:       core.Cubic,
+			Capacity:  core.Mbps(25),
+			Queue:     7,
+			AQM:       aqm,
+			Seed:      3,
+			TimeScale: 0.4,
+		})
+		from, to := res.Cfg.Timeline.FairnessWindow()
+		fmt.Printf("%-10s  %10.1f  %12.1f  %12.1f  %8.1f\n",
+			aqm, res.MeanRTT(),
+			res.GameSeries().MeanBetween(from, to),
+			res.TCPSeries().MeanBetween(from, to),
+			res.MeanFPS())
+	}
+	fmt.Println("\nDrop-tail shows the paper's ~110 ms bufferbloat RTT; CoDel keeps the")
+	fmt.Println("queue near its 5 ms target; FQ-CoDel also gives the stream its fair share.")
+}

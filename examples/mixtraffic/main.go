@@ -1,0 +1,58 @@
+// Mixtraffic: the paper's future-work scenario — a game stream sharing the
+// last mile with realistic home traffic instead of a single bulk download:
+// an adaptive video (DASH) session, a video call, and combinations.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/experiment"
+	"repro/internal/gamestream"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+func main() {
+	mixes := []struct {
+		name  string
+		comps []experiment.Competitor
+	}{
+		{"bulk download (cubic)", []experiment.Competitor{{Kind: experiment.CompIperf, CCA: "cubic"}}},
+		{"Netflix-style ABR video", []experiment.Competitor{{Kind: experiment.CompDash, CCA: "cubic"}}},
+		{"video call", []experiment.Competitor{{Kind: experiment.CompVideoCall}}},
+		{"ABR video + video call", []experiment.Competitor{
+			{Kind: experiment.CompDash, CCA: "cubic"},
+			{Kind: experiment.CompVideoCall},
+		}},
+		{"two bulk downloads", []experiment.Competitor{
+			{Kind: experiment.CompIperf, CCA: "cubic"},
+			{Kind: experiment.CompIperf, CCA: "bbr"},
+		}},
+	}
+
+	fmt.Println("Stadia on a 25 Mb/s home link (2x BDP queue) vs household traffic")
+	fmt.Printf("%-26s  %12s  %13s  %9s  %6s\n", "competing traffic", "game (Mb/s)", "cross (Mb/s)", "RTT (ms)", "f/s")
+	tl := metrics.PaperTimeline.Scale(0.4)
+	for _, mix := range mixes {
+		r := experiment.Run(experiment.RunConfig{
+			Condition: experiment.Condition{
+				System:    gamestream.Stadia,
+				Capacity:  units.Mbps(25),
+				QueueMult: 2,
+			},
+			Competitors: mix.comps,
+			Timeline:    tl,
+			Seed:        21,
+		})
+		ff, ft := tl.FairnessWindow()
+		rtt := stats.Mean(r.RTTBetween(ff, ft))
+		fmt.Printf("%-26s  %12.1f  %13.1f  %9.1f  %6.1f\n",
+			mix.name,
+			r.GameSeries().MeanBetween(ff, ft),
+			r.TCPSeries().MeanBetween(ff, ft),
+			rtt,
+			r.FPSSeries().MeanBetween(ff, ft))
+	}
+	fmt.Println("\nABR video and calls leave the stream most of the link; bulk TCP does not.")
+}

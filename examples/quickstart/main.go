@@ -1,0 +1,34 @@
+// Quickstart: run one experiment — Google Stadia competing with a TCP
+// Cubic bulk download on a 25 Mb/s bottleneck with a 2x-BDP queue — and
+// print the headline measurements the paper reports for that condition.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	fmt.Println("Running: Stadia vs TCP Cubic, 25 Mb/s, 2x BDP queue (9-minute trace)...")
+	res := core.Run(core.Config{
+		System:   core.Stadia,
+		CCA:      core.Cubic,
+		Capacity: core.Mbps(25),
+		Queue:    2,
+		Seed:     1,
+	})
+
+	rr := res.ResponseRecovery()
+	fmt.Printf("\nBitrate before the TCP flow arrives:  %5.1f Mb/s\n", rr.OriginalMbs)
+	fmt.Printf("Bitrate while competing (stabilised): %5.1f Mb/s\n", rr.AdjustedMbs)
+	fmt.Printf("Fairness ratio (game-tcp)/capacity:   %+5.2f  (0 = equal split)\n", res.FairnessRatio())
+	fmt.Printf("Response time after flow arrival:     %5.1f s (responded=%v)\n",
+		rr.Response.Seconds(), rr.Responded)
+	fmt.Printf("Recovery time after flow departure:   %5.1f s (recovered=%v)\n",
+		rr.Recovery.Seconds(), rr.Recovered)
+	fmt.Printf("Mean RTT during contention:           %5.1f ms\n", res.MeanRTT())
+	fmt.Printf("Displayed frame rate:                 %5.1f f/s\n", res.MeanFPS())
+	fmt.Printf("\nFrames: %d displayed, %d dropped; %d NACK retransmissions; %d TCP retransmits\n",
+		res.FramesDisplayed, res.FramesDropped, res.NackRetx, res.TCPRetransmits)
+}

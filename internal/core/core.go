@@ -1,0 +1,211 @@
+// Package core is the library facade: a stable, documented entry point to
+// the reproduction of "Measurement of Cloud-based Game Streaming System
+// Response to Competing TCP Cubic or TCP BBR Flows" (Xu & Claypool,
+// IMC 2022).
+//
+// The typical flow is:
+//
+//	res := core.Run(core.Config{
+//	        System:   core.Stadia,
+//	        CCA:      core.Cubic,
+//	        Capacity: core.Mbps(25),
+//	        Queue:    2, // ×BDP
+//	})
+//	fmt.Println(res.FairnessRatio())
+//
+// or, for a full campaign reproducing the paper's grid:
+//
+//	sweep := core.Sweep(core.SweepOptions{Iterations: 15})
+//
+// Everything underneath — the discrete-event engine, the tc-style network
+// elements, the TCP Cubic/BBR senders, and the three calibrated streaming
+// profiles — lives in the sibling internal packages and is re-exported
+// here only to the extent a harness needs.
+package core
+
+import (
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/gamestream"
+	"repro/internal/metrics"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+// Game-streaming systems under test.
+const (
+	Stadia  = gamestream.Stadia
+	GeForce = gamestream.GeForce
+	Luna    = gamestream.Luna
+)
+
+// Competing-flow congestion control algorithms.
+const (
+	Cubic = tcp.AlgCubic
+	BBR   = tcp.AlgBBR
+	// None runs the game stream without a competing flow (the solo
+	// baseline conditions of Tables 1 and 3).
+	None = ""
+)
+
+// Bottleneck queue disciplines.
+const (
+	DropTail = experiment.AQMDropTail
+	CoDel    = experiment.AQMCoDel
+	FQCoDel  = experiment.AQMFQCoDel
+)
+
+// Systems lists the three platforms in the paper's order.
+var Systems = gamestream.Systems
+
+// Rate is a data rate in bits per second (alias of units.Rate).
+type Rate = units.Rate
+
+// Mbps converts megabits per second to a Rate.
+func Mbps(m float64) Rate { return units.Mbps(m) }
+
+// Config describes one run. Zero-valued fields default to the paper's
+// setup: 16.5 ms base RTT, 125 kB token-bucket burst, drop-tail queue, and
+// the 9-minute timeline with the competing flow between 185 s and 370 s.
+type Config struct {
+	System   gamestream.System
+	CCA      string
+	Capacity units.Rate
+	// Queue is the bottleneck queue limit in multiples of the
+	// bandwidth-delay product (the paper used 0.5, 2, and 7).
+	Queue float64
+	// AQM selects the queue discipline (default DropTail).
+	AQM string
+	// Seed makes the run reproducible; runs are pure functions of Config.
+	Seed uint64
+	// TimeScale optionally compresses the 9-minute timeline (e.g. 0.2
+	// runs the same phases in 108 s); 0 or 1 is full fidelity.
+	TimeScale float64
+	// OnPacket, when non-nil, observes every packet at the bottleneck
+	// router (e.g. a pcap tap).
+	OnPacket func(at sim.Time, p *packet.Packet)
+}
+
+// Result is the outcome of one run. It embeds the experiment-level result
+// and adds convenience accessors for the paper's headline measures.
+type Result struct {
+	*experiment.RunResult
+}
+
+// Run executes a single experiment run.
+func Run(cfg Config) Result {
+	tl := metrics.PaperTimeline
+	if cfg.TimeScale > 0 && cfg.TimeScale != 1 {
+		tl = tl.Scale(cfg.TimeScale)
+	}
+	rr := experiment.Run(experiment.RunConfig{
+		Condition: experiment.Condition{
+			System:    cfg.System,
+			CCA:       cfg.CCA,
+			Capacity:  cfg.Capacity,
+			QueueMult: cfg.Queue,
+			AQM:       cfg.AQM,
+		},
+		Timeline: tl,
+		Seed:     cfg.Seed,
+		OnPacket: cfg.OnPacket,
+	})
+	return Result{rr}
+}
+
+// FairnessRatio returns the paper's normalised bitrate difference over the
+// stabilised contention window: (game − tcp) / capacity in [-1, 1].
+func (r Result) FairnessRatio() float64 {
+	from, to := r.Cfg.Timeline.FairnessWindow()
+	g := r.GameSeries().MeanBetween(from, to)
+	t := r.TCPSeries().MeanBetween(from, to)
+	return metrics.FairnessRatio(g, t, r.Cfg.Capacity.Mbit())
+}
+
+// ResponseRecovery measures §4.2 response and recovery on this run.
+func (r Result) ResponseRecovery() metrics.ResponseRecovery {
+	return metrics.MeasureResponseRecovery(r.GameSeries(), r.Cfg.Timeline)
+}
+
+// MeanRTT returns the average ping RTT in milliseconds over the contention
+// window (or the same window of a solo run for Table 3).
+func (r Result) MeanRTT() float64 {
+	from, to := r.Cfg.Timeline.FairnessWindow()
+	xs := r.RTTBetween(from, to)
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MeanFPS returns the displayed frame rate over the contention window.
+func (r Result) MeanFPS() float64 {
+	from, to := r.Cfg.Timeline.FairnessWindow()
+	return r.FPSSeries().MeanBetween(from, to)
+}
+
+// SweepOptions configures a campaign. Zero values reproduce the paper's
+// grid (Table 2) at 15 iterations.
+type SweepOptions struct {
+	Iterations int
+	// TimeScale compresses the timeline for quick campaigns.
+	TimeScale float64
+	// Workers bounds parallelism.
+	Workers int
+	// AQM selects the bottleneck discipline for the whole campaign.
+	AQM string
+	// Systems, CCAs, Capacities and Queues narrow the grid; empty slices
+	// mean the paper's full sets.
+	Systems    []gamestream.System
+	CCAs       []string
+	Capacities []units.Rate
+	Queues     []float64
+}
+
+// Sweep runs a campaign over the paper's grid (or the narrowed grid in
+// opts) and returns the aggregated results.
+func Sweep(opts SweepOptions) *experiment.SweepResult {
+	cfg := experiment.PaperSweep()
+	cfg.Iterations = opts.Iterations
+	cfg.Workers = opts.Workers
+	cfg.AQM = opts.AQM
+	if opts.TimeScale > 0 && opts.TimeScale != 1 {
+		cfg.Timeline = cfg.Timeline.Scale(opts.TimeScale)
+	}
+	if len(opts.Systems) > 0 {
+		cfg.Systems = opts.Systems
+	}
+	if len(opts.CCAs) > 0 {
+		cfg.CCAs = opts.CCAs
+	}
+	if len(opts.Capacities) > 0 {
+		cfg.Capacities = opts.Capacities
+	}
+	if len(opts.Queues) > 0 {
+		cfg.QueueMults = opts.Queues
+	}
+	return experiment.RunSweep(cfg)
+}
+
+// Baselines returns Table 1's reference values: the unconstrained solo
+// bitrates the three systems were measured at (Mb/s mean and stddev).
+func Baselines() map[gamestream.System][2]float64 {
+	return map[gamestream.System][2]float64{
+		Stadia:  {27.5, 2.3},
+		GeForce: {24.5, 1.8},
+		Luna:    {23.7, 0.9},
+	}
+}
+
+// PaperTimeline exposes the 9-minute experimental timeline.
+func PaperTimeline() metrics.Timeline { return metrics.PaperTimeline }
+
+// BaseRTT is the equalised round-trip time of the paper's testbed.
+const BaseRTT = 16500 * time.Microsecond

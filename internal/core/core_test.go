@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gamestream"
+)
+
+func TestRunFacade(t *testing.T) {
+	res := Run(Config{
+		System:    Stadia,
+		CCA:       Cubic,
+		Capacity:  Mbps(25),
+		Queue:     2,
+		Seed:      1,
+		TimeScale: 0.15,
+	})
+	if res.FramesDisplayed == 0 {
+		t.Fatal("no frames displayed")
+	}
+	fr := res.FairnessRatio()
+	if fr < -1 || fr > 1 {
+		t.Errorf("fairness %v out of range", fr)
+	}
+	if res.MeanRTT() < 16 {
+		t.Errorf("RTT %v below base", res.MeanRTT())
+	}
+	if fps := res.MeanFPS(); fps <= 0 || fps > 61 {
+		t.Errorf("fps %v out of range", fps)
+	}
+	rr := res.ResponseRecovery()
+	if rr.OriginalMbs <= 0 {
+		t.Error("no original bitrate measured")
+	}
+}
+
+func TestRunSoloNoCompetitor(t *testing.T) {
+	res := Run(Config{
+		System:    Luna,
+		CCA:       None,
+		Capacity:  Mbps(15),
+		Queue:     2,
+		Seed:      2,
+		TimeScale: 0.15,
+	})
+	from, to := res.Cfg.Timeline.FairnessWindow()
+	if got := res.TCPSeries().MeanBetween(from, to); got != 0 {
+		t.Errorf("solo run has TCP traffic: %v", got)
+	}
+}
+
+func TestSweepFacade(t *testing.T) {
+	sw := Sweep(SweepOptions{
+		Iterations: 1,
+		TimeScale:  0.1,
+		Workers:    4,
+		Systems:    []gamestream.System{GeForce},
+		CCAs:       []string{Cubic},
+		Capacities: []Rate{Mbps(25)},
+		Queues:     []float64{2},
+	})
+	if len(sw.Conditions) != 1 {
+		t.Fatalf("conditions = %d, want 1", len(sw.Conditions))
+	}
+}
+
+func TestBaselines(t *testing.T) {
+	b := Baselines()
+	if b[Stadia][0] != 27.5 || b[Luna][1] != 0.9 {
+		t.Errorf("baselines = %v", b)
+	}
+}
+
+func TestPaperTimeline(t *testing.T) {
+	tl := PaperTimeline()
+	if tl.FlowStart.Seconds() != 185 || tl.FlowStop.Seconds() != 370 || tl.TraceEnd.Seconds() != 540 {
+		t.Errorf("timeline = %+v", tl)
+	}
+}

@@ -1,0 +1,335 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gamestream"
+	"repro/internal/metrics"
+	"repro/internal/units"
+)
+
+// quickTL compresses the 9-minute procedure to 1/5 for test speed; phase
+// proportions (flow in the middle third) are preserved.
+var quickTL = metrics.PaperTimeline.Scale(0.2)
+
+func quickRun(t *testing.T, cond Condition, seed uint64) *RunResult {
+	t.Helper()
+	return Run(RunConfig{Condition: cond, Timeline: quickTL, Seed: seed})
+}
+
+func TestRunProducesCompleteSeries(t *testing.T) {
+	r := quickRun(t, Condition{
+		System: gamestream.Stadia, CCA: "cubic", Capacity: units.Mbps(25), QueueMult: 2,
+	}, 1)
+	wantBins := int(quickTL.TraceEnd / r.Bin)
+	if len(r.GameMbps) != wantBins {
+		t.Errorf("game series has %d bins, want %d", len(r.GameMbps), wantBins)
+	}
+	if len(r.TCPMbps) != wantBins {
+		t.Errorf("tcp series has %d bins, want %d", len(r.TCPMbps), wantBins)
+	}
+	if len(r.RTT) == 0 {
+		t.Error("no RTT samples")
+	}
+	if r.FramesDisplayed == 0 {
+		t.Error("no frames displayed")
+	}
+	if r.EventsProcessed == 0 {
+		t.Error("no events processed")
+	}
+}
+
+func TestCompetingFlowOnlyInMiddlePhase(t *testing.T) {
+	r := quickRun(t, Condition{
+		System: gamestream.Luna, CCA: "cubic", Capacity: units.Mbps(25), QueueMult: 2,
+	}, 2)
+	tcp := r.TCPSeries()
+	before := tcp.MeanBetween(0, quickTL.FlowStart-2*time.Second)
+	during := tcp.MeanBetween(quickTL.FlowStart+5*time.Second, quickTL.FlowStop)
+	if before > 0.01 {
+		t.Errorf("TCP traffic before flow start: %.2f Mb/s", before)
+	}
+	if during < 1 {
+		t.Errorf("TCP flow averaged %.2f Mb/s during its active phase", during)
+	}
+	// After departure only in-flight drains; the tail must fall to ~0.
+	after := tcp.MeanBetween(quickTL.FlowStop+5*time.Second, quickTL.TraceEnd)
+	if after > 0.1 {
+		t.Errorf("TCP traffic after flow stop: %.2f Mb/s", after)
+	}
+}
+
+func TestGameRespondsAndRecovers(t *testing.T) {
+	r := quickRun(t, Condition{
+		System: gamestream.Stadia, CCA: "cubic", Capacity: units.Mbps(25), QueueMult: 2,
+	}, 3)
+	game := r.GameSeries()
+	pre := game.MeanBetween(quickTL.FlowStart/2, quickTL.FlowStart)
+	during := game.MeanBetween(quickTL.FlowStart+10*time.Second, quickTL.FlowStop)
+	if pre < 15 {
+		t.Errorf("pre-contention bitrate %.1f Mb/s, want near capacity", pre)
+	}
+	if during >= pre {
+		t.Errorf("no response to competing flow: pre %.1f, during %.1f", pre, during)
+	}
+}
+
+func TestSoloRunHasNoCompetitor(t *testing.T) {
+	r := quickRun(t, Condition{
+		System: gamestream.GeForce, CCA: "", Capacity: units.Mbps(15), QueueMult: 2,
+	}, 4)
+	if got := r.TCPSeries().MeanBetween(0, quickTL.TraceEnd); got != 0 {
+		t.Errorf("solo run shows TCP traffic: %v", got)
+	}
+	ff, ft := quickTL.FairnessWindow()
+	if got := r.GameSeries().MeanBetween(ff, ft); got < 10 || got > 15.2 {
+		t.Errorf("solo constrained bitrate %.1f, want ~12-15", got)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	cond := Condition{System: gamestream.Luna, CCA: "bbr", Capacity: units.Mbps(25), QueueMult: 0.5}
+	a := quickRun(t, cond, 42)
+	b := quickRun(t, cond, 42)
+	if a.FramesDisplayed != b.FramesDisplayed || a.EventsProcessed != b.EventsProcessed {
+		t.Error("identical configs diverged")
+	}
+	for i := range a.GameMbps {
+		if a.GameMbps[i] != b.GameMbps[i] {
+			t.Fatalf("bin %d differs: %v vs %v", i, a.GameMbps[i], b.GameMbps[i])
+		}
+	}
+	c := quickRun(t, cond, 43)
+	same := true
+	for i := range a.GameMbps {
+		if a.GameMbps[i] != c.GameMbps[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical series")
+	}
+}
+
+func TestQueueBytes(t *testing.T) {
+	cfg := RunConfig{Condition: Condition{Capacity: units.Mbps(25), QueueMult: 2}}.Defaults()
+	// 2x BDP at 25 Mb/s, 16.5 ms = 2 * 51562 = 103124 bytes.
+	if got := cfg.QueueBytes(); got != 103124 {
+		t.Errorf("QueueBytes = %d, want 103124", got)
+	}
+	// Tiny queues clamp to 2 MTU.
+	tiny := RunConfig{Condition: Condition{Capacity: units.Mbps(1), QueueMult: 0.1}}.Defaults()
+	if got := tiny.QueueBytes(); got != 2*1514 {
+		t.Errorf("tiny QueueBytes = %d, want %d", got, 2*1514)
+	}
+}
+
+func TestConditionString(t *testing.T) {
+	c := Condition{System: gamestream.Stadia, CCA: "cubic", Capacity: units.Mbps(25), QueueMult: 2}
+	if got := c.String(); got != "stadia/cubic/B25/q2.0x" {
+		t.Errorf("String = %q", got)
+	}
+	solo := Condition{System: gamestream.Luna, Capacity: units.Mbps(15), QueueMult: 0.5}
+	if got := solo.String(); got != "luna/solo/B15/q0.5x" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestRunSeedDistinct(t *testing.T) {
+	c1 := Condition{System: gamestream.Stadia, CCA: "cubic", Capacity: units.Mbps(25), QueueMult: 2}
+	c2 := Condition{System: gamestream.Luna, CCA: "cubic", Capacity: units.Mbps(25), QueueMult: 2}
+	seen := map[uint64]bool{}
+	for it := 0; it < 10; it++ {
+		for _, c := range []Condition{c1, c2} {
+			s := runSeed(7, it, c)
+			if seen[s] {
+				t.Fatalf("duplicate seed %d", s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestRunSweepAggregation(t *testing.T) {
+	cfg := SweepConfig{
+		Systems:    []gamestream.System{gamestream.GeForce},
+		CCAs:       []string{"cubic"},
+		Capacities: []units.Rate{units.Mbps(25)},
+		QueueMults: []float64{2},
+		Iterations: 3,
+		Timeline:   quickTL,
+		Workers:    3,
+	}
+	sw := RunSweep(cfg)
+	if len(sw.Conditions) != 1 {
+		t.Fatalf("conditions = %d, want 1", len(sw.Conditions))
+	}
+	cond := sw.Conditions[0]
+	if len(cond.Runs) != 3 {
+		t.Fatalf("runs = %d, want 3", len(cond.Runs))
+	}
+	ff, ft := cond.ContentionWindow()
+	gr := cond.GameRate(ff, ft)
+	if gr.N != 3 || gr.Mean <= 0 {
+		t.Errorf("GameRate summary = %+v", gr)
+	}
+	if fr := cond.FairnessRatio(); fr < -1 || fr > 1 {
+		t.Errorf("fairness out of range: %v", fr)
+	}
+	rtt := cond.RTTStats(ff, ft)
+	if rtt.Mean < 16 {
+		t.Errorf("pooled RTT mean %.1f ms below base RTT", rtt.Mean)
+	}
+	fps := cond.FPSStats(ff, ft)
+	if fps.Mean <= 0 || fps.Mean > 61 {
+		t.Errorf("fps mean %.1f out of range", fps.Mean)
+	}
+	mean, ci := cond.MeanGameSeries()
+	if len(mean.V) == 0 || len(ci) != len(mean.V) {
+		t.Error("mean series malformed")
+	}
+	if sw.Find(cond.Cond) != cond {
+		t.Error("Find did not locate the condition")
+	}
+	if sw.Find(Condition{System: "nope"}) != nil {
+		t.Error("Find invented a condition")
+	}
+}
+
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := SweepConfig{
+		Systems:    []gamestream.System{gamestream.Stadia},
+		CCAs:       []string{"bbr"},
+		Capacities: []units.Rate{units.Mbps(15)},
+		QueueMults: []float64{0.5},
+		Iterations: 2,
+		Timeline:   quickTL,
+	}
+	one := base
+	one.Workers = 1
+	four := base
+	four.Workers = 4
+	a := RunSweep(one)
+	b := RunSweep(four)
+	ra := a.Conditions[0].Runs
+	rb := b.Conditions[0].Runs
+	if len(ra) != len(rb) {
+		t.Fatal("run counts differ")
+	}
+	for i := range ra {
+		if ra[i].Cfg.Seed != rb[i].Cfg.Seed || ra[i].FramesDisplayed != rb[i].FramesDisplayed {
+			t.Fatalf("run %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestAQMVariants(t *testing.T) {
+	for _, aqm := range []string{AQMDropTail, AQMCoDel, AQMFQCoDel} {
+		r := Run(RunConfig{
+			Condition: Condition{
+				System: gamestream.Stadia, CCA: "cubic", Capacity: units.Mbps(25),
+				QueueMult: 7, AQM: aqm,
+			},
+			Timeline: quickTL,
+			Seed:     5,
+		})
+		ff, ft := quickTL.FairnessWindow()
+		if got := r.GameSeries().MeanBetween(ff, ft); got <= 0 {
+			t.Errorf("%s: game starved entirely", aqm)
+		}
+	}
+}
+
+func TestFQCoDelReducesRTTUnderBloat(t *testing.T) {
+	run := func(aqm string) float64 {
+		r := Run(RunConfig{
+			Condition: Condition{
+				System: gamestream.GeForce, CCA: "cubic", Capacity: units.Mbps(25),
+				QueueMult: 7, AQM: aqm,
+			},
+			Timeline: quickTL,
+			Seed:     6,
+		})
+		ff, ft := quickTL.FairnessWindow()
+		xs := r.RTTBetween(ff, ft)
+		sum := 0.0
+		for _, x := range xs {
+			sum += x
+		}
+		return sum / float64(len(xs))
+	}
+	dt := run(AQMDropTail)
+	fq := run(AQMFQCoDel)
+	if fq >= dt/2 {
+		t.Errorf("FQ-CoDel RTT %.1f ms not clearly below drop-tail %.1f ms", fq, dt)
+	}
+}
+
+func TestUnknownAQMPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown AQM did not panic")
+		}
+	}()
+	Run(RunConfig{Condition: Condition{
+		System: gamestream.Stadia, Capacity: units.Mbps(25), QueueMult: 2, AQM: "red",
+	}, Timeline: quickTL})
+}
+
+func TestSweepSaveLoadRoundtrip(t *testing.T) {
+	cfg := SweepConfig{
+		Systems:    []gamestream.System{gamestream.Stadia},
+		CCAs:       []string{"cubic"},
+		Capacities: []units.Rate{units.Mbps(25)},
+		QueueMults: []float64{2},
+		Iterations: 2,
+		Timeline:   quickTL,
+		Workers:    2,
+	}
+	orig := RunSweep(cfg)
+	path := t.TempDir() + "/sweep.gz"
+	if err := SaveSweep(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSweep(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Conditions) != len(orig.Conditions) {
+		t.Fatalf("conditions %d != %d", len(loaded.Conditions), len(orig.Conditions))
+	}
+	oc, lc := orig.Conditions[0], loaded.Conditions[0]
+	if oc.Cond != lc.Cond || len(oc.Runs) != len(lc.Runs) {
+		t.Fatal("condition mismatch")
+	}
+	for i := range oc.Runs {
+		a, b := oc.Runs[i], lc.Runs[i]
+		if a.Cfg.Seed != b.Cfg.Seed || a.FramesDisplayed != b.FramesDisplayed {
+			t.Fatalf("run %d scalar mismatch", i)
+		}
+		for j := range a.GameMbps {
+			if a.GameMbps[j] != b.GameMbps[j] {
+				t.Fatalf("run %d bin %d mismatch", i, j)
+			}
+		}
+		if len(a.RTT) != len(b.RTT) || (len(a.RTT) > 0 && a.RTT[0] != b.RTT[0]) {
+			t.Fatalf("run %d RTT mismatch", i)
+		}
+	}
+	// Derived metrics must match exactly.
+	ff, ft := oc.ContentionWindow()
+	if oc.GameRate(ff, ft) != lc.GameRate(ff, ft) {
+		t.Error("GameRate differs after roundtrip")
+	}
+	if oc.FairnessRatio() != lc.FairnessRatio() {
+		t.Error("FairnessRatio differs after roundtrip")
+	}
+}
+
+func TestLoadSweepMissingFile(t *testing.T) {
+	if _, err := LoadSweep(t.TempDir() + "/nope.gz"); err == nil {
+		t.Error("loading a missing sweep did not error")
+	}
+}

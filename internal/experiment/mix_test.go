@@ -1,0 +1,154 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gamestream"
+	"repro/internal/units"
+)
+
+func mixRun(t *testing.T, comps []Competitor, seed uint64) *RunResult {
+	t.Helper()
+	return Run(RunConfig{
+		Condition: Condition{
+			System: gamestream.Stadia, Capacity: units.Mbps(25), QueueMult: 2,
+		},
+		Competitors: comps,
+		Timeline:    quickTL,
+		Seed:        seed,
+	})
+}
+
+func TestTwoIperfFlowsShareWithGame(t *testing.T) {
+	r := mixRun(t, []Competitor{
+		{Kind: CompIperf, CCA: "cubic"},
+		{Kind: CompIperf, CCA: "cubic"},
+	}, 1)
+	if len(r.CompetitorTraces) != 2 {
+		t.Fatalf("traces = %d, want 2", len(r.CompetitorTraces))
+	}
+	ff, ft := quickTL.FairnessWindow()
+	agg := r.TCPSeries().MeanBetween(ff, ft)
+	var sum float64
+	for _, c := range r.CompetitorTraces {
+		s := metricsSeries(r, c.Mbps).MeanBetween(ff, ft)
+		if s <= 0 {
+			t.Errorf("competitor %v idle during contention", c.Competitor)
+		}
+		sum += s
+	}
+	if diff := agg - sum; diff > 0.01 || diff < -0.01 {
+		t.Errorf("aggregate %.2f != sum of competitors %.2f", agg, sum)
+	}
+	// Two bulk flows should squeeze the game below its solo level.
+	game := r.GameSeries().MeanBetween(ff, ft)
+	if game > 20 {
+		t.Errorf("game at %.1f Mb/s despite two competing bulk flows", game)
+	}
+}
+
+func TestMixedCubicBBR(t *testing.T) {
+	r := mixRun(t, []Competitor{
+		{Kind: CompIperf, CCA: "cubic"},
+		{Kind: CompIperf, CCA: "bbr"},
+	}, 2)
+	ff, ft := quickTL.FairnessWindow()
+	total := r.GameSeries().MeanBetween(ff, ft) + r.TCPSeries().MeanBetween(ff, ft)
+	// The three flows together should utilise most of the 25 Mb/s link.
+	if total < 20 || total > 26 {
+		t.Errorf("total utilisation %.1f Mb/s, want near capacity", total)
+	}
+}
+
+func TestDashCompetitorOnOff(t *testing.T) {
+	r := mixRun(t, []Competitor{{Kind: CompDash, CCA: "cubic"}}, 3)
+	ff, ft := quickTL.FairnessWindow()
+	dashRate := metricsSeries(r, r.CompetitorTraces[0].Mbps).MeanBetween(ff, ft)
+	if dashRate <= 0 {
+		t.Fatal("dash competitor transferred nothing")
+	}
+	// An ABR session caps at its top rung (16 Mb/s) even on a shared
+	// 25 Mb/s link; average must stay below bulk-transfer levels.
+	if dashRate > 17 {
+		t.Errorf("dash averaged %.1f Mb/s, more than its ladder top", dashRate)
+	}
+	// The game should retain more share than against a bulk flow.
+	game := r.GameSeries().MeanBetween(ff, ft)
+	if game < 5 {
+		t.Errorf("game starved (%.1f Mb/s) by an ABR flow", game)
+	}
+}
+
+func TestVideoCallCompetitorSmall(t *testing.T) {
+	r := mixRun(t, []Competitor{{Kind: CompVideoCall}}, 4)
+	ff, ft := quickTL.FairnessWindow()
+	call := metricsSeries(r, r.CompetitorTraces[0].Mbps).MeanBetween(ff, ft)
+	if call <= 0 {
+		t.Fatal("video call sent nothing")
+	}
+	if call > 4 {
+		t.Errorf("video call at %.1f Mb/s, above its 3.5 Mb/s cap", call)
+	}
+	// A 3.5 Mb/s call should leave the game most of a 25 Mb/s link.
+	game := r.GameSeries().MeanBetween(ff, ft)
+	if game < 15 {
+		t.Errorf("game at %.1f Mb/s against a small video call", game)
+	}
+}
+
+func TestUnknownCompetitorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown competitor kind did not panic")
+		}
+	}()
+	mixRun(t, []Competitor{{Kind: "carrier-pigeon"}}, 5)
+}
+
+func TestSingleCompetitorMatchesLegacyPath(t *testing.T) {
+	// Explicit one-iperf Competitors config must behave like the legacy
+	// Condition.CCA path (same flow id, same traffic).
+	legacy := Run(RunConfig{
+		Condition: Condition{System: gamestream.Luna, CCA: "cubic", Capacity: units.Mbps(25), QueueMult: 2},
+		Timeline:  quickTL, Seed: 9,
+	})
+	explicit := Run(RunConfig{
+		Condition:   Condition{System: gamestream.Luna, Capacity: units.Mbps(25), QueueMult: 2},
+		Competitors: []Competitor{{Kind: CompIperf, CCA: "cubic"}},
+		Timeline:    quickTL, Seed: 9,
+	})
+	for i := range legacy.TCPMbps {
+		if legacy.TCPMbps[i] != explicit.TCPMbps[i] {
+			t.Fatalf("bin %d: legacy %v != explicit %v", i, legacy.TCPMbps[i], explicit.TCPMbps[i])
+		}
+	}
+}
+
+// metricsSeries adapts a raw bin slice to a Series with the run's bin size.
+func metricsSeries(r *RunResult, v []float64) interface {
+	MeanBetween(from, to time.Duration) float64
+} {
+	return seriesAdapter{r: r, v: v}
+}
+
+type seriesAdapter struct {
+	r *RunResult
+	v []float64
+}
+
+func (s seriesAdapter) MeanBetween(from, to time.Duration) float64 {
+	lo := int(from / s.r.Bin)
+	hi := int(to / s.r.Bin)
+	if hi > len(s.v) {
+		hi = len(s.v)
+	}
+	if hi <= lo {
+		return 0
+	}
+	sum := 0.0
+	for i := lo; i < hi; i++ {
+		sum += s.v[i]
+	}
+	return sum / float64(hi-lo)
+}

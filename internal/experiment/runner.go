@@ -1,0 +1,288 @@
+package experiment
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/gamestream"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// SweepConfig describes a full experimental campaign (Table 2 defaults).
+type SweepConfig struct {
+	Systems    []gamestream.System
+	CCAs       []string // "" entries mean no competing flow
+	Capacities []units.Rate
+	QueueMults []float64
+	AQM        string
+	Iterations int
+	Timeline   metrics.Timeline
+	BaseRTT    time.Duration
+	Burst      units.ByteSize
+	// Workers bounds run parallelism (0 = 8).
+	Workers int
+	// BaseSeed derives all per-run seeds deterministically.
+	BaseSeed uint64
+}
+
+// PaperSweep returns the paper's full grid: 3 systems × {cubic, bbr} ×
+// {15, 25, 35} Mb/s × {0.5, 2, 7}×BDP × 15 iterations.
+func PaperSweep() SweepConfig {
+	return SweepConfig{
+		Systems:    gamestream.Systems,
+		CCAs:       []string{"cubic", "bbr"},
+		Capacities: []units.Rate{units.Mbps(15), units.Mbps(25), units.Mbps(35)},
+		QueueMults: []float64{0.5, 2, 7},
+		Iterations: 15,
+		Timeline:   metrics.PaperTimeline,
+		BaseSeed:   20220322, // data gathered March 2022
+	}
+}
+
+// Defaults fills zero fields.
+func (s SweepConfig) Defaults() SweepConfig {
+	if len(s.Systems) == 0 {
+		s.Systems = gamestream.Systems
+	}
+	if len(s.CCAs) == 0 {
+		s.CCAs = []string{"cubic", "bbr"}
+	}
+	if len(s.Capacities) == 0 {
+		s.Capacities = []units.Rate{units.Mbps(15), units.Mbps(25), units.Mbps(35)}
+	}
+	if len(s.QueueMults) == 0 {
+		s.QueueMults = []float64{0.5, 2, 7}
+	}
+	if s.Iterations == 0 {
+		s.Iterations = 15
+	}
+	if s.Timeline == (metrics.Timeline{}) {
+		s.Timeline = metrics.PaperTimeline
+	}
+	if s.Workers == 0 {
+		s.Workers = 8
+	}
+	if s.BaseSeed == 0 {
+		s.BaseSeed = 20220322
+	}
+	return s
+}
+
+// runSeed derives a deterministic seed for one run from its grid position.
+func runSeed(base uint64, iter int, cond Condition) uint64 {
+	h := base
+	mix := func(x uint64) {
+		h ^= x
+		h *= 0x100000001b3
+		h ^= h >> 29
+	}
+	mix(uint64(iter) + 1)
+	for _, c := range cond.String() {
+		mix(uint64(c))
+	}
+	return h
+}
+
+// ConditionResult aggregates the runs of one grid cell.
+type ConditionResult struct {
+	Cond Condition
+	Runs []*RunResult
+}
+
+// SweepResult holds all conditions of a campaign.
+type SweepResult struct {
+	Cfg        SweepConfig
+	Conditions []*ConditionResult
+}
+
+// Find returns the result for a condition, or nil.
+func (s *SweepResult) Find(cond Condition) *ConditionResult {
+	for _, c := range s.Conditions {
+		if c.Cond == cond {
+			return c
+		}
+	}
+	return nil
+}
+
+// RunSweep executes the campaign. Runs execute in parallel across workers;
+// results are deterministic regardless of scheduling because every run has
+// a position-derived seed. The iteration order mirrors the paper's striping
+// (outer: iteration; inner: system) to document the methodology, although
+// in simulation ordering has no temporal effect.
+func RunSweep(cfg SweepConfig) *SweepResult {
+	cfg = cfg.Defaults()
+
+	type job struct {
+		cond Condition
+		iter int
+	}
+	var jobs []job
+	for it := 0; it < cfg.Iterations; it++ {
+		for _, cca := range cfg.CCAs {
+			for _, capy := range cfg.Capacities {
+				for _, qm := range cfg.QueueMults {
+					for _, sys := range cfg.Systems {
+						jobs = append(jobs, job{
+							cond: Condition{System: sys, CCA: cca, Capacity: capy, QueueMult: qm, AQM: cfg.AQM},
+							iter: it,
+						})
+					}
+				}
+			}
+		}
+	}
+
+	results := make(map[Condition][]*RunResult)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rc := RunConfig{
+				Condition: j.cond,
+				Timeline:  cfg.Timeline,
+				Seed:      runSeed(cfg.BaseSeed, j.iter, j.cond),
+				BaseRTT:   cfg.BaseRTT,
+				Burst:     cfg.Burst,
+			}
+			res := Run(rc)
+			mu.Lock()
+			results[j.cond] = append(results[j.cond], res)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	out := &SweepResult{Cfg: cfg}
+	for cond, runs := range results {
+		sort.Slice(runs, func(i, j int) bool { return runs[i].Cfg.Seed < runs[j].Cfg.Seed })
+		out.Conditions = append(out.Conditions, &ConditionResult{Cond: cond, Runs: runs})
+	}
+	sort.Slice(out.Conditions, func(i, j int) bool {
+		return out.Conditions[i].Cond.String() < out.Conditions[j].Cond.String()
+	})
+	return out
+}
+
+// --- Aggregations used by the tables and figures ---
+
+// timeline returns the runs' timeline (all runs in a cell share one).
+func (c *ConditionResult) timeline() metrics.Timeline {
+	return c.Runs[0].Cfg.Timeline
+}
+
+// GameRate summarises the game flow's bitrate (Mb/s) over a window across
+// runs.
+func (c *ConditionResult) GameRate(from, to time.Duration) stats.Summary {
+	var xs []float64
+	for _, r := range c.Runs {
+		xs = append(xs, r.GameSeries().MeanBetween(from, to))
+	}
+	return stats.Summarize(xs)
+}
+
+// GameRateBins pools every 0.5 s bitrate bin of every run in the window —
+// the distribution behind the paper's "mean (stddev)" bitrate cells, where
+// the deviation reflects bitrate variation over time, not just across runs.
+func (c *ConditionResult) GameRateBins(from, to time.Duration) stats.Summary {
+	var acc stats.Accumulator
+	for _, r := range c.Runs {
+		lo := int(from / r.Bin)
+		hi := int(to / r.Bin)
+		for i := lo; i < hi && i < len(r.GameMbps); i++ {
+			acc.Add(r.GameMbps[i])
+		}
+	}
+	return stats.Summary{N: acc.N(), Mean: acc.Mean(), StdDev: acc.StdDev(), CI95: acc.CI95()}
+}
+
+// TCPRate summarises the competing flow's bitrate over a window.
+func (c *ConditionResult) TCPRate(from, to time.Duration) stats.Summary {
+	var xs []float64
+	for _, r := range c.Runs {
+		xs = append(xs, r.TCPSeries().MeanBetween(from, to))
+	}
+	return stats.Summarize(xs)
+}
+
+// FairnessRatio returns the paper's normalised bitrate difference over the
+// fairness window (220–370 s), averaged across runs.
+func (c *ConditionResult) FairnessRatio() float64 {
+	from, to := c.timeline().FairnessWindow()
+	g := c.GameRate(from, to).Mean
+	t := c.TCPRate(from, to).Mean
+	return metrics.FairnessRatio(g, t, c.Cond.Capacity.Mbit())
+}
+
+// RTTStats summarises ping RTTs (ms) in a window across runs, pooling all
+// samples as the paper's tables do.
+func (c *ConditionResult) RTTStats(from, to time.Duration) stats.Summary {
+	var xs []float64
+	for _, r := range c.Runs {
+		xs = append(xs, r.RTTBetween(from, to)...)
+	}
+	return stats.Summarize(xs)
+}
+
+// FPSStats summarises displayed frame rate over a window across runs
+// (per-run mean first, then across runs, matching the paper's per-run
+// sampling).
+func (c *ConditionResult) FPSStats(from, to time.Duration) stats.Summary {
+	var xs []float64
+	for _, r := range c.Runs {
+		xs = append(xs, r.FPSSeries().MeanBetween(from, to))
+	}
+	return stats.Summarize(xs)
+}
+
+// LossStats summarises game-flow loss fractions over a window across runs.
+func (c *ConditionResult) LossStats(from, to time.Duration) stats.Summary {
+	var xs []float64
+	for _, r := range c.Runs {
+		xs = append(xs, r.LossBetween(from, to))
+	}
+	return stats.Summarize(xs)
+}
+
+// ResponseRecovery measures §4.2 settling on the across-run mean bitrate
+// series (the same series Figure 2 plots).
+func (c *ConditionResult) ResponseRecovery() metrics.ResponseRecovery {
+	mean, _ := c.MeanGameSeries()
+	return metrics.MeasureResponseRecovery(mean, c.timeline())
+}
+
+// MeanGameSeries returns the across-run mean bitrate series and its 95% CI
+// half-widths per bin — the data behind one Figure 2 line.
+func (c *ConditionResult) MeanGameSeries() (mean metrics.Series, ci []float64) {
+	if len(c.Runs) == 0 {
+		return metrics.Series{}, nil
+	}
+	n := len(c.Runs[0].GameMbps)
+	accs := make([]stats.Accumulator, n)
+	for _, r := range c.Runs {
+		for i := 0; i < n && i < len(r.GameMbps); i++ {
+			accs[i].Add(r.GameMbps[i])
+		}
+	}
+	v := make([]float64, n)
+	ci = make([]float64, n)
+	for i := range accs {
+		v[i] = accs[i].Mean()
+		ci[i] = accs[i].CI95()
+	}
+	return metrics.Series{Bin: c.Runs[0].Bin, V: v}, ci
+}
+
+// ContentionWindow returns the paper's stabilised contention window.
+func (c *ConditionResult) ContentionWindow() (from, to time.Duration) {
+	return c.timeline().FairnessWindow()
+}

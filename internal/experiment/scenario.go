@@ -1,0 +1,383 @@
+// Package experiment reproduces the paper's methodology: it wires the
+// Figure-1 testbed (game server and iperf server behind a shaped bottleneck
+// router, game client and iperf client on the LAN side), runs the 9-minute
+// automated procedure with the competing TCP flow active in the middle
+// third, and sweeps the full parameter grid — system × congestion control ×
+// capacity × queue size × iteration — collecting the traces behind every
+// table and figure.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dash"
+	"repro/internal/gamestream"
+	"repro/internal/iperf"
+	"repro/internal/metrics"
+	"repro/internal/netem"
+	"repro/internal/packet"
+	"repro/internal/ping"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Host addresses in the testbed.
+const (
+	addrGameServer  packet.Addr = 1
+	addrIperfServer packet.Addr = 2
+	addrGameClient  packet.Addr = 11
+	addrIperfClient packet.Addr = 12
+)
+
+// Flow identifiers.
+const (
+	flowGame  packet.FlowID = 1
+	flowIperf packet.FlowID = 2
+	flowPing  packet.FlowID = 3
+)
+
+// Queue disciplines for the bottleneck.
+const (
+	AQMDropTail = "droptail"
+	AQMCoDel    = "codel"
+	AQMFQCoDel  = "fq_codel"
+)
+
+// Condition is one cell of the experimental grid (Table 2).
+type Condition struct {
+	System gamestream.System
+	// CCA is the competing flow's congestion control ("cubic" or "bbr"),
+	// or empty for no competing flow.
+	CCA       string
+	Capacity  units.Rate
+	QueueMult float64 // bottleneck queue in multiples of the BDP
+	AQM       string  // bottleneck discipline; default drop-tail
+}
+
+// String renders the condition compactly, e.g. "stadia/cubic/B25/q2.0".
+func (c Condition) String() string {
+	cca := c.CCA
+	if cca == "" {
+		cca = "solo"
+	}
+	return fmt.Sprintf("%s/%s/B%.0f/q%.1fx", c.System, cca, c.Capacity.Mbit(), c.QueueMult)
+}
+
+// Competitor describes one cross-traffic source sharing the bottleneck
+// during the contention phase — the paper's future-work "multiple flows
+// and mixtures of flows".
+type Competitor struct {
+	// Kind selects the traffic model: "iperf" (bulk TCP download),
+	// "dash" (HTTP adaptive video over TCP), or "videocall" (small
+	// GCC-controlled UDP stream).
+	Kind string
+	// CCA is the TCP congestion control for iperf/dash competitors.
+	CCA string
+}
+
+// Competitor kinds.
+const (
+	CompIperf     = "iperf"
+	CompDash      = "dash"
+	CompVideoCall = "videocall"
+)
+
+// CompetitorTrace is one competitor's delivered bitrate series.
+type CompetitorTrace struct {
+	Competitor
+	Mbps []float64
+}
+
+// RunConfig fully specifies one run.
+type RunConfig struct {
+	Condition
+	Timeline metrics.Timeline
+	Seed     uint64
+	// Competitors, when non-empty, replaces the single Condition.CCA
+	// iperf flow with an arbitrary mix of cross-traffic sources.
+	Competitors []Competitor
+	// Profile, when non-nil, overrides the stock profile for the game
+	// system — the hook for ablation studies on controller mechanisms.
+	Profile *gamestream.Profile
+	// OnPacket, when non-nil, observes every packet the bottleneck router
+	// forwards (e.g. a pcap writer tap).
+	OnPacket func(at sim.Time, p *packet.Packet)
+	// BaseRTT is the no-load round-trip time the paper equalised to
+	// 16.5 ms across systems.
+	BaseRTT time.Duration
+	// Burst is the token-bucket burst (tc tbf burst 1mbit = 125 kB).
+	Burst units.ByteSize
+	// PingInterval spaces the RTT probes.
+	PingInterval time.Duration
+}
+
+// Defaults fills zero fields with the paper's parameters.
+func (c RunConfig) Defaults() RunConfig {
+	if c.Timeline == (metrics.Timeline{}) {
+		c.Timeline = metrics.PaperTimeline
+	}
+	if c.BaseRTT == 0 {
+		c.BaseRTT = 16500 * time.Microsecond
+	}
+	if c.Burst == 0 {
+		c.Burst = 125 * units.KB
+	}
+	if c.PingInterval == 0 {
+		c.PingInterval = 500 * time.Millisecond
+	}
+	if c.AQM == "" {
+		c.AQM = AQMDropTail
+	}
+	return c
+}
+
+// QueueBytes returns the bottleneck queue limit for the condition.
+func (c RunConfig) QueueBytes() units.ByteSize {
+	bdp := units.BDP(c.Capacity, c.BaseRTT)
+	q := units.ByteSize(float64(bdp) * c.QueueMult)
+	if q < 2*packet.MTU {
+		q = 2 * packet.MTU
+	}
+	return q
+}
+
+// RunResult holds everything a single run contributes to the analysis.
+type RunResult struct {
+	Cfg RunConfig
+
+	// Bin is the bitrate series resolution (0.5 s).
+	Bin time.Duration
+	// GameMbps and TCPMbps are downstream on-wire bitrates per bin.
+	GameMbps []float64
+	TCPMbps  []float64
+	// FPSBins is displayed frames per 1-second bin.
+	FPSBins []float64
+	// RTT samples from the ping probe.
+	RTT []ping.Sample
+	// GameLoss and TCPLoss are bottleneck loss fractions over the whole
+	// trace; windowed values come from the capture-derived bins below.
+	GameLossBins []float64 // loss fraction per 0.5 s bin
+	TCPLossBins  []float64
+
+	// CompetitorTraces holds per-competitor bitrate series for mixed-
+	// traffic runs (TCPMbps is then their aggregate).
+	CompetitorTraces []CompetitorTrace
+
+	// Server/client end-state counters.
+	FramesSent      int64
+	FramesDisplayed int64
+	FramesDropped   int64
+	NackRetx        int64
+	TCPRetransmits  int
+	EventsProcessed uint64
+}
+
+// GameSeries returns the game bitrate as a metrics.Series.
+func (r *RunResult) GameSeries() metrics.Series {
+	return metrics.Series{Bin: r.Bin, V: r.GameMbps}
+}
+
+// TCPSeries returns the competing-flow bitrate as a metrics.Series.
+func (r *RunResult) TCPSeries() metrics.Series {
+	return metrics.Series{Bin: r.Bin, V: r.TCPMbps}
+}
+
+// FPSSeries returns displayed frame rate as a 1-second series.
+func (r *RunResult) FPSSeries() metrics.Series {
+	return metrics.Series{Bin: time.Second, V: r.FPSBins}
+}
+
+// RTTBetween returns ping RTTs (ms) observed in [from, to) trace offsets.
+func (r *RunResult) RTTBetween(from, to time.Duration) []float64 {
+	var out []float64
+	for _, s := range r.RTT {
+		at := s.At.Duration()
+		if at >= from && at < to {
+			out = append(out, float64(s.RTT)/float64(time.Millisecond))
+		}
+	}
+	return out
+}
+
+// LossBetween returns the mean per-bin loss fraction of the game flow over
+// [from, to).
+func (r *RunResult) LossBetween(from, to time.Duration) float64 {
+	s := metrics.Series{Bin: r.Bin, V: r.GameLossBins}
+	return s.MeanBetween(from, to)
+}
+
+// Run executes one complete experiment run and returns its result. The run
+// is a pure function of cfg (including Seed).
+func Run(cfg RunConfig) *RunResult {
+	cfg = cfg.Defaults()
+	eng := sim.NewEngine(cfg.Seed)
+	var ids uint64
+
+	// --- Topology (paper Figure 1) ---
+	// Downstream: servers --1G links--> router -> shaper(queue) ->
+	// delay(owd) -> client switch -> clients.
+	// Upstream: clients -> delay(owd) -> 200M link -> server switch.
+	owd := cfg.BaseRTT / 2
+
+	clientSwitch := netem.NewRouter()
+	serverSwitch := netem.NewRouter()
+
+	var q netem.Queue
+	switch cfg.AQM {
+	case AQMDropTail:
+		q = netem.NewDropTail(cfg.QueueBytes())
+	case AQMCoDel:
+		q = netem.NewCoDel(cfg.QueueBytes())
+	case AQMFQCoDel:
+		q = netem.NewFQCoDel(cfg.QueueBytes())
+	default:
+		panic("experiment: unknown AQM " + cfg.AQM)
+	}
+
+	capture := trace.NewCapture(eng, trace.DefaultBin)
+	q.SetDropCallback(capture.OnDrop)
+
+	downDelay := netem.NewDelay(eng, owd, clientSwitch)
+	deliveredTap := packet.HandlerFunc(func(p *packet.Packet) {
+		capture.TapDelivered(p)
+		downDelay.Handle(p)
+	})
+	shaper := netem.NewShaper(eng, cfg.Capacity, cfg.Burst, q, deliveredTap)
+	downRouter := netem.NewRouter()
+	downRouter.Tap(capture.Tap)
+	if cfg.OnPacket != nil {
+		downRouter.Tap(func(p *packet.Packet) { cfg.OnPacket(eng.Now(), p) })
+	}
+	downRouter.Route(addrGameClient, shaper)
+	downRouter.Route(addrIperfClient, shaper)
+
+	// Server access links: 1 Gb/s with negligible extra delay.
+	gameUplink := netem.NewLink(eng, units.Gbps(1), 50*time.Microsecond, downRouter)
+	iperfUplink := netem.NewLink(eng, units.Gbps(1), 50*time.Microsecond, downRouter)
+
+	upLink := netem.NewLink(eng, units.Mbps(200), 0, serverSwitch)
+	upDelay := netem.NewDelay(eng, owd, upLink)
+
+	gameServerHost := netem.NewHost(eng, addrGameServer, gameUplink, &ids)
+	iperfServerHost := netem.NewHost(eng, addrIperfServer, iperfUplink, &ids)
+	gameClientHost := netem.NewHost(eng, addrGameClient, upDelay, &ids)
+	iperfClientHost := netem.NewHost(eng, addrIperfClient, upDelay, &ids)
+
+	serverSwitch.Route(addrGameServer, gameServerHost)
+	serverSwitch.Route(addrIperfServer, iperfServerHost)
+	clientSwitch.Route(addrGameClient, gameClientHost)
+	clientSwitch.Route(addrIperfClient, iperfClientHost)
+
+	// --- Applications ---
+	var profile gamestream.Profile
+	if cfg.Profile != nil {
+		profile = *cfg.Profile
+	} else {
+		profile = gamestream.ProfileFor(cfg.System)
+	}
+	server := gamestream.NewServer(gameServerHost, flowGame, addrGameClient, profile, eng.Rand().Fork())
+	client := gamestream.NewClient(gameClientHost, flowGame, addrGameServer, profile)
+
+	fpsBins := []float64{}
+	client.OnFrame = func(fr gamestream.FrameResult) {
+		if !fr.Displayed {
+			return
+		}
+		bin := int(fr.At.Duration() / time.Second)
+		for len(fpsBins) <= bin {
+			fpsBins = append(fpsBins, 0)
+		}
+		fpsBins[bin]++
+	}
+
+	// Cross traffic: the paper's single iperf flow, or an arbitrary mix.
+	comps := cfg.Competitors
+	if len(comps) == 0 && cfg.CCA != "" {
+		comps = []Competitor{{Kind: CompIperf, CCA: cfg.CCA}}
+	}
+	var bulk *iperf.Flow // first iperf competitor, for retransmit stats
+	compFlows := make([]packet.FlowID, len(comps))
+	for i, comp := range comps {
+		flow := flowIperf + packet.FlowID(i*10)
+		compFlows[i] = flow
+		startAt := sim.At(cfg.Timeline.FlowStart)
+		stopAt := sim.At(cfg.Timeline.FlowStop)
+		switch comp.Kind {
+		case CompIperf:
+			f := iperf.New(iperfServerHost, iperfClientHost, flow, comp.CCA, sim.At(trace.DefaultBin))
+			f.ScheduleRun(startAt, stopAt)
+			if bulk == nil {
+				bulk = f
+			}
+		case CompDash:
+			sess := dash.New(iperfServerHost, iperfClientHost, flow, dash.Config{CCA: comp.CCA})
+			eng.ScheduleAt(startAt, sess.Start)
+			eng.ScheduleAt(stopAt, sess.Stop)
+		case CompVideoCall:
+			vp := gamestream.VideoCallProfile()
+			vs := gamestream.NewServer(iperfServerHost, flow, addrIperfClient, vp, eng.Rand().Fork())
+			gamestream.NewClient(iperfClientHost, flow, addrIperfServer, vp)
+			eng.ScheduleAt(startAt, vs.Start)
+			eng.ScheduleAt(stopAt, vs.Stop)
+		default:
+			panic("experiment: unknown competitor kind " + comp.Kind)
+		}
+	}
+
+	pinger := ping.NewPinger(gameClientHost, flowPing, addrGameServer, cfg.PingInterval)
+	ping.NewResponder(gameServerHost, flowPing)
+
+	// --- Procedure ---
+	server.Start()
+	pinger.Start()
+	end := sim.At(cfg.Timeline.TraceEnd)
+	eng.Run(end)
+
+	// --- Collect ---
+	nbins := int(cfg.Timeline.TraceEnd / trace.DefaultBin)
+	// TCPMbps aggregates all competitor flows (identical to the single
+	// iperf series in the paper's default configuration).
+	tcpAgg := make([]float64, nbins)
+	var compTraces []CompetitorTrace
+	for i, flow := range compFlows {
+		series := capture.BitrateSeries(flow, nbins)
+		for b, v := range series {
+			tcpAgg[b] += v
+		}
+		compTraces = append(compTraces, CompetitorTrace{Competitor: comps[i], Mbps: series})
+	}
+
+	res := &RunResult{
+		Cfg:             cfg,
+		Bin:             trace.DefaultBin,
+		GameMbps:        capture.BitrateSeries(flowGame, nbins),
+		TCPMbps:         tcpAgg,
+		FPSBins:         fpsBins,
+		RTT:             pinger.Samples,
+		FramesSent:      server.FramesSent,
+		FramesDisplayed: client.FramesDisplayed,
+		FramesDropped:   client.FramesDropped,
+		NackRetx:        server.Retransmits,
+		EventsProcessed: eng.Processed(),
+	}
+	res.GameLossBins = lossBins(capture, flowGame, nbins)
+	res.TCPLossBins = lossBins(capture, flowIperf, nbins)
+	res.CompetitorTraces = compTraces
+	if bulk != nil {
+		res.TCPRetransmits = bulk.Sender.Stats.Retransmits
+	}
+	return res
+}
+
+func lossBins(cap *trace.Capture, flow packet.FlowID, n int) []float64 {
+	out := make([]float64, n)
+	bin := cap.BinDuration()
+	for i := 0; i < n; i++ {
+		from := sim.At(time.Duration(i) * bin)
+		to := sim.At(time.Duration(i+1) * bin)
+		out[i] = cap.LossBetween(flow, from, to)
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/gamestream"
+	"repro/internal/metrics"
+	"repro/internal/qoe"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// HarmTable implements the harm-based comparison the paper proposes as
+// future work (Ware et al.): for every contended condition it reports how
+// much of the game system's solo throughput the competing flow destroyed
+// (harm ∈ [0,1]) and the RTT harm, using the solo sweep as the baseline.
+func (c *Campaign) HarmTable() *report.Table {
+	solo := c.Solo()
+	cont := c.Contended()
+	tb := report.NewTable("Harm analysis (Ware et al.): competing flow's damage to the game system",
+		"System", "CCA", "Capacity", "Queue", "Thr harm", "RTT harm", "FPS harm")
+	for _, sys := range gamestream.Systems {
+		for _, cca := range []string{"cubic", "bbr"} {
+			for _, capy := range []units.Rate{units.Mbps(15), units.Mbps(25), units.Mbps(35)} {
+				for _, qm := range []float64{0.5, 2, 7} {
+					sCond := solo.Find(experiment.Condition{
+						System: sys, CCA: "", Capacity: capy, QueueMult: qm, AQM: c.Opts.AQM,
+					})
+					kCond := cont.Find(experiment.Condition{
+						System: sys, CCA: cca, Capacity: capy, QueueMult: qm, AQM: c.Opts.AQM,
+					})
+					if sCond == nil || kCond == nil {
+						continue
+					}
+					from, to := sCond.ContentionWindow()
+					thrHarm := metrics.Harm(sCond.GameRate(from, to).Mean, kCond.GameRate(from, to).Mean)
+					rttHarm := metrics.HarmInverse(sCond.RTTStats(from, to).Mean, kCond.RTTStats(from, to).Mean)
+					fpsHarm := metrics.Harm(sCond.FPSStats(from, to).Mean, kCond.FPSStats(from, to).Mean)
+					tb.AddRow(string(sys), cca,
+						fmt.Sprintf("%.0f", capy.Mbit()),
+						fmt.Sprintf("%.1fx", qm),
+						fmt.Sprintf("%.2f", thrHarm),
+						fmt.Sprintf("%.2f", rttHarm),
+						fmt.Sprintf("%.2f", fpsHarm))
+				}
+			}
+		}
+	}
+	return tb
+}
+
+// Mixes are the future-work traffic mixtures evaluated by MixTable.
+var Mixes = []struct {
+	Name        string
+	Competitors []experiment.Competitor
+}{
+	{"1x cubic", []experiment.Competitor{{Kind: experiment.CompIperf, CCA: "cubic"}}},
+	{"2x cubic", []experiment.Competitor{
+		{Kind: experiment.CompIperf, CCA: "cubic"}, {Kind: experiment.CompIperf, CCA: "cubic"}}},
+	{"1x bbr", []experiment.Competitor{{Kind: experiment.CompIperf, CCA: "bbr"}}},
+	{"cubic+bbr", []experiment.Competitor{
+		{Kind: experiment.CompIperf, CCA: "cubic"}, {Kind: experiment.CompIperf, CCA: "bbr"}}},
+	{"dash/cubic", []experiment.Competitor{{Kind: experiment.CompDash, CCA: "cubic"}}},
+	{"dash/bbr", []experiment.Competitor{{Kind: experiment.CompDash, CCA: "bbr"}}},
+	{"videocall", []experiment.Competitor{{Kind: experiment.CompVideoCall}}},
+	{"dash+call", []experiment.Competitor{
+		{Kind: experiment.CompDash, CCA: "cubic"}, {Kind: experiment.CompVideoCall}}},
+	{"ledbat", []experiment.Competitor{{Kind: experiment.CompIperf, CCA: "ledbat"}}},
+}
+
+// MixTable runs the future-work traffic mixtures (25 Mb/s, 2x BDP) against
+// each game system and reports the shares and player-experience measures.
+func (c *Campaign) MixTable() *report.Table {
+	tb := report.NewTable("Traffic mixtures at 25 Mb/s, 2x BDP queue (paper §5 future work)",
+		"System", "Mix", "Game (Mb/s)", "Cross (Mb/s)", "RTT (ms)", "FPS")
+	tl := c.Opts.timeline()
+	for _, sys := range gamestream.Systems {
+		for _, mix := range Mixes {
+			var game, cross, rtt, fps stats.Accumulator
+			for it := 0; it < c.Opts.Iterations; it++ {
+				r := experiment.Run(experiment.RunConfig{
+					Condition: experiment.Condition{
+						System: sys, Capacity: units.Mbps(25), QueueMult: 2, AQM: c.Opts.AQM,
+					},
+					Competitors: mix.Competitors,
+					Timeline:    tl,
+					Seed:        uint64(9000 + it),
+				})
+				ff, ft := tl.FairnessWindow()
+				game.Add(r.GameSeries().MeanBetween(ff, ft))
+				cross.Add(r.TCPSeries().MeanBetween(ff, ft))
+				xs := r.RTTBetween(ff, ft)
+				if len(xs) > 0 {
+					rtt.Add(stats.Mean(xs))
+				}
+				fps.Add(r.FPSSeries().MeanBetween(ff, ft))
+			}
+			tb.AddRow(string(sys), mix.Name,
+				fmt.Sprintf("%.1f", game.Mean()),
+				fmt.Sprintf("%.1f", cross.Mean()),
+				fmt.Sprintf("%.1f", rtt.Mean()),
+				fmt.Sprintf("%.1f", fps.Mean()))
+		}
+	}
+	return tb
+}
+
+// QoETable combines §4.3's indicators (frame rate, RTT, loss) into the
+// qoe package's 0–100 score per contended condition — the "assess and
+// compare QoE across systems" item from the paper's future work.
+func (c *Campaign) QoETable() *report.Table {
+	sweep := c.Contended()
+	model := qoe.DefaultModel()
+	headers := []string{"Capacity", "Queue"}
+	for _, sys := range gamestream.Systems {
+		for _, cca := range []string{"cubic", "bbr"} {
+			headers = append(headers, string(sys)+"/"+cca)
+		}
+	}
+	tb := report.NewTable("QoE score (0-100) during contention", headers...)
+	for _, capy := range []units.Rate{units.Mbps(15), units.Mbps(25), units.Mbps(35)} {
+		for _, qm := range []float64{0.5, 2, 7} {
+			row := []string{fmt.Sprintf("%.0f Mb/s", capy.Mbit()), fmt.Sprintf("%.1fx", qm)}
+			for _, sys := range gamestream.Systems {
+				for _, cca := range []string{"cubic", "bbr"} {
+					cond := sweep.Find(experiment.Condition{
+						System: sys, CCA: cca, Capacity: capy, QueueMult: qm, AQM: c.Opts.AQM,
+					})
+					if cond == nil {
+						row = append(row, "-")
+						continue
+					}
+					from, to := cond.ContentionWindow()
+					var acc stats.Accumulator
+					for _, r := range cond.Runs {
+						fps := r.FPSSeries().MeanBetween(from, to)
+						rtts := r.RTTBetween(from, to)
+						rtt := time.Duration(stats.Mean(rtts) * float64(time.Millisecond))
+						loss := r.LossBetween(from, to)
+						acc.Add(model.Score(fps, rtt, loss))
+					}
+					row = append(row, fmt.Sprintf("%.0f", acc.Mean()))
+				}
+			}
+			tb.AddRow(row...)
+		}
+	}
+	return tb
+}
+
+// ResponseRecoveryTable is the breakdown the paper defers to its technical
+// report: per condition, the response time C (adjusting to the arriving
+// flow) and recovery time E (returning to the original bitrate after it
+// departs), measured on the across-run mean bitrate series (§4.2). An
+// asterisk marks conditions that never settled within the window — the
+// paper's "never responds / never recovers" cases.
+func (c *Campaign) ResponseRecoveryTable() *report.Table {
+	sweep := c.Contended()
+	tb := report.NewTable("Response and recovery times (s), per condition",
+		"System", "CCA", "Capacity", "Queue", "Response", "Recovery")
+	for _, sys := range gamestream.Systems {
+		for _, cca := range []string{"cubic", "bbr"} {
+			for _, capy := range []units.Rate{units.Mbps(15), units.Mbps(25), units.Mbps(35)} {
+				for _, qm := range []float64{0.5, 2, 7} {
+					cond := sweep.Find(experiment.Condition{
+						System: sys, CCA: cca, Capacity: capy, QueueMult: qm, AQM: c.Opts.AQM,
+					})
+					if cond == nil {
+						continue
+					}
+					rr := cond.ResponseRecovery()
+					respMark, recMark := "", ""
+					if !rr.Responded {
+						respMark = "*"
+					}
+					if !rr.Recovered {
+						recMark = "*"
+					}
+					tb.AddRow(string(sys), cca,
+						fmt.Sprintf("%.0f", capy.Mbit()),
+						fmt.Sprintf("%.1fx", qm),
+						fmt.Sprintf("%.0f%s", rr.Response.Seconds(), respMark),
+						fmt.Sprintf("%.0f%s", rr.Recovery.Seconds(), recMark))
+				}
+			}
+		}
+	}
+	return tb
+}
+
+// AQMTable reruns the worst bufferbloat condition (7x BDP, competing
+// Cubic) under each queue discipline — the paper's AQM future-work item.
+func (c *Campaign) AQMTable() *report.Table {
+	tb := report.NewTable("Queue discipline comparison: 25 Mb/s, 7x BDP, vs TCP Cubic",
+		"System", "Qdisc", "Game (Mb/s)", "TCP (Mb/s)", "RTT (ms)", "FPS")
+	tl := c.Opts.timeline()
+	for _, sys := range gamestream.Systems {
+		for _, aqm := range []string{experiment.AQMDropTail, experiment.AQMCoDel, experiment.AQMFQCoDel} {
+			var game, tcp, rtt, fps stats.Accumulator
+			for it := 0; it < c.Opts.Iterations; it++ {
+				r := experiment.Run(experiment.RunConfig{
+					Condition: experiment.Condition{
+						System: sys, CCA: "cubic", Capacity: units.Mbps(25), QueueMult: 7, AQM: aqm,
+					},
+					Timeline: tl,
+					Seed:     uint64(7000 + it),
+				})
+				ff, ft := tl.FairnessWindow()
+				game.Add(r.GameSeries().MeanBetween(ff, ft))
+				tcp.Add(r.TCPSeries().MeanBetween(ff, ft))
+				xs := r.RTTBetween(ff, ft)
+				if len(xs) > 0 {
+					rtt.Add(stats.Mean(xs))
+				}
+				fps.Add(r.FPSSeries().MeanBetween(ff, ft))
+			}
+			tb.AddRow(string(sys), aqm,
+				fmt.Sprintf("%.1f", game.Mean()),
+				fmt.Sprintf("%.1f", tcp.Mean()),
+				fmt.Sprintf("%.1f", rtt.Mean()),
+				fmt.Sprintf("%.1f", fps.Mean()))
+		}
+	}
+	return tb
+}

@@ -1,0 +1,461 @@
+// Package figures assembles experiment campaigns into the paper's tables
+// and figures: each Table*/Figure* function runs (or reuses) the sweep it
+// needs and renders the same rows/series the paper reports. The cmd/gsbench
+// binary and the repository's benchmark harness are thin wrappers around
+// this package.
+package figures
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/gamestream"
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// Options configures campaign size and fidelity.
+type Options struct {
+	// Iterations per condition (paper: 15).
+	Iterations int
+	// TimeScale compresses the 9-minute timeline; 0 or 1 is full length.
+	TimeScale float64
+	// Workers bounds run parallelism.
+	Workers int
+	// AQM overrides the bottleneck discipline (default drop-tail).
+	AQM string
+}
+
+func (o Options) defaults() Options {
+	if o.Iterations == 0 {
+		o.Iterations = 15
+	}
+	if o.Workers == 0 {
+		o.Workers = 8
+	}
+	return o
+}
+
+func (o Options) timeline() metrics.Timeline {
+	tl := metrics.PaperTimeline
+	if o.TimeScale > 0 && o.TimeScale != 1 {
+		tl = tl.Scale(o.TimeScale)
+	}
+	return tl
+}
+
+// Campaign owns the sweeps behind the figures, so several tables can share
+// one set of runs (the paper's tables all come from the same 810 traces).
+type Campaign struct {
+	Opts Options
+
+	contended *experiment.SweepResult // cubic+bbr grid
+	solo      *experiment.SweepResult // no competing flow grid
+	baseline  *experiment.SweepResult // unconstrained, no competing flow
+}
+
+// NewCampaign prepares a campaign with the given options.
+func NewCampaign(opts Options) *Campaign {
+	return &Campaign{Opts: opts.defaults()}
+}
+
+// Contended runs (once) and returns the full competing-flow sweep.
+func (c *Campaign) Contended() *experiment.SweepResult {
+	if c.contended == nil {
+		cfg := experiment.PaperSweep()
+		cfg.Iterations = c.Opts.Iterations
+		cfg.Workers = c.Opts.Workers
+		cfg.Timeline = c.Opts.timeline()
+		cfg.AQM = c.Opts.AQM
+		c.contended = experiment.RunSweep(cfg)
+	}
+	return c.contended
+}
+
+// Solo runs (once) and returns the capacity-constrained solo sweep.
+func (c *Campaign) Solo() *experiment.SweepResult {
+	if c.solo == nil {
+		cfg := experiment.PaperSweep()
+		cfg.CCAs = []string{""}
+		cfg.Iterations = c.Opts.Iterations
+		cfg.Workers = c.Opts.Workers
+		cfg.Timeline = c.Opts.timeline()
+		cfg.AQM = c.Opts.AQM
+		c.solo = experiment.RunSweep(cfg)
+	}
+	return c.solo
+}
+
+// Baseline runs (once) the unconstrained solo conditions behind Table 1.
+func (c *Campaign) Baseline() *experiment.SweepResult {
+	if c.baseline == nil {
+		cfg := experiment.PaperSweep()
+		cfg.CCAs = []string{""}
+		cfg.Capacities = []units.Rate{units.Mbps(950)}
+		cfg.QueueMults = []float64{2}
+		cfg.Iterations = c.Opts.Iterations
+		cfg.Workers = c.Opts.Workers
+		cfg.Timeline = c.Opts.timeline()
+		cfg.AQM = c.Opts.AQM
+		c.baseline = experiment.RunSweep(cfg)
+	}
+	return c.baseline
+}
+
+// steadyWindow is the measurement window used for solo tables: the same
+// offsets as the contention window, for comparability.
+func steadyWindow(tl metrics.Timeline) (time.Duration, time.Duration) {
+	return tl.FairnessWindow()
+}
+
+// Table1 reproduces "Game system bitrates without capacity constraints or
+// competing traffic".
+func (c *Campaign) Table1() *report.Table {
+	sweep := c.Baseline()
+	tb := report.NewTable("Table 1: baseline bitrates (unconstrained, no competing flow)",
+		"System", "Bitrate (Mb/s)", "Paper")
+	paper := map[gamestream.System]string{
+		gamestream.Stadia: "27.5 (2.3)", gamestream.GeForce: "24.5 (1.8)", gamestream.Luna: "23.7 (0.9)",
+	}
+	for _, sys := range gamestream.Systems {
+		for _, cond := range sweep.Conditions {
+			if cond.Cond.System != sys {
+				continue
+			}
+			from, to := steadyWindow(cond.Runs[0].Cfg.Timeline)
+			s := cond.GameRateBins(from, to)
+			tb.AddRow(string(sys), report.MeanStd(s.Mean, s.StdDev), paper[sys])
+		}
+	}
+	return tb
+}
+
+// Figure2 reproduces the bitrate-versus-time panels at 25 Mb/s: for each
+// system × CCA it returns a CSV with the across-run mean and 95% CI per
+// queue size.
+func (c *Campaign) Figure2() map[string]string {
+	sweep := c.Contended()
+	out := make(map[string]string)
+	for _, sys := range gamestream.Systems {
+		for _, cca := range []string{"cubic", "bbr"} {
+			headers := []string{"t_sec"}
+			var cols [][]float64
+			var tcol []float64
+			for _, qm := range []float64{0.5, 2, 7} {
+				cond := sweep.Find(experiment.Condition{
+					System: sys, CCA: cca, Capacity: units.Mbps(25), QueueMult: qm, AQM: c.Opts.AQM,
+				})
+				if cond == nil {
+					continue
+				}
+				mean, ci := cond.MeanGameSeries()
+				if tcol == nil {
+					tcol = make([]float64, len(mean.V))
+					for i := range tcol {
+						tcol[i] = float64(i) * mean.Bin.Seconds()
+					}
+					cols = append(cols, tcol)
+				}
+				headers = append(headers,
+					fmt.Sprintf("q%.1fx_mean_mbps", qm), fmt.Sprintf("q%.1fx_ci95", qm))
+				cols = append(cols, mean.V, ci)
+			}
+			out[fmt.Sprintf("%s_vs_%s", sys, cca)] = report.CSV(headers, cols)
+		}
+	}
+	return out
+}
+
+// Figure3 reproduces the fairness-ratio heatmaps: one per system per CCA,
+// rows are capacities, columns queue sizes.
+func (c *Campaign) Figure3() []*report.Heatmap {
+	sweep := c.Contended()
+	var maps []*report.Heatmap
+	caps := []units.Rate{units.Mbps(35), units.Mbps(25), units.Mbps(15)}
+	queues := []float64{0.5, 2, 7}
+	for _, cca := range []string{"cubic", "bbr"} {
+		for _, sys := range gamestream.Systems {
+			h := &report.Heatmap{
+				Title: fmt.Sprintf("Figure 3: (game - tcp)/capacity, %s vs TCP %s", sys, cca),
+				Cols:  []string{"q 0.5x", "q 2x", "q 7x"},
+			}
+			for _, capy := range caps {
+				h.Rows = append(h.Rows, fmt.Sprintf("%.0f Mb/s", capy.Mbit()))
+				row := make([]float64, 0, len(queues))
+				for _, qm := range queues {
+					cond := sweep.Find(experiment.Condition{
+						System: sys, CCA: cca, Capacity: capy, QueueMult: qm, AQM: c.Opts.AQM,
+					})
+					if cond == nil {
+						row = append(row, 0)
+						continue
+					}
+					row = append(row, cond.FairnessRatio())
+				}
+				h.Cells = append(h.Cells, row)
+			}
+			maps = append(maps, h)
+		}
+	}
+	return maps
+}
+
+// Figure4Point is one scatter point of adaptiveness versus fairness.
+type Figure4Point struct {
+	System       gamestream.System
+	CCA          string
+	Capacity     units.Rate
+	QueueMult    float64
+	Fairness     float64
+	Adaptiveness float64
+	Response     time.Duration
+	Recovery     time.Duration
+}
+
+// Figure4 reproduces the adaptiveness-versus-fairness scatter: one point
+// per system × condition, response/recovery normalised by the maxima
+// observed across the compared systems for each CCA.
+func (c *Campaign) Figure4() []Figure4Point {
+	sweep := c.Contended()
+	var pts []Figure4Point
+	for _, cca := range []string{"cubic", "bbr"} {
+		// First pass: gather response/recovery and the maxima.
+		var raw []Figure4Point
+		var cmax, emax time.Duration
+		for _, cond := range sweep.Conditions {
+			if cond.Cond.CCA != cca {
+				continue
+			}
+			rr := cond.ResponseRecovery()
+			p := Figure4Point{
+				System:    cond.Cond.System,
+				CCA:       cca,
+				Capacity:  cond.Cond.Capacity,
+				QueueMult: cond.Cond.QueueMult,
+				Fairness:  cond.FairnessRatio(),
+				Response:  rr.Response,
+				Recovery:  rr.Recovery,
+			}
+			if rr.Response > cmax {
+				cmax = rr.Response
+			}
+			if rr.Recovery > emax {
+				emax = rr.Recovery
+			}
+			raw = append(raw, p)
+		}
+		for i := range raw {
+			rr := metrics.ResponseRecovery{Response: raw[i].Response, Recovery: raw[i].Recovery}
+			raw[i].Adaptiveness = metrics.Adaptiveness(rr, cmax, emax)
+		}
+		pts = append(pts, raw...)
+	}
+	return pts
+}
+
+// Figure4Table renders the scatter points as a table.
+func (c *Campaign) Figure4Table() *report.Table {
+	tb := report.NewTable("Figure 4: adaptiveness vs fairness",
+		"System", "CCA", "Capacity", "Queue", "Fairness", "Adaptiveness", "Response", "Recovery")
+	for _, p := range c.Figure4() {
+		tb.AddRow(string(p.System), p.CCA,
+			fmt.Sprintf("%.0f", p.Capacity.Mbit()),
+			fmt.Sprintf("%.1fx", p.QueueMult),
+			fmt.Sprintf("%+.2f", p.Fairness),
+			fmt.Sprintf("%.2f", p.Adaptiveness),
+			fmt.Sprintf("%.0fs", p.Response.Seconds()),
+			fmt.Sprintf("%.0fs", p.Recovery.Seconds()))
+	}
+	return tb
+}
+
+// Table3 reproduces "Round-trip time (ms) without a competing TCP flow".
+func (c *Campaign) Table3() *report.Table {
+	sweep := c.Solo()
+	return c.rttTable(sweep, []string{""},
+		"Table 3: RTT (ms) without a competing TCP flow")
+}
+
+// Table4 reproduces "Round-trip time (ms) with a competing TCP flow".
+func (c *Campaign) Table4() *report.Table {
+	sweep := c.Contended()
+	return c.rttTable(sweep, []string{"cubic", "bbr"},
+		"Table 4: RTT (ms) with a competing TCP flow")
+}
+
+func (c *Campaign) rttTable(sweep *experiment.SweepResult, ccas []string, title string) *report.Table {
+	headers := []string{"Capacity", "Queue"}
+	for _, sys := range gamestream.Systems {
+		for _, cca := range ccas {
+			name := string(sys)
+			if cca != "" {
+				name += "/" + cca
+			}
+			headers = append(headers, name)
+		}
+	}
+	tb := report.NewTable(title, headers...)
+	for _, capy := range []units.Rate{units.Mbps(15), units.Mbps(25), units.Mbps(35)} {
+		for _, qm := range []float64{0.5, 2, 7} {
+			row := []string{fmt.Sprintf("%.0f Mb/s", capy.Mbit()), fmt.Sprintf("%.1fx", qm)}
+			for _, sys := range gamestream.Systems {
+				for _, cca := range ccas {
+					cond := sweep.Find(experiment.Condition{
+						System: sys, CCA: cca, Capacity: capy, QueueMult: qm, AQM: c.Opts.AQM,
+					})
+					if cond == nil {
+						row = append(row, "-")
+						continue
+					}
+					from, to := steadyWindow(cond.Runs[0].Cfg.Timeline)
+					s := cond.RTTStats(from, to)
+					row = append(row, report.MeanStd(s.Mean, s.StdDev))
+				}
+			}
+			tb.AddRow(row...)
+		}
+	}
+	return tb
+}
+
+// Table5 reproduces "Frame rate (f/s) with competing TCP flow".
+func (c *Campaign) Table5() *report.Table {
+	sweep := c.Contended()
+	headers := []string{"Capacity", "Queue"}
+	for _, sys := range gamestream.Systems {
+		for _, cca := range []string{"cubic", "bbr"} {
+			headers = append(headers, string(sys)+"/"+cca)
+		}
+	}
+	tb := report.NewTable("Table 5: frame rate (f/s) with competing TCP flow", headers...)
+	for _, capy := range []units.Rate{units.Mbps(15), units.Mbps(25), units.Mbps(35)} {
+		for _, qm := range []float64{0.5, 2, 7} {
+			row := []string{fmt.Sprintf("%.0f Mb/s", capy.Mbit()), fmt.Sprintf("%.1fx", qm)}
+			for _, sys := range gamestream.Systems {
+				for _, cca := range []string{"cubic", "bbr"} {
+					cond := sweep.Find(experiment.Condition{
+						System: sys, CCA: cca, Capacity: capy, QueueMult: qm, AQM: c.Opts.AQM,
+					})
+					if cond == nil {
+						row = append(row, "-")
+						continue
+					}
+					from, to := steadyWindow(cond.Runs[0].Cfg.Timeline)
+					s := cond.FPSStats(from, to)
+					row = append(row, report.MeanStd(s.Mean, s.StdDev))
+				}
+			}
+			tb.AddRow(row...)
+		}
+	}
+	return tb
+}
+
+// LossTables reproduces the loss-rate analysis (§4.3 / tech report): game
+// flow loss percentage per condition, solo and with each competing flow.
+func (c *Campaign) LossTables() *report.Table {
+	solo := c.Solo()
+	cont := c.Contended()
+	headers := []string{"Capacity", "Queue"}
+	for _, sys := range gamestream.Systems {
+		headers = append(headers, string(sys)+"/solo", string(sys)+"/cubic", string(sys)+"/bbr")
+	}
+	tb := report.NewTable("Loss rate (%) of the game flow", headers...)
+	for _, capy := range []units.Rate{units.Mbps(15), units.Mbps(25), units.Mbps(35)} {
+		for _, qm := range []float64{0.5, 2, 7} {
+			row := []string{fmt.Sprintf("%.0f Mb/s", capy.Mbit()), fmt.Sprintf("%.1fx", qm)}
+			for _, sys := range gamestream.Systems {
+				for _, src := range []struct {
+					sweep *experiment.SweepResult
+					cca   string
+				}{{solo, ""}, {cont, "cubic"}, {cont, "bbr"}} {
+					cond := src.sweep.Find(experiment.Condition{
+						System: sys, CCA: src.cca, Capacity: capy, QueueMult: qm, AQM: c.Opts.AQM,
+					})
+					if cond == nil {
+						row = append(row, "-")
+						continue
+					}
+					from, to := steadyWindow(cond.Runs[0].Cfg.Timeline)
+					s := cond.LossStats(from, to)
+					row = append(row, report.MeanStd2(s.Mean*100, s.StdDev*100))
+				}
+			}
+			tb.AddRow(row...)
+		}
+	}
+	return tb
+}
+
+// Summary renders the adaptiveness/fairness per system ovals (the verbal
+// summary of Figure 4), useful for quick eyeballing.
+func (c *Campaign) Summary() string {
+	pts := c.Figure4()
+	var b strings.Builder
+	for _, cca := range []string{"cubic", "bbr"} {
+		fmt.Fprintf(&b, "vs TCP %s:\n", cca)
+		for _, sys := range gamestream.Systems {
+			var fair, adapt stats.Accumulator
+			for _, p := range pts {
+				if p.System == sys && p.CCA == cca {
+					fair.Add(p.Fairness)
+					adapt.Add(p.Adaptiveness)
+				}
+			}
+			fmt.Fprintf(&b, "  %-8s fairness %+.2f  adaptiveness %.2f\n",
+				sys, fair.Mean(), adapt.Mean())
+		}
+	}
+	return b.String()
+}
+
+// Save writes whichever sweeps this campaign has materialised into dir, so
+// a later invocation can Load them instead of re-running simulations.
+func (c *Campaign) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	save := func(name string, s *experiment.SweepResult) error {
+		if s == nil {
+			return nil
+		}
+		return experiment.SaveSweep(filepath.Join(dir, name+".sweep.gz"), s)
+	}
+	if err := save("contended", c.contended); err != nil {
+		return err
+	}
+	if err := save("solo", c.solo); err != nil {
+		return err
+	}
+	return save("baseline", c.baseline)
+}
+
+// Load restores previously saved sweeps from dir; missing files are simply
+// left to be re-run on demand.
+func (c *Campaign) Load(dir string) error {
+	load := func(name string, dst **experiment.SweepResult) error {
+		path := filepath.Join(dir, name+".sweep.gz")
+		if _, err := os.Stat(path); err != nil {
+			return nil // absent: run on demand
+		}
+		s, err := experiment.LoadSweep(path)
+		if err != nil {
+			return err
+		}
+		*dst = s
+		return nil
+	}
+	if err := load("contended", &c.contended); err != nil {
+		return err
+	}
+	if err := load("solo", &c.solo); err != nil {
+		return err
+	}
+	return load("baseline", &c.baseline)
+}

@@ -1,0 +1,287 @@
+package gamestream
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// frameState tracks reassembly of one frame at the client.
+type frameState struct {
+	need     int // data fragment count
+	parity   int
+	got      map[int]bool
+	seqBase  int64 // sequence number of fragment index 0
+	sentAt   sim.Time
+	key      bool
+	resolved bool // displayed or dropped
+}
+
+// FrameResult reports the fate of one frame to observers.
+type FrameResult struct {
+	FrameID   int64
+	KeyFrame  bool
+	Displayed bool
+	At        sim.Time
+}
+
+// Client is the player-side half of a streaming session: it reassembles
+// frames from fragments (using FEC parity when available), enforces the
+// playout deadline, requests retransmissions, and sends periodic receiver
+// reports that drive the server's rate controller. Its displayed-frame
+// counter is the PresentMon equivalent in the paper's methodology.
+type Client struct {
+	host    *netem.Host
+	eng     *sim.Engine
+	flow    packet.FlowID
+	peer    packet.Addr
+	profile Profile
+
+	frames   map[int64]*frameState
+	resolved map[int64]bool
+	nackedAt map[int64]sim.Time // last retransmission request per fragment
+	ticker   *sim.Ticker
+
+	// Sequence-gap loss accounting.
+	highestSeq int64
+	haveSeq    bool
+	winArrived int
+	winBase    int64 // highestSeq at window start
+
+	// Window accumulators for feedback.
+	winBytes  units.ByteSize
+	owdMin    time.Duration
+	owdSum    time.Duration
+	owdCount  int
+	lastFback sim.Time
+
+	// OnFrame, when set, observes every resolved frame.
+	OnFrame func(FrameResult)
+
+	// Counters for the harness.
+	FramesDisplayed int64
+	FramesDropped   int64
+	FragmentsRecv   int64
+	BytesRecv       int64
+	FECRecovered    int64
+	NackSent        int64
+}
+
+// NewClient creates a client for flow on host, reporting to peer.
+func NewClient(host *netem.Host, flow packet.FlowID, peer packet.Addr, profile Profile) *Client {
+	c := &Client{
+		host:     host,
+		eng:      host.Engine(),
+		flow:     flow,
+		peer:     peer,
+		profile:  profile,
+		frames:   make(map[int64]*frameState),
+		resolved: make(map[int64]bool),
+		nackedAt: make(map[int64]sim.Time),
+		owdMin:   -1,
+	}
+	c.ticker = sim.NewTicker(c.eng, FeedbackInterval, c.feedbackTick)
+	c.ticker.Start(false)
+	host.Bind(flow, c)
+	return c
+}
+
+// Handle implements packet.Handler, processing video fragments.
+func (c *Client) Handle(p *packet.Packet) {
+	if p.Kind != packet.KindFrame {
+		return
+	}
+	meta, ok := p.App.(*FragMeta)
+	if !ok {
+		return
+	}
+	now := c.eng.Now()
+	c.FragmentsRecv++
+	c.BytesRecv += int64(p.Size)
+	c.winBytes += units.ByteSize(p.Size)
+
+	// One-way delay statistics (the simulator clock is global, so OWD is
+	// exact — standing in for the paper's synchronised-capture analysis).
+	owd := now.Sub(p.SentAt)
+	if c.owdMin < 0 || owd < c.owdMin {
+		c.owdMin = owd
+	}
+	c.owdSum += owd
+	c.owdCount++
+
+	// Sequence accounting (retransmissions reuse their original number
+	// and do not advance the frontier).
+	if !meta.Retx {
+		if !c.haveSeq {
+			c.haveSeq = true
+			c.highestSeq = p.Seq - 1
+			c.winBase = p.Seq - 1
+		}
+		if p.Seq > c.highestSeq {
+			c.highestSeq = p.Seq
+		}
+		c.winArrived++
+	}
+
+	if c.resolved[meta.FrameID] {
+		return
+	}
+	fs := c.frames[meta.FrameID]
+	if fs == nil {
+		fs = &frameState{
+			need:    meta.Count,
+			parity:  meta.Parity,
+			got:     make(map[int]bool),
+			seqBase: p.Seq - int64(meta.Index),
+			sentAt:  meta.FrameSentAt,
+			key:     meta.KeyFrame,
+		}
+		c.frames[meta.FrameID] = fs
+	}
+	if fs.got[meta.Index] {
+		return
+	}
+	fs.got[meta.Index] = true
+
+	// Any `need` of the need+parity fragments decode the frame
+	// (idealised erasure code).
+	if len(fs.got) >= fs.need {
+		usedParity := false
+		dataGot := 0
+		for idx := range fs.got {
+			if idx < fs.need {
+				dataGot++
+			}
+		}
+		if dataGot < fs.need {
+			usedParity = true
+		}
+		deadline := fs.sentAt.Add(c.profile.PlayoutDelay)
+		displayed := now <= deadline
+		if displayed && usedParity {
+			c.FECRecovered++
+		}
+		c.finishFrame(meta.FrameID, fs, displayed, now)
+	}
+}
+
+func (c *Client) finishFrame(id int64, fs *frameState, displayed bool, now sim.Time) {
+	fs.resolved = true
+	c.resolved[id] = true
+	for i := 0; i < fs.need; i++ {
+		delete(c.nackedAt, fs.seqBase+int64(i))
+	}
+	delete(c.frames, id)
+	if displayed {
+		c.FramesDisplayed++
+	} else {
+		c.FramesDropped++
+	}
+	if c.OnFrame != nil {
+		c.OnFrame(FrameResult{FrameID: id, KeyFrame: fs.key, Displayed: displayed, At: now})
+	}
+	// Bound the resolved set (ids are monotone; forget old ones).
+	if len(c.resolved) > 8192 {
+		for k := range c.resolved {
+			if k < id-4096 {
+				delete(c.resolved, k)
+			}
+		}
+	}
+}
+
+// feedbackTick expires overdue frames, assembles NACKs, and sends the
+// receiver report.
+func (c *Client) feedbackTick() {
+	now := c.eng.Now()
+
+	// Expire frames past their playout deadline.
+	var nack []int64
+	var expired []int64
+	for id, fs := range c.frames {
+		deadline := fs.sentAt.Add(c.profile.PlayoutDelay)
+		if now > deadline {
+			expired = append(expired, id)
+			continue
+		}
+		if c.profile.NACK {
+			// Request missing data fragments still worth repairing; a
+			// fragment is re-requested only after the previous request
+			// has had time to be answered.
+			missing := fs.need - len(fs.got)
+			if missing > 0 {
+				for i := 0; i < fs.need && missing > 0; i++ {
+					if fs.got[i] {
+						continue
+					}
+					seq := fs.seqBase + int64(i)
+					// Only gap-evidenced losses: a fragment not yet
+					// overtaken by a later arrival may simply still be
+					// in flight (or in the server's pacer).
+					if seq >= c.highestSeq {
+						continue
+					}
+					if last, ok := c.nackedAt[seq]; ok && now.Sub(last) < nackRetryAfter {
+						missing--
+						continue
+					}
+					c.nackedAt[seq] = now
+					nack = append(nack, seq)
+					missing--
+				}
+			}
+		}
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+	for _, id := range expired {
+		c.finishFrame(id, c.frames[id], false, now)
+	}
+	sort.Slice(nack, func(i, j int) bool { return nack[i] < nack[j] })
+	if len(nack) > 0 {
+		c.NackSent += int64(len(nack))
+	}
+
+	interval := now.Sub(c.lastFback)
+	if c.lastFback == 0 {
+		interval = FeedbackInterval
+	}
+	c.lastFback = now
+
+	expectedPkts := int(c.highestSeq - c.winBase)
+	lost := expectedPkts - c.winArrived
+	if lost < 0 {
+		lost = 0
+	}
+	var owdAvg time.Duration
+	if c.owdCount > 0 {
+		owdAvg = c.owdSum / time.Duration(c.owdCount)
+	}
+	fb := &Feedback{
+		Interval:     interval,
+		RxRate:       units.RateFromBytes(c.winBytes, interval),
+		ExpectedPkts: expectedPkts,
+		LostPkts:     lost,
+		OWDMin:       c.owdMin,
+		OWDAvg:       owdAvg,
+		Nack:         nack,
+	}
+	c.host.Send(&packet.Packet{
+		Flow: c.flow,
+		Kind: packet.KindFeedback,
+		Dst:  c.peer,
+		Size: FeedbackSize + 8*len(nack),
+		App:  fb,
+	})
+
+	// Reset window accumulators.
+	c.winBytes = 0
+	c.winArrived = 0
+	c.winBase = c.highestSeq
+	c.owdMin = -1
+	c.owdSum = 0
+	c.owdCount = 0
+}

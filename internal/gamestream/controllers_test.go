@@ -1,0 +1,173 @@
+package gamestream
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func fb(lossPct float64, qd time.Duration, rx units.Rate) *Feedback {
+	base := 8 * time.Millisecond
+	return &Feedback{
+		Interval:     100 * time.Millisecond,
+		RxRate:       rx,
+		ExpectedPkts: 1000,
+		LostPkts:     int(lossPct * 10), // lossPct% of 1000
+		OWDMin:       base,
+		OWDAvg:       base + qd,
+	}
+}
+
+func TestAdaptiveThresholdInflatesAndDecays(t *testing.T) {
+	a := newAdaptiveThreshold(20*time.Millisecond, 120*time.Millisecond, 1.5, 0.03)
+	now := sim.At(0)
+	// Persistent 100 ms queuing delay: gamma must approach it.
+	for i := 0; i < 100; i++ {
+		now = now.Add(100 * time.Millisecond)
+		a.observe(now, 100*time.Millisecond)
+	}
+	if a.gamma < 90*time.Millisecond {
+		t.Errorf("gamma = %v after 10 s of 100 ms delay, want near 100 ms", a.gamma)
+	}
+	// Clean period: gamma decays slowly back toward init.
+	for i := 0; i < 3000; i++ {
+		now = now.Add(100 * time.Millisecond)
+		a.observe(now, 0)
+	}
+	if a.gamma > 25*time.Millisecond {
+		t.Errorf("gamma = %v after a long clean period, want near init", a.gamma)
+	}
+}
+
+func TestAdaptiveThresholdClamps(t *testing.T) {
+	a := newAdaptiveThreshold(20*time.Millisecond, 60*time.Millisecond, 5, 5)
+	now := sim.At(0)
+	for i := 0; i < 50; i++ {
+		now = now.Add(100 * time.Millisecond)
+		a.observe(now, 500*time.Millisecond)
+	}
+	if a.gamma != 60*time.Millisecond {
+		t.Errorf("gamma = %v, want clamp at max 60ms", a.gamma)
+	}
+	for i := 0; i < 50; i++ {
+		now = now.Add(100 * time.Millisecond)
+		a.observe(now, 0)
+	}
+	if a.gamma != 20*time.Millisecond {
+		t.Errorf("gamma = %v, want clamp at init 20ms", a.gamma)
+	}
+}
+
+func lunaCfg() LossAIMDConfig {
+	return LossAIMDConfig{
+		Min: units.Mbps(0.4), Max: units.Mbps(23.7),
+		Beta: 0.75, LossThreshold: 0.015, PersistWindows: 2,
+		EventDebounce: 800 * time.Millisecond, GrowthPerSec: 0.03,
+		DelayThreshold: 30 * time.Millisecond, MaxDelayThreshold: 130 * time.Millisecond,
+		RxHeadroom: 1.15,
+	}
+}
+
+func TestLossAIMDPersistenceRequired(t *testing.T) {
+	l := NewLossAIMD(lunaCfg())
+	start := l.Target()
+	// One isolated lossy window (a Cubic overflow burst): no cut.
+	l.OnFeedback(sim.At(time.Second), fb(3, 0, units.Mbps(20)))
+	if l.Target() != start {
+		t.Error("isolated lossy window triggered a cut")
+	}
+	// Second consecutive lossy window: cut by beta.
+	l.OnFeedback(sim.At(1100*time.Millisecond), fb(3, 0, units.Mbps(20)))
+	if want := start.Scale(0.75); l.Target() != want {
+		t.Errorf("after persistent loss target = %v, want %v", l.Target(), want)
+	}
+}
+
+func TestLossAIMDToleratesMildLoss(t *testing.T) {
+	l := NewLossAIMD(lunaCfg())
+	start := l.Target()
+	// Sustained sub-threshold loss (Cubic at a small queue): no cuts.
+	for i := 1; i <= 50; i++ {
+		l.OnFeedback(sim.At(time.Duration(i)*100*time.Millisecond), fb(0.8, 0, units.Mbps(20)))
+	}
+	if l.Target() < start {
+		t.Errorf("sub-threshold loss cut the target to %v", l.Target())
+	}
+}
+
+func TestLossAIMDDelayGuardAdapts(t *testing.T) {
+	l := NewLossAIMD(lunaCfg())
+	now := sim.At(0)
+	// Persistent 90 ms exogenous queuing delay (a Cubic-filled 7x queue):
+	// initial cuts, then the guard inflates and growth resumes.
+	for i := 0; i < 600; i++ {
+		now = now.Add(100 * time.Millisecond)
+		l.OnFeedback(now, fb(0, 90*time.Millisecond, units.Mbps(10)))
+	}
+	low := l.Target()
+	for i := 0; i < 600; i++ {
+		now = now.Add(100 * time.Millisecond)
+		l.OnFeedback(now, fb(0, 90*time.Millisecond, units.Mbps(25)))
+	}
+	if l.Target() <= low {
+		t.Errorf("target stuck at %v under persistent exogenous delay; guard did not adapt", low)
+	}
+}
+
+func TestLossAIMDRxHeadroomCapsGrowth(t *testing.T) {
+	cfg := lunaCfg()
+	cfg.Start = units.Mbps(5)
+	l := NewLossAIMD(cfg)
+	// Clean feedback but receive rate stuck at 2 Mb/s: target must not
+	// run far ahead of goodput.
+	now := sim.At(0)
+	for i := 0; i < 100; i++ {
+		now = now.Add(100 * time.Millisecond)
+		l.OnFeedback(now, fb(0, 0, units.Mbps(2)))
+	}
+	// The ceiling blocks growth beyond goodput (it does not pull the
+	// target down — that is the role of the loss/delay signals).
+	if l.Target() != units.Mbps(5) {
+		t.Errorf("target %v, want unchanged 5 Mb/s (growth blocked)", l.Target())
+	}
+}
+
+func TestDelayGradientThresholdAdaptsUnderCubicQueue(t *testing.T) {
+	p := ProfileFor(Stadia)
+	ctl := p.NewController().(*DelayGradient)
+	now := sim.At(0)
+	// Persistent 30 ms queuing delay: initial overuse backoffs, then the
+	// adaptive gamma inflates past it and the target recovers.
+	for i := 0; i < 100; i++ {
+		now = now.Add(100 * time.Millisecond)
+		ctl.OnFeedback(now, fb(0, 30*time.Millisecond, units.Mbps(12)))
+	}
+	if ctl.Threshold() < 25*time.Millisecond {
+		t.Errorf("threshold %v did not adapt toward the standing 30 ms delay", ctl.Threshold())
+	}
+	mid := ctl.Target()
+	for i := 0; i < 200; i++ {
+		now = now.Add(100 * time.Millisecond)
+		ctl.OnFeedback(now, fb(0, 30*time.Millisecond, units.Mbps(12)))
+	}
+	if ctl.Target() <= mid {
+		t.Error("target did not recover once the threshold adapted")
+	}
+}
+
+func TestDelayGradientYieldsUnderBufferbloat(t *testing.T) {
+	p := ProfileFor(Stadia)
+	ctl := p.NewController().(*DelayGradient)
+	now := sim.At(0)
+	// 110 ms standing delay exceeds the 65 ms threshold cap: the
+	// controller must stay backed off (the paper's 7x-queue cool cells).
+	for i := 0; i < 300; i++ {
+		now = now.Add(100 * time.Millisecond)
+		ctl.OnFeedback(now, fb(0, 110*time.Millisecond, units.Mbps(20)))
+	}
+	if ctl.Target() > units.Mbps(20) {
+		t.Errorf("target %v did not stay reduced under 110 ms bufferbloat", ctl.Target())
+	}
+}

@@ -1,0 +1,367 @@
+package gamestream
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// encRateSlew bounds how fast the encoder's operating bitrate moves toward
+// the controller target, per second, as a fraction of the span (video
+// encoders re-key their rate control smoothly rather than stepping).
+const encRateSlew = 4.0
+
+// nackRetain is how long transmitted fragments stay buffered for
+// retransmission requests.
+const nackRetain = time.Second
+
+// paceGain is the fragment pacing rate relative to the encoder bitrate.
+// Pacing spreads key-frame bursts over a few frame intervals instead of
+// slamming the bottleneck queue — commercial streamers do the same.
+const paceGain = 1.5
+
+// Congestion-indicator parameters for the encoder frame-rate cap: the
+// stream is "congested" if a recent feedback window carried noticeable
+// loss, or the operating rate is starved relative to the encoder maximum.
+const (
+	congestionLossSignal = 0.015
+	congestionRateFrac   = 0.45
+)
+
+// Server is the cloud-side half of a game-streaming session: it generates
+// frames at the encoder frame rate, sizes them from the controller's target
+// bitrate and the scripted-gameplay complexity process, packetises and
+// (optionally) FEC-protects them, paces fragments onto the wire, and
+// answers NACKs from its retransmit buffer. Profile rates are on-wire
+// bitrates (what Wireshark would report), so FEC and header overhead are
+// budgeted inside the encoder's frame sizing.
+type Server struct {
+	host    *netem.Host
+	eng     *sim.Engine
+	flow    packet.FlowID
+	dst     packet.Addr
+	profile Profile
+	ctrl    Controller
+	rng     *sim.RNG
+
+	encRate    units.Rate // operating on-wire bitrate (slews toward target)
+	fps        int
+	complexity float64 // AR(1) scene-complexity state
+	frameID    int64
+	fragSeq    int64
+	lastKey    sim.Time
+	lastTick   sim.Time
+	ticker     *sim.Ticker
+	running    bool
+
+	fragQ     []pendingFrag
+	paceNext  sim.Time
+	paceTimer *sim.Timer
+
+	lossyTimes []sim.Time // recent feedback windows with noticeable loss
+
+	retxBuf map[int64]retxEntry
+
+	// Stats counters for the harness.
+	FramesSent    int64
+	FragmentsSent int64
+	BytesSent     int64
+	Retransmits   int64
+}
+
+type pendingFrag struct {
+	seq     int64
+	meta    FragMeta
+	payload int
+}
+
+type retxEntry struct {
+	meta FragMeta
+	size int
+	at   sim.Time
+}
+
+// NewServer creates a streaming server on host for flow, sending to dst,
+// with the given behavioural profile. rng drives the workload process.
+func NewServer(host *netem.Host, flow packet.FlowID, dst packet.Addr, profile Profile, rng *sim.RNG) *Server {
+	s := &Server{
+		host:       host,
+		eng:        host.Engine(),
+		flow:       flow,
+		dst:        dst,
+		profile:    profile,
+		ctrl:       profile.NewController(),
+		rng:        rng,
+		encRate:    profile.MaxRate,
+		fps:        profile.BaseFPS,
+		complexity: 1,
+		retxBuf:    make(map[int64]retxEntry),
+	}
+	s.ticker = sim.NewTicker(s.eng, time.Second/time.Duration(s.fps), s.tick)
+	s.paceTimer = sim.NewTimer(s.eng, s.drainFragQ)
+	host.Bind(flow, s)
+	return s
+}
+
+// Controller exposes the rate controller for probes and tests.
+func (s *Server) Controller() Controller { return s.ctrl }
+
+// EncoderRate returns the current operating on-wire bitrate.
+func (s *Server) EncoderRate() units.Rate { return s.encRate }
+
+// FPS returns the current encoder frame rate.
+func (s *Server) FPS() int { return s.fps }
+
+// Congested reports the congestion indicator driving the frame-rate cap:
+// a persistent loss signal (two or more lossy feedback windows within the
+// congestion window — a solo probe overshoot produces isolated ones) or a
+// starved operating rate.
+func (s *Server) Congested() bool {
+	now := s.eng.Now()
+	recent := 0
+	for _, t := range s.lossyTimes {
+		if now.Sub(t) < congestedWindow {
+			recent++
+		}
+	}
+	if recent >= 2 {
+		return true
+	}
+	return s.encRate < s.profile.MaxRate.Scale(congestionRateFrac)
+}
+
+// Start begins streaming.
+func (s *Server) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.lastTick = s.eng.Now()
+	s.lastKey = s.eng.Now().Add(-KeyFrameInterval) // first frame is a key frame
+	s.ticker.Start(true)
+}
+
+// Stop halts streaming and discards any paced backlog.
+func (s *Server) Stop() {
+	s.running = false
+	s.ticker.Stop()
+	s.fragQ = nil
+}
+
+// wireFactor converts video payload bytes to on-wire bytes: FEC parity plus
+// per-fragment header overhead.
+func (s *Server) wireFactor() float64 {
+	return (1 + s.profile.FECRate) *
+		float64(FragmentPayload+FragmentOverhead) / float64(FragmentPayload)
+}
+
+// tick emits one encoded frame.
+func (s *Server) tick() {
+	if !s.running {
+		return
+	}
+	now := s.eng.Now()
+	s.updateEncoder(now)
+
+	// Scripted-gameplay workload: AR(1) complexity process, identical in
+	// distribution across runs via the seeded RNG.
+	draw := s.rng.NormClamped(1, s.profile.ComplexityStdDev, 0.55, 1.7)
+	s.complexity = 0.85*s.complexity + 0.15*draw
+
+	key := now.Sub(s.lastKey) >= KeyFrameInterval
+	if key {
+		s.lastKey = now
+	}
+	// Normalise P-frame sizes so the long-run mean bitrate matches the
+	// encoder rate despite periodic 2x key frames.
+	framesPerGOP := float64(s.fps) * KeyFrameInterval.Seconds()
+	pScale := (framesPerGOP - KeyFrameScale) / (framesPerGOP - 1)
+	scale := pScale
+	if key {
+		scale = KeyFrameScale
+	}
+
+	frameBytes := float64(s.encRate) / 8 / float64(s.fps) * s.complexity * scale / s.wireFactor()
+	if frameBytes < FragmentPayload/2 {
+		frameBytes = FragmentPayload / 2
+	}
+	s.sendFrame(now, int(frameBytes), key)
+}
+
+// updateEncoder slews the operating bitrate toward the controller target
+// and applies the frame-rate ladder and congestion cap.
+func (s *Server) updateEncoder(now sim.Time) {
+	target := s.ctrl.Target()
+	if target > s.profile.MaxRate {
+		target = s.profile.MaxRate
+	}
+	if target < s.profile.MinRate {
+		target = s.profile.MinRate
+	}
+	dt := now.Sub(s.lastTick).Seconds()
+	s.lastTick = now
+	maxStep := units.Rate(float64(s.profile.MaxRate) * encRateSlew * dt)
+	switch {
+	case target > s.encRate:
+		s.encRate = minRate(s.encRate+maxStep, target)
+	case target < s.encRate:
+		s.encRate = maxRate(s.encRate-maxStep, target)
+	}
+
+	fps := s.profile.EncoderFPS(s.encRate)
+	if cap := s.profile.CongestionFPSCap; cap > 0 && fps > cap && s.Congested() {
+		fps = cap
+	}
+	if fps != s.fps && fps > 0 {
+		s.fps = fps
+		s.ticker.SetInterval(time.Second / time.Duration(fps))
+	}
+}
+
+// sendFrame packetises one frame into data + parity fragments and hands
+// them to the pacer.
+func (s *Server) sendFrame(now sim.Time, frameBytes int, key bool) {
+	count := (frameBytes + FragmentPayload - 1) / FragmentPayload
+	if count < 1 {
+		count = 1
+	}
+	parity := int(math.Ceil(float64(count) * s.profile.FECRate))
+	s.FramesSent++
+	id := s.frameID
+	s.frameID++
+
+	for i := 0; i < count+parity; i++ {
+		payload := FragmentPayload
+		if i == count-1 {
+			if rem := frameBytes - (count-1)*FragmentPayload; rem > 0 {
+				payload = rem
+			}
+		}
+		meta := FragMeta{
+			FrameID:     id,
+			Index:       i,
+			Count:       count,
+			Parity:      parity,
+			KeyFrame:    key,
+			FrameSentAt: now,
+		}
+		seq := s.fragSeq
+		s.fragSeq++
+		s.retxBuf[seq] = retxEntry{meta: meta, size: payload, at: now}
+		s.fragQ = append(s.fragQ, pendingFrag{seq: seq, meta: meta, payload: payload})
+	}
+	s.pruneRetx(now)
+	s.drainFragQ()
+}
+
+// drainFragQ emits queued fragments at the pacing rate.
+func (s *Server) drainFragQ() {
+	now := s.eng.Now()
+	gain := s.profile.BurstPace
+	if gain <= 0 {
+		gain = paceGain
+	}
+	paceRate := maxRate(s.encRate.Scale(gain), units.Mbps(4))
+	for len(s.fragQ) > 0 {
+		if now < s.paceNext {
+			s.paceTimer.Reset(s.paceNext.Sub(now))
+			return
+		}
+		f := s.fragQ[0]
+		s.fragQ = s.fragQ[1:]
+		s.emit(f.seq, f.meta, f.payload)
+		wire := units.ByteSize(f.payload + FragmentOverhead)
+		if s.paceNext < now {
+			s.paceNext = now
+		}
+		s.paceNext = s.paceNext.Add(paceRate.TimeToTransmit(wire))
+	}
+}
+
+func (s *Server) emit(seq int64, meta FragMeta, payload int) {
+	m := meta
+	p := &packet.Packet{
+		Flow:    s.flow,
+		Kind:    packet.KindFrame,
+		Dst:     s.dst,
+		Seq:     seq,
+		Payload: payload,
+		Size:    payload + FragmentOverhead,
+		App:     &m,
+	}
+	s.FragmentsSent++
+	s.BytesSent += int64(p.Size)
+	s.host.Send(p)
+}
+
+func (s *Server) pruneRetx(now sim.Time) {
+	if len(s.retxBuf) < 4096 {
+		return
+	}
+	for seq, e := range s.retxBuf {
+		if now.Sub(e.at) > nackRetain {
+			delete(s.retxBuf, seq)
+		}
+	}
+}
+
+// Handle implements packet.Handler, processing receiver reports.
+func (s *Server) Handle(p *packet.Packet) {
+	if p.Kind != packet.KindFeedback {
+		return
+	}
+	fb, ok := p.App.(*Feedback)
+	if !ok {
+		return
+	}
+	now := s.eng.Now()
+	if fb.LossFraction() >= congestionLossSignal {
+		s.lossyTimes = append(s.lossyTimes, now)
+		if len(s.lossyTimes) > 64 {
+			s.lossyTimes = s.lossyTimes[32:]
+		}
+	}
+	s.ctrl.OnFeedback(now, fb)
+	if s.profile.NACK && s.running {
+		for _, seq := range fb.Nack {
+			e, ok := s.retxBuf[seq]
+			if !ok {
+				continue
+			}
+			// Skip requests already waiting in the pacer queue.
+			pending := false
+			for _, f := range s.fragQ {
+				if f.seq == seq {
+					pending = true
+					break
+				}
+			}
+			if pending {
+				continue
+			}
+			m := e.meta
+			m.Retx = true
+			s.Retransmits++
+			s.fragQ = append(s.fragQ, pendingFrag{seq: seq, meta: m, payload: e.size})
+		}
+		s.drainFragQ()
+	}
+}
+
+func minRate(a, b units.Rate) units.Rate {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxRate(a, b units.Rate) units.Rate {
+	if a > b {
+		return a
+	}
+	return b
+}

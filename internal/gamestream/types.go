@@ -1,0 +1,148 @@
+// Package gamestream implements the cloud game-streaming systems under
+// test: a video streaming server (frame source, encoder ladder, packetiser,
+// FEC, NACK retransmission), a client (reassembly, playout deadline,
+// receiver reports), and three adaptive-bitrate controllers calibrated to
+// the observable behaviour of Google Stadia, NVidia GeForce Now, and Amazon
+// Luna as measured by Xu & Claypool (IMC 2022).
+//
+// The real platforms are proprietary black boxes; what the paper
+// characterises is their emergent congestion response. Each profile here is
+// a mechanistically distinct controller (delay-gradient, conservative
+// headroom tracking, loss-based AIMD) whose interaction with real TCP
+// Cubic/BBR competitors reproduces the paper's findings. See DESIGN.md §4.
+package gamestream
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Wire constants.
+const (
+	// FragmentPayload is the payload carried per UDP fragment.
+	FragmentPayload = 1200
+	// FragmentOverhead is Ethernet + IP + UDP + 12-byte RTP-style header.
+	FragmentOverhead = 14 + 20 + 8 + 12
+	// FeedbackInterval is how often the client sends receiver reports.
+	FeedbackInterval = 100 * time.Millisecond
+	// FeedbackSize is the on-wire size of a receiver report.
+	FeedbackSize = 120
+	// KeyFrameInterval is the I-frame period.
+	KeyFrameInterval = 2 * time.Second
+	// KeyFrameScale is the size multiplier for I-frames.
+	KeyFrameScale = 2.0
+	// nackRetryAfter is how long a client waits before re-requesting a
+	// fragment it has already NACKed.
+	nackRetryAfter = 150 * time.Millisecond
+)
+
+// FragMeta is the application metadata on a video fragment packet.
+type FragMeta struct {
+	FrameID  int64
+	Index    int // fragment index within the frame
+	Count    int // data fragments in the frame
+	Parity   int // parity fragments appended for FEC
+	KeyFrame bool
+	Retx     bool
+	// FrameSentAt is when the frame's first fragment left the encoder,
+	// used by the client playout deadline.
+	FrameSentAt sim.Time
+}
+
+// Feedback is the receiver report the client sends every FeedbackInterval,
+// carried as packet App payload. It is the only signal the server-side
+// controller sees, mirroring a WebRTC-style RTCP loop.
+type Feedback struct {
+	// Interval covered by this report.
+	Interval time.Duration
+	// RxRate is the goodput observed in the interval.
+	RxRate units.Rate
+	// ExpectedPkts and LostPkts describe sequence-gap loss in the interval.
+	ExpectedPkts int
+	LostPkts     int
+	// OWDMin and OWDAvg are one-way delay statistics over the interval.
+	OWDMin time.Duration
+	OWDAvg time.Duration
+	// Nack lists fragment sequence numbers the client wants retransmitted.
+	Nack []int64
+}
+
+// LossFraction returns the fraction of packets lost in the interval.
+func (f *Feedback) LossFraction() float64 {
+	if f.ExpectedPkts <= 0 {
+		return 0
+	}
+	return float64(f.LostPkts) / float64(f.ExpectedPkts)
+}
+
+// Controller is the adaptive bitrate algorithm: it consumes receiver
+// reports and produces a target encoder bitrate. Implementations are pure
+// state machines.
+type Controller interface {
+	// Name identifies the algorithm for traces.
+	Name() string
+	// OnFeedback processes one receiver report.
+	OnFeedback(now sim.Time, fb *Feedback)
+	// Target returns the current target bitrate.
+	Target() units.Rate
+}
+
+// FPSRung maps a bitrate floor to an encoder frame rate.
+type FPSRung struct {
+	MinRate units.Rate
+	FPS     int
+}
+
+// Profile is the complete behavioural description of one game-streaming
+// system: encoder limits, frame-rate ladder, loss-repair machinery, and the
+// rate controller. Calibration targets for each stock profile are
+// documented in DESIGN.md §4 and validated in EXPERIMENTS.md.
+type Profile struct {
+	// Name of the system, e.g. "stadia".
+	Name string
+	// MaxRate and MinRate bound the encoder bitrate ladder.
+	MaxRate units.Rate
+	MinRate units.Rate
+	// ComplexityStdDev is the relative per-frame size variation driven by
+	// scene content (the scripted-gameplay workload process).
+	ComplexityStdDev float64
+	// FPSLadder maps target bitrate to encoder frame rate; entries must
+	// be sorted descending by MinRate. An empty ladder means constant
+	// BaseFPS.
+	FPSLadder []FPSRung
+	// CongestionFPSCap caps the encoder frame rate while the controller
+	// reports congestion (0 = no cap).
+	CongestionFPSCap int
+	// BaseFPS is the uncongested frame rate (the 60 f/s target).
+	BaseFPS int
+	// FECRate is the fraction of parity fragments added per frame
+	// (0 = none). Any k-of-n recovery is assumed (idealised Reed-Solomon).
+	FECRate float64
+	// NACK enables client retransmission requests for missing fragments.
+	NACK bool
+	// PlayoutDelay is how long after a frame's first transmission the
+	// client will still display it; later frames are dropped.
+	PlayoutDelay time.Duration
+	// BurstPace is the fragment pacing rate as a multiple of the encoder
+	// bitrate (default 1.5 — smooth sender). Large values approximate
+	// line-rate frame bursts, the "network turbulence" traffic shape.
+	BurstPace float64
+	// NewController builds this profile's rate controller.
+	NewController func() Controller
+}
+
+// EncoderFPS returns the frame rate the profile's ladder selects for a
+// target bitrate, before any congestion cap.
+func (p *Profile) EncoderFPS(target units.Rate) int {
+	for _, rung := range p.FPSLadder {
+		if target >= rung.MinRate {
+			return rung.FPS
+		}
+	}
+	if n := len(p.FPSLadder); n > 0 {
+		return p.FPSLadder[n-1].FPS
+	}
+	return p.BaseFPS
+}

@@ -1,0 +1,91 @@
+// Package iperf implements the bulk-download traffic generator from the
+// paper's testbed: a TCP connection (Cubic or BBR) that transfers as fast
+// as congestion control allows between a start and stop time, emulating
+// `iperf` run for the middle three minutes of each trace.
+package iperf
+
+import (
+	"repro/internal/netem"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+// Flow is one bulk-download TCP flow: the sender lives on the server host,
+// the receiver (the "iperf client" doing the download) on the client host.
+type Flow struct {
+	Sender   *tcp.Sender
+	Receiver *tcp.Receiver
+	eng      *sim.Engine
+
+	startAt sim.Time
+	started bool
+
+	// rx[i] accumulates bytes received in half-second bin i, for the
+	// competing-flow side of the paper's bitrate comparisons.
+	binDur sim.Time
+	rxBins []int64
+}
+
+// New creates a bulk flow with the given congestion control algorithm
+// ("cubic" or "bbr"), sending from serverHost to clientHost. binDur sets
+// the goodput time-series resolution.
+func New(serverHost, clientHost *netem.Host, flow packet.FlowID, alg string, binDur sim.Time) *Flow {
+	f := &Flow{
+		eng:    serverHost.Engine(),
+		binDur: binDur,
+	}
+	f.Sender = tcp.NewSender(serverHost, flow, clientHost.Addr, tcp.New(alg))
+	f.Receiver = tcp.NewReceiver(clientHost, flow, serverHost.Addr)
+	f.Receiver.OnDeliver = func(n int64) {
+		if f.binDur <= 0 {
+			return
+		}
+		bin := int(f.eng.Now() / f.binDur)
+		for len(f.rxBins) <= bin {
+			f.rxBins = append(f.rxBins, 0)
+		}
+		f.rxBins[bin] += n
+	}
+	return f
+}
+
+// ScheduleRun arms the flow to start at `start` and stop at `stop`
+// (simulation times).
+func (f *Flow) ScheduleRun(start, stop sim.Time) {
+	f.startAt = start
+	f.eng.ScheduleAt(start, func() {
+		f.started = true
+		f.Sender.Start()
+	})
+	f.eng.ScheduleAt(stop, func() {
+		f.Sender.StopSending()
+	})
+}
+
+// GoodputBins returns per-bin goodput in bits/s.
+func (f *Flow) GoodputBins() []float64 {
+	out := make([]float64, len(f.rxBins))
+	sec := f.binDur.Duration().Seconds()
+	for i, b := range f.rxBins {
+		out[i] = float64(b) * 8 / sec
+	}
+	return out
+}
+
+// GoodputBetween returns the average goodput over [from, to) from the bin
+// series.
+func (f *Flow) GoodputBetween(from, to sim.Time) units.Rate {
+	if f.binDur <= 0 || to <= from {
+		return 0
+	}
+	var total int64
+	for i, b := range f.rxBins {
+		t0 := sim.Time(i) * f.binDur
+		if t0 >= from && t0 < to {
+			total += b
+		}
+	}
+	return units.RateFromBytes(units.ByteSize(total), to.Sub(from))
+}

@@ -1,0 +1,70 @@
+package iperf
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func testbed() (*sim.Engine, *netem.Host, *netem.Host) {
+	eng := sim.NewEngine(1)
+	var ids uint64
+	var srv, cli *netem.Host
+	q := netem.NewDropTail(2 * units.BDP(units.Mbps(20), 20*time.Millisecond))
+	fwd := netem.NewDelay(eng, 10*time.Millisecond, packet.HandlerFunc(func(p *packet.Packet) { cli.Handle(p) }))
+	sh := netem.NewShaper(eng, units.Mbps(20), 2*packet.MTU, q, fwd)
+	rev := netem.NewDelay(eng, 10*time.Millisecond, packet.HandlerFunc(func(p *packet.Packet) { srv.Handle(p) }))
+	srv = netem.NewHost(eng, 1, sh, &ids)
+	cli = netem.NewHost(eng, 2, rev, &ids)
+	return eng, srv, cli
+}
+
+func TestScheduledRunWindow(t *testing.T) {
+	eng, srv, cli := testbed()
+	f := New(srv, cli, 1, "cubic", sim.At(500*time.Millisecond))
+	f.ScheduleRun(sim.At(5*time.Second), sim.At(15*time.Second))
+	eng.Run(sim.At(25 * time.Second))
+
+	before := f.GoodputBetween(0, sim.At(4*time.Second))
+	during := f.GoodputBetween(sim.At(7*time.Second), sim.At(15*time.Second))
+	after := f.GoodputBetween(sim.At(18*time.Second), sim.At(25*time.Second))
+	if before != 0 {
+		t.Errorf("goodput before start: %v", before)
+	}
+	if during.Mbit() < 15 {
+		t.Errorf("goodput during run: %.1f Mb/s on a 20 Mb/s link", during.Mbit())
+	}
+	if after.Mbit() > 0.5 {
+		t.Errorf("goodput after stop: %v", after)
+	}
+}
+
+func TestGoodputBins(t *testing.T) {
+	eng, srv, cli := testbed()
+	f := New(srv, cli, 1, "bbr", sim.At(time.Second))
+	f.ScheduleRun(sim.At(0), sim.At(10*time.Second))
+	eng.Run(sim.At(12 * time.Second))
+	bins := f.GoodputBins()
+	if len(bins) < 9 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	// Steady-state bins near 20 Mb/s.
+	mid := bins[5] / 1e6
+	if mid < 14 || mid > 21 {
+		t.Errorf("mid-run bin = %.1f Mb/s", mid)
+	}
+}
+
+func TestGoodputBetweenEdges(t *testing.T) {
+	eng, srv, cli := testbed()
+	f := New(srv, cli, 1, "cubic", 0) // binning disabled
+	f.ScheduleRun(sim.At(0), sim.At(2*time.Second))
+	eng.Run(sim.At(3 * time.Second))
+	if got := f.GoodputBetween(0, sim.At(time.Second)); got != 0 {
+		t.Errorf("disabled binning returned %v", got)
+	}
+}

@@ -1,0 +1,264 @@
+// Package metrics implements the paper's derived measures: bitrate-series
+// summaries, response and recovery times (§4.2), the combined adaptiveness
+// score, the normalised fairness ratio, Jain's fairness index, and the
+// harm-based comparison the paper lists as future work (Ware et al.).
+package metrics
+
+import (
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Series is a fixed-bin time series (e.g. bitrate in Mb/s per 0.5 s bin).
+type Series struct {
+	Bin time.Duration
+	V   []float64
+}
+
+// idx converts a time offset to a bin index, clamped to the series.
+func (s Series) idx(t time.Duration) int {
+	i := int(t / s.Bin)
+	if i < 0 {
+		i = 0
+	}
+	if i > len(s.V) {
+		i = len(s.V)
+	}
+	return i
+}
+
+// MeanBetween returns the mean over [from, to).
+func (s Series) MeanBetween(from, to time.Duration) float64 {
+	lo, hi := s.idx(from), s.idx(to)
+	if hi <= lo {
+		return 0
+	}
+	return stats.Mean(s.V[lo:hi])
+}
+
+// StdBetween returns the sample standard deviation over [from, to).
+func (s Series) StdBetween(from, to time.Duration) float64 {
+	lo, hi := s.idx(from), s.idx(to)
+	if hi <= lo {
+		return 0
+	}
+	return stats.StdDev(s.V[lo:hi])
+}
+
+// Smoothed returns a centred moving average with the given half-window (in
+// bins), used to keep response detection from triggering on single-bin
+// noise.
+func (s Series) Smoothed(half int) Series {
+	if half <= 0 {
+		return s
+	}
+	out := make([]float64, len(s.V))
+	for i := range s.V {
+		lo, hi := i-half, i+half+1
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(s.V) {
+			hi = len(s.V)
+		}
+		out[i] = stats.Mean(s.V[lo:hi])
+	}
+	return Series{Bin: s.Bin, V: out}
+}
+
+// SettleTime returns how long after event the (smoothed) series first comes
+// within one tolerance band of the target level, scanning up to deadline.
+// The second return reports whether settling happened; if not, the full
+// scan window is returned — the paper's "never responds/recovers" case.
+func SettleTime(s Series, event, deadline time.Duration, target, tolerance float64) (time.Duration, bool) {
+	sm := s.Smoothed(2)
+	lo, hi := sm.idx(event), sm.idx(deadline)
+	for i := lo; i < hi; i++ {
+		diff := sm.V[i] - target
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff <= tolerance {
+			return time.Duration(i)*s.Bin - event, true
+		}
+	}
+	return deadline - event, false
+}
+
+// Timeline carries the experiment's measurement windows, all offsets from
+// trace start. Defaults mirror the paper: competing flow from 185 s to
+// 370 s in a 540 s trace.
+type Timeline struct {
+	FlowStart time.Duration // competing flow arrives
+	FlowStop  time.Duration // competing flow departs
+	TraceEnd  time.Duration
+}
+
+// PaperTimeline is the timeline used in the paper's experiments.
+var PaperTimeline = Timeline{
+	FlowStart: 185 * time.Second,
+	FlowStop:  370 * time.Second,
+	TraceEnd:  540 * time.Second,
+}
+
+// Scale returns the timeline compressed by factor (for fast test runs).
+func (t Timeline) Scale(f float64) Timeline {
+	return Timeline{
+		FlowStart: time.Duration(float64(t.FlowStart) * f),
+		FlowStop:  time.Duration(float64(t.FlowStop) * f),
+		TraceEnd:  time.Duration(float64(t.TraceEnd) * f),
+	}
+}
+
+// Windows derived from the timeline, matching §4.2 of the paper.
+func (t Timeline) OriginalWindow() (from, to time.Duration) {
+	// Mean original bitrate: the minute before the flow arrives.
+	return t.FlowStart - t.FlowStart/3, t.FlowStart
+}
+
+// AdjustedWindow is the stabilised window before the flow departs.
+func (t Timeline) AdjustedWindow() (from, to time.Duration) {
+	span := (t.FlowStop - t.FlowStart) / 3
+	return t.FlowStop - span, t.FlowStop
+}
+
+// FairnessWindow is the contention window excluding the initial response
+// transient (220 s to 370 s in the paper).
+func (t Timeline) FairnessWindow() (from, to time.Duration) {
+	transient := (t.FlowStop - t.FlowStart) / 5
+	return t.FlowStart + transient, t.FlowStop
+}
+
+// ResponseRecovery holds the per-run adaptation measurements.
+type ResponseRecovery struct {
+	Response    time.Duration
+	Responded   bool
+	Recovery    time.Duration
+	Recovered   bool
+	OriginalMbs float64 // mean original bitrate
+	AdjustedMbs float64 // mean adjusted (contended) bitrate
+}
+
+// MeasureResponseRecovery applies the paper's §4.2 procedure to a game
+// bitrate series: response is time from flow arrival until the bitrate is
+// within one standard deviation of the adjusted level; recovery is time
+// from flow departure until within one standard deviation of the original
+// level.
+func MeasureResponseRecovery(s Series, tl Timeline) ResponseRecovery {
+	of, ot := tl.OriginalWindow()
+	af, at := tl.AdjustedWindow()
+	orig := s.MeanBetween(of, ot)
+	origStd := s.StdBetween(of, ot)
+	adj := s.MeanBetween(af, at)
+	adjStd := s.StdBetween(af, at)
+
+	// Floor the tolerance bands at 5% of the respective level so a
+	// near-constant window does not make settling undetectable.
+	if min := 0.05 * adj; adjStd < min {
+		adjStd = min
+	}
+	if min := 0.05 * orig; origStd < min {
+		origStd = min
+	}
+
+	resp, responded := SettleTime(s, tl.FlowStart, tl.FlowStop, adj, adjStd)
+	rec, recovered := SettleTime(s, tl.FlowStop, tl.TraceEnd, orig, origStd)
+	return ResponseRecovery{
+		Response:    resp,
+		Responded:   responded,
+		Recovery:    rec,
+		Recovered:   recovered,
+		OriginalMbs: orig,
+		AdjustedMbs: adj,
+	}
+}
+
+// Adaptiveness combines response and recovery per the paper:
+// A = ((1 - C/Cmax) + (1 - E/Emax)) / 2, in [0, 1], higher is better.
+func Adaptiveness(r ResponseRecovery, cmax, emax time.Duration) float64 {
+	a := 0.0
+	if cmax > 0 {
+		a += 0.5 * (1 - float64(r.Response)/float64(cmax))
+	} else {
+		a += 0.5
+	}
+	if emax > 0 {
+		a += 0.5 * (1 - float64(r.Recovery)/float64(emax))
+	} else {
+		a += 0.5
+	}
+	if a < 0 {
+		a = 0
+	}
+	if a > 1 {
+		a = 1
+	}
+	return a
+}
+
+// FairnessRatio is the paper's normalised bitrate difference:
+// (game − tcp) / capacity, in [-1, 1]; 0 is an equal split.
+func FairnessRatio(gameMbs, tcpMbs, capacityMbs float64) float64 {
+	if capacityMbs <= 0 {
+		return 0
+	}
+	r := (gameMbs - tcpMbs) / capacityMbs
+	if r > 1 {
+		r = 1
+	}
+	if r < -1 {
+		r = -1
+	}
+	return r
+}
+
+// JainIndex returns Jain's fairness index over per-flow throughputs:
+// (Σx)² / (n·Σx²), in (0, 1], 1 = perfectly equal.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumsq float64
+	for _, x := range xs {
+		sum += x
+		sumsq += x * x
+	}
+	if sumsq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumsq)
+}
+
+// Harm implements the Ware et al. harm measure the paper suggests as an
+// alternative to throughput fairness: the fractional degradation of a
+// flow's solo performance when competed against, for a metric where higher
+// is better (throughput). Returns a value in [0, 1] (clamped).
+func Harm(solo, competed float64) float64 {
+	if solo <= 0 {
+		return 0
+	}
+	h := (solo - competed) / solo
+	if h < 0 {
+		h = 0
+	}
+	if h > 1 {
+		h = 1
+	}
+	return h
+}
+
+// HarmInverse is Harm for metrics where lower is better (delay, loss).
+func HarmInverse(solo, competed float64) float64 {
+	if competed <= 0 {
+		return 0
+	}
+	h := (competed - solo) / competed
+	if h < 0 {
+		h = 0
+	}
+	if h > 1 {
+		h = 1
+	}
+	return h
+}

@@ -1,0 +1,316 @@
+package netem
+
+import (
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Stats accumulates per-element forwarding counters.
+type Stats struct {
+	Packets int
+	Bytes   units.ByteSize
+	Drops   int
+}
+
+// Link models a store-and-forward link: packets serialise at Rate one at a
+// time and then propagate for Delay. The internal buffer is unbounded — use
+// a Shaper with a Queue where a bounded bottleneck is required. Packets are
+// delivered in order.
+type Link struct {
+	eng   *sim.Engine
+	rate  units.Rate
+	delay time.Duration
+	next  packet.Handler
+
+	busyUntil sim.Time
+	Stats     Stats
+}
+
+// NewLink returns a link serialising at rate with propagation delay d,
+// delivering to next. A non-positive rate serialises instantaneously.
+func NewLink(eng *sim.Engine, rate units.Rate, d time.Duration, next packet.Handler) *Link {
+	return &Link{eng: eng, rate: rate, delay: d, next: next}
+}
+
+// Handle implements packet.Handler.
+func (l *Link) Handle(p *packet.Packet) {
+	now := l.eng.Now()
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	done := start.Add(l.rate.TimeToTransmit(units.ByteSize(p.Size)))
+	l.busyUntil = done
+	l.Stats.Packets++
+	l.Stats.Bytes += units.ByteSize(p.Size)
+	l.eng.ScheduleAt(done.Add(l.delay), func() { l.next.Handle(p) })
+}
+
+// Delay forwards packets after a fixed delay, preserving order — the
+// equivalent of `netem delay <d>`. With jitter configured it matches
+// `netem delay <d> <jitter>`: per-packet delays vary uniformly in
+// [d-jitter, d+jitter] but delivery order is still preserved (like netem
+// with a rate-limited child qdisc, reordering is suppressed).
+type Delay struct {
+	eng    *sim.Engine
+	d      time.Duration
+	next   packet.Handler
+	jitter time.Duration
+	rng    *sim.RNG
+	// lastOut enforces in-order delivery under jitter.
+	lastOut sim.Time
+	Stats   Stats
+}
+
+// NewDelay returns a fixed-delay element delivering to next.
+func NewDelay(eng *sim.Engine, d time.Duration, next packet.Handler) *Delay {
+	return &Delay{eng: eng, d: d, next: next}
+}
+
+// SetJitter enables uniform ± jitter around the base delay, drawn from rng.
+func (d *Delay) SetJitter(jitter time.Duration, rng *sim.RNG) {
+	d.jitter = jitter
+	d.rng = rng
+}
+
+// Handle implements packet.Handler.
+func (d *Delay) Handle(p *packet.Packet) {
+	d.Stats.Packets++
+	d.Stats.Bytes += units.ByteSize(p.Size)
+	delay := d.d
+	if d.jitter > 0 && d.rng != nil {
+		delay += time.Duration((2*d.rng.Float64() - 1) * float64(d.jitter))
+		if delay < 0 {
+			delay = 0
+		}
+	}
+	out := d.eng.Now().Add(delay)
+	if out < d.lastOut {
+		out = d.lastOut // preserve order
+	}
+	d.lastOut = out
+	d.eng.ScheduleAt(out, func() { d.next.Handle(p) })
+}
+
+// SetDelay changes the delay for subsequently handled packets.
+func (d *Delay) SetDelay(nd time.Duration) { d.d = nd }
+
+// Shaper is a token-bucket filter with an attached queue: the software
+// equivalent of `tc qdisc ... tbf rate R burst B limit L` (with the queue
+// type swappable for AQM experiments). Tokens accrue at Rate up to Burst
+// bytes; packets that cannot be sent immediately wait in the queue, whose
+// policy decides drops.
+type Shaper struct {
+	eng   *sim.Engine
+	rate  units.Rate
+	burst units.ByteSize
+	queue Queue
+	next  packet.Handler
+
+	tokens     float64 // bytes
+	lastRefill sim.Time
+	drainArmed bool
+	Stats      Stats
+}
+
+// NewShaper returns a shaper emitting to next. Burst is clamped below at one
+// MTU so a full-size packet can always eventually pass.
+func NewShaper(eng *sim.Engine, rate units.Rate, burst units.ByteSize, q Queue, next packet.Handler) *Shaper {
+	if burst < packet.MTU {
+		burst = packet.MTU
+	}
+	return &Shaper{
+		eng:    eng,
+		rate:   rate,
+		burst:  burst,
+		queue:  q,
+		tokens: float64(burst),
+		next:   next,
+	}
+}
+
+// Queue exposes the attached queue (e.g. for occupancy probes in tests).
+func (s *Shaper) Queue() Queue { return s.queue }
+
+// Rate returns the configured shaping rate.
+func (s *Shaper) Rate() units.Rate { return s.rate }
+
+func (s *Shaper) refill() {
+	now := s.eng.Now()
+	elapsed := now.Sub(s.lastRefill)
+	if elapsed > 0 {
+		s.tokens += float64(s.rate) / 8 * elapsed.Seconds()
+		if s.tokens > float64(s.burst) {
+			s.tokens = float64(s.burst)
+		}
+	}
+	s.lastRefill = now
+}
+
+// Handle implements packet.Handler.
+func (s *Shaper) Handle(p *packet.Packet) {
+	s.refill()
+	if s.queue.Len() == 0 && s.tokens >= float64(p.Size) {
+		s.emit(p)
+		return
+	}
+	if s.queue.Enqueue(p, s.eng.Now()) {
+		s.armDrain()
+	} else {
+		s.Stats.Drops++
+	}
+}
+
+func (s *Shaper) emit(p *packet.Packet) {
+	s.tokens -= float64(p.Size)
+	s.Stats.Packets++
+	s.Stats.Bytes += units.ByteSize(p.Size)
+	s.next.Handle(p)
+}
+
+func (s *Shaper) armDrain() {
+	if s.drainArmed {
+		return
+	}
+	head := s.queue.Peek()
+	if head == nil {
+		return
+	}
+	need := float64(head.Size) - s.tokens
+	var wait time.Duration
+	if need > 0 {
+		wait = time.Duration(need * 8 / float64(s.rate) * float64(time.Second))
+		if wait <= 0 {
+			wait = time.Nanosecond
+		}
+	}
+	s.drainArmed = true
+	s.eng.Schedule(wait, s.drain)
+}
+
+func (s *Shaper) drain() {
+	s.drainArmed = false
+	s.refill()
+	for {
+		head := s.queue.Peek()
+		if head == nil {
+			return
+		}
+		if s.tokens < float64(head.Size) {
+			break
+		}
+		p := s.queue.Dequeue(s.eng.Now())
+		if p == nil {
+			// AQM dropped the whole backlog during dequeue.
+			return
+		}
+		s.emit(p)
+	}
+	s.armDrain()
+}
+
+// Router forwards packets by destination address through per-destination
+// egress pipelines, with optional taps invoked on every forwarded packet
+// (the simulator's Wireshark capture point).
+type Router struct {
+	routes map[packet.Addr]packet.Handler
+	taps   []func(*packet.Packet)
+	Stats  Stats
+}
+
+// NewRouter returns an empty router.
+func NewRouter() *Router {
+	return &Router{routes: make(map[packet.Addr]packet.Handler)}
+}
+
+// Route installs the egress pipeline for packets addressed to dst.
+func (r *Router) Route(dst packet.Addr, next packet.Handler) {
+	r.routes[dst] = next
+}
+
+// Tap registers fn to observe every packet the router forwards.
+func (r *Router) Tap(fn func(*packet.Packet)) {
+	r.taps = append(r.taps, fn)
+}
+
+// Handle implements packet.Handler. Packets with no route are dropped and
+// counted, which in a correctly wired scenario indicates a configuration
+// bug; tests assert the drop counter stays zero.
+func (r *Router) Handle(p *packet.Packet) {
+	for _, tap := range r.taps {
+		tap(p)
+	}
+	next, ok := r.routes[p.Dst]
+	if !ok {
+		r.Stats.Drops++
+		return
+	}
+	r.Stats.Packets++
+	r.Stats.Bytes += units.ByteSize(p.Size)
+	next.Handle(p)
+}
+
+// Host is a network endpoint: applications register per-flow handlers for
+// delivery and send packets via the host's first hop.
+type Host struct {
+	Addr packet.Addr
+
+	eng      *sim.Engine
+	out      packet.Handler
+	flows    map[packet.FlowID]packet.Handler
+	fallback packet.Handler
+	nextID   *uint64 // shared packet ID counter
+}
+
+// NewHost returns a host with address addr sending into out. ids is the
+// shared packet-ID counter for the scenario.
+func NewHost(eng *sim.Engine, addr packet.Addr, out packet.Handler, ids *uint64) *Host {
+	return &Host{
+		Addr:   addr,
+		eng:    eng,
+		out:    out,
+		flows:  make(map[packet.FlowID]packet.Handler),
+		nextID: ids,
+	}
+}
+
+// SetOut changes the host's first hop.
+func (h *Host) SetOut(out packet.Handler) { h.out = out }
+
+// Bind registers handler to receive packets for flow.
+func (h *Host) Bind(flow packet.FlowID, handler packet.Handler) {
+	h.flows[flow] = handler
+}
+
+// BindFallback registers a handler for packets whose flow has no binding.
+func (h *Host) BindFallback(handler packet.Handler) { h.fallback = handler }
+
+// Handle implements packet.Handler, dispatching to the bound flow handler.
+func (h *Host) Handle(p *packet.Packet) {
+	if hd, ok := h.flows[p.Flow]; ok {
+		hd.Handle(p)
+		return
+	}
+	if h.fallback != nil {
+		h.fallback.Handle(p)
+	}
+}
+
+// Send stamps and transmits p via the host's first hop.
+func (h *Host) Send(p *packet.Packet) {
+	*h.nextID++
+	p.ID = *h.nextID
+	p.Src = h.Addr
+	p.SentAt = h.eng.Now()
+	h.out.Handle(p)
+}
+
+// Now returns the current simulation time, a convenience for applications
+// holding only a host reference.
+func (h *Host) Now() sim.Time { return h.eng.Now() }
+
+// Engine returns the simulation engine driving this host.
+func (h *Host) Engine() *sim.Engine { return h.eng }

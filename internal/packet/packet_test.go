@@ -1,0 +1,58 @@
+package packet
+
+import "testing"
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindData: "data", KindAck: "ack", KindFrame: "frame",
+		KindFeedback: "feedback", KindPing: "ping", KindPong: "pong",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Errorf("unknown kind = %q", Kind(99).String())
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if Addr(3).String() != "h3" {
+		t.Errorf("Addr(3) = %q", Addr(3).String())
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	p := &Packet{Kind: KindData, Src: 1, Dst: 2, Flow: 7, Seq: 100, Ack: 50, Size: 1500}
+	got := p.String()
+	for _, want := range []string{"data", "h1->h2", "flow=7", "seq=100", "size=1500"} {
+		if !contains(got, want) {
+			t.Errorf("String() = %q missing %q", got, want)
+		}
+	}
+}
+
+func TestHandlerFunc(t *testing.T) {
+	called := false
+	h := HandlerFunc(func(p *Packet) { called = true })
+	h.Handle(&Packet{})
+	if !called {
+		t.Error("HandlerFunc did not dispatch")
+	}
+}
+
+func TestMSSConsistent(t *testing.T) {
+	if MSS != MTU-EthIPOverhead-TCPHeader {
+		t.Errorf("MSS = %d inconsistent with MTU %d", MSS, MTU)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

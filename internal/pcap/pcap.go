@@ -1,0 +1,186 @@
+// Package pcap writes simulated traffic as standard pcap files, openable in
+// Wireshark/tshark — closing the loop with the paper's methodology, whose
+// raw artefacts were Wireshark captures. Packets are synthesised with
+// Ethernet/IPv4/TCP-or-UDP headers whose addresses and ports encode the
+// simulated hosts and flows, and whose payload lengths match the simulated
+// on-wire sizes.
+package pcap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Link-layer and pcap constants.
+const (
+	magicMicros   = 0xa1b2c3d4
+	versionMajor  = 2
+	versionMinor  = 4
+	linkTypeEther = 1
+	snapLen       = 262144
+)
+
+// Writer streams pcap records to an io.Writer. It is not safe for
+// concurrent use; attach it to one capture point.
+type Writer struct {
+	w       io.Writer
+	wrote   int
+	scratch []byte
+	// Truncate bounds how many payload bytes are written per packet
+	// (headers always complete); 0 writes the full simulated size.
+	Truncate int
+}
+
+// NewWriter writes the pcap global header and returns the writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:], magicMicros)
+	binary.LittleEndian.PutUint16(hdr[4:], versionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:], versionMinor)
+	// thiszone, sigfigs = 0
+	binary.LittleEndian.PutUint32(hdr[16:], snapLen)
+	binary.LittleEndian.PutUint32(hdr[20:], linkTypeEther)
+	if _, err := w.Write(hdr); err != nil {
+		return nil, fmt.Errorf("pcap: global header: %w", err)
+	}
+	return &Writer{w: w}, nil
+}
+
+// Packets returns how many records have been written.
+func (pw *Writer) Packets() int { return pw.wrote }
+
+// ipFor maps a simulated address into 10.0.0.0/24.
+func ipFor(a packet.Addr) [4]byte {
+	return [4]byte{10, 0, 0, byte(int(a) & 0xff)}
+}
+
+// portsFor derives stable ports from the flow id: TCP flows look like a
+// bulk download from port 5201 (iperf's default); UDP flows use a
+// WebRTC-ish high port pair.
+func portsFor(p *packet.Packet) (src, dst uint16, tcp bool) {
+	base := uint16(40000 + int(p.Flow)*2)
+	switch p.Kind {
+	case packet.KindData:
+		return 5201, base, true
+	case packet.KindAck:
+		return base, 5201, true
+	case packet.KindFrame:
+		return 3478, base, false
+	case packet.KindFeedback:
+		return base, 3478, false
+	case packet.KindPing, packet.KindPong:
+		return base + 1, base + 1, false
+	}
+	return base, base, false
+}
+
+// Write emits one packet record stamped at the given simulation time.
+func (pw *Writer) Write(at sim.Time, p *packet.Packet) error {
+	srcPort, dstPort, isTCP := portsFor(p)
+
+	wire := p.Size
+	if wire < 54 {
+		wire = 54
+	}
+	capLen := wire
+	if pw.Truncate > 0 && capLen > pw.Truncate {
+		capLen = pw.Truncate
+	}
+	if capLen > snapLen {
+		capLen = snapLen
+	}
+
+	if cap(pw.scratch) < 16+capLen {
+		pw.scratch = make([]byte, 16+capLen)
+	}
+	buf := pw.scratch[:16+capLen]
+	for i := range buf {
+		buf[i] = 0
+	}
+
+	// Record header.
+	ts := at.Duration()
+	binary.LittleEndian.PutUint32(buf[0:], uint32(ts/time.Second))
+	binary.LittleEndian.PutUint32(buf[4:], uint32((ts%time.Second)/time.Microsecond))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(capLen))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(wire))
+	frame := buf[16:]
+
+	// Ethernet II.
+	srcIP, dstIP := ipFor(p.Src), ipFor(p.Dst)
+	copy(frame[0:6], []byte{0x02, 0, 0, 0, 0, byte(p.Dst)})
+	copy(frame[6:12], []byte{0x02, 0, 0, 0, 0, byte(p.Src)})
+	binary.BigEndian.PutUint16(frame[12:], 0x0800)
+
+	// IPv4.
+	if len(frame) >= 34 {
+		ip := frame[14:]
+		ip[0] = 0x45
+		tos := byte(0)
+		if p.ECT {
+			tos |= 0x02 // ECT(0)
+		}
+		if p.CE {
+			tos |= 0x03 // CE
+		}
+		ip[1] = tos
+		binary.BigEndian.PutUint16(ip[2:], uint16(wire-14))
+		ip[8] = 64 // TTL
+		if isTCP {
+			ip[9] = 6
+		} else {
+			ip[9] = 17
+		}
+		copy(ip[12:16], srcIP[:])
+		copy(ip[16:20], dstIP[:])
+	}
+
+	// Transport.
+	if isTCP && len(frame) >= 54 {
+		tcp := frame[34:]
+		binary.BigEndian.PutUint16(tcp[0:], srcPort)
+		binary.BigEndian.PutUint16(tcp[2:], dstPort)
+		binary.BigEndian.PutUint32(tcp[4:], uint32(p.Seq))
+		binary.BigEndian.PutUint32(tcp[8:], uint32(p.Ack))
+		tcp[12] = 5 << 4 // data offset
+		tcp[13] = 0x10   // ACK flag
+		binary.BigEndian.PutUint16(tcp[14:], 65535)
+	} else if len(frame) >= 42 {
+		udp := frame[34:]
+		binary.BigEndian.PutUint16(udp[0:], srcPort)
+		binary.BigEndian.PutUint16(udp[2:], dstPort)
+		binary.BigEndian.PutUint16(udp[4:], uint16(wire-34))
+	}
+
+	if _, err := pw.w.Write(buf); err != nil {
+		return fmt.Errorf("pcap: record: %w", err)
+	}
+	pw.wrote++
+	return nil
+}
+
+// Tap adapts the writer into a capture tap (for netem.Router.Tap); write
+// errors surface via the Err field, since taps cannot return errors.
+type Tap struct {
+	W   *Writer
+	eng *sim.Engine
+	Err error
+}
+
+// NewTap returns a router tap writing every observed packet.
+func NewTap(eng *sim.Engine, w *Writer) *Tap {
+	return &Tap{W: w, eng: eng}
+}
+
+// Handle records the packet at the current simulation time.
+func (t *Tap) Handle(p *packet.Packet) {
+	if t.Err != nil {
+		return
+	}
+	t.Err = t.W.Write(t.eng.Now(), p)
+}

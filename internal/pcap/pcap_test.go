@@ -1,0 +1,163 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+func TestGlobalHeader(t *testing.T) {
+	var buf bytes.Buffer
+	_, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if len(b) != 24 {
+		t.Fatalf("header length %d", len(b))
+	}
+	if binary.LittleEndian.Uint32(b[0:]) != magicMicros {
+		t.Error("bad magic")
+	}
+	if binary.LittleEndian.Uint32(b[20:]) != linkTypeEther {
+		t.Error("bad link type")
+	}
+}
+
+func TestRecordLayout(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	p := &packet.Packet{
+		Kind: packet.KindData, Flow: 2, Src: 1, Dst: 11,
+		Seq: 1000, Ack: 0, Size: 1514, Payload: 1448, ECT: true,
+	}
+	if err := w.Write(sim.At(1500*time.Millisecond), p); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()[24:]
+	// Record header.
+	if got := binary.LittleEndian.Uint32(b[0:]); got != 1 {
+		t.Errorf("ts_sec = %d", got)
+	}
+	if got := binary.LittleEndian.Uint32(b[4:]); got != 500000 {
+		t.Errorf("ts_usec = %d", got)
+	}
+	if got := binary.LittleEndian.Uint32(b[8:]); got != 1514 {
+		t.Errorf("caplen = %d", got)
+	}
+	frame := b[16:]
+	// Ethertype IPv4.
+	if binary.BigEndian.Uint16(frame[12:]) != 0x0800 {
+		t.Error("ethertype")
+	}
+	ip := frame[14:]
+	if ip[0] != 0x45 || ip[9] != 6 {
+		t.Errorf("IP header: ver/ihl=%#x proto=%d", ip[0], ip[9])
+	}
+	if ip[1]&0x03 != 0x02 {
+		t.Errorf("ECT bit not set in TOS: %#x", ip[1])
+	}
+	if got := binary.BigEndian.Uint16(ip[2:]); got != 1500 {
+		t.Errorf("IP total length = %d", got)
+	}
+	if ip[12] != 10 || ip[15] != 1 || ip[19] != 11 {
+		t.Errorf("addresses: src %v dst %v", ip[12:16], ip[16:20])
+	}
+	tcp := frame[34:]
+	if got := binary.BigEndian.Uint16(tcp[0:]); got != 5201 {
+		t.Errorf("src port = %d", got)
+	}
+	if got := binary.BigEndian.Uint32(tcp[4:]); got != 1000 {
+		t.Errorf("seq = %d", got)
+	}
+}
+
+func TestUDPForFrames(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	p := &packet.Packet{Kind: packet.KindFrame, Flow: 1, Src: 1, Dst: 11, Size: 1242}
+	if err := w.Write(0, p); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()[24+16:]
+	if frame[14+9] != 17 {
+		t.Errorf("frame fragment not UDP: proto=%d", frame[14+9])
+	}
+	udp := frame[34:]
+	if got := binary.BigEndian.Uint16(udp[0:]); got != 3478 {
+		t.Errorf("udp src port = %d", got)
+	}
+	if got := binary.BigEndian.Uint16(udp[4:]); got != 1242-34 {
+		t.Errorf("udp length = %d", got)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Truncate = 96
+	p := &packet.Packet{Kind: packet.KindData, Size: 1514}
+	if err := w.Write(0, p); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()[24:]
+	if got := binary.LittleEndian.Uint32(b[8:]); got != 96 {
+		t.Errorf("caplen = %d, want 96", got)
+	}
+	if got := binary.LittleEndian.Uint32(b[12:]); got != 1514 {
+		t.Errorf("origlen = %d, want 1514", got)
+	}
+	if len(b) != 16+96 {
+		t.Errorf("record bytes = %d", len(b))
+	}
+}
+
+func TestMultipleRecordsAndCount(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 10; i++ {
+		p := &packet.Packet{Kind: packet.KindAck, Size: 66}
+		if err := w.Write(sim.At(time.Duration(i)*time.Millisecond), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Packets() != 10 {
+		t.Errorf("Packets = %d", w.Packets())
+	}
+	want := 24 + 10*(16+66)
+	if buf.Len() != want {
+		t.Errorf("file size = %d, want %d", buf.Len(), want)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	if f.n > 1 {
+		return 0, bytes.ErrTooLarge
+	}
+	return len(p), nil
+}
+
+func TestTapStopsOnError(t *testing.T) {
+	eng := sim.NewEngine(1)
+	fw := &failWriter{}
+	w, err := NewWriter(fw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap := NewTap(eng, w)
+	tap.Handle(&packet.Packet{Kind: packet.KindAck, Size: 66})
+	if tap.Err == nil {
+		t.Fatal("tap did not surface the write error")
+	}
+	tap.Handle(&packet.Packet{Kind: packet.KindAck, Size: 66})
+	if w.Packets() != 0 {
+		t.Error("tap kept writing after an error")
+	}
+}

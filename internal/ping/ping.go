@@ -1,0 +1,117 @@
+// Package ping implements the periodic echo probe the paper's methodology
+// runs from the client to the game server: it measures round-trip time
+// through the same bottleneck the game stream traverses, including queueing
+// delay, yielding the samples behind Tables 3 and 4.
+package ping
+
+import (
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Size is the on-wire size of an echo packet (standard 64-byte ICMP payload
+// plus headers).
+const Size = 98
+
+// Sample is one completed round trip.
+type Sample struct {
+	At  sim.Time // when the reply arrived
+	RTT time.Duration
+}
+
+// Pinger sends an echo every Interval and records replies. The peer side
+// is a Responder bound to the same flow.
+type Pinger struct {
+	host   *netem.Host
+	eng    *sim.Engine
+	flow   packet.FlowID
+	dst    packet.Addr
+	ticker *sim.Ticker
+	seq    int64
+
+	// Samples holds completed round trips in arrival order.
+	Samples []Sample
+	// Sent counts echo requests.
+	Sent int
+}
+
+// NewPinger creates a pinger on host probing dst at the given interval.
+func NewPinger(host *netem.Host, flow packet.FlowID, dst packet.Addr, interval time.Duration) *Pinger {
+	p := &Pinger{host: host, eng: host.Engine(), flow: flow, dst: dst}
+	p.ticker = sim.NewTicker(p.eng, interval, p.sendEcho)
+	host.Bind(flow, p)
+	return p
+}
+
+// Start begins probing.
+func (p *Pinger) Start() { p.ticker.Start(true) }
+
+// Stop halts probing; in-flight replies are still recorded.
+func (p *Pinger) Stop() { p.ticker.Stop() }
+
+func (p *Pinger) sendEcho() {
+	p.seq++
+	p.Sent++
+	p.host.Send(&packet.Packet{
+		Flow: p.flow,
+		Kind: packet.KindPing,
+		Dst:  p.dst,
+		Seq:  p.seq,
+		Size: Size,
+	})
+}
+
+// Handle implements packet.Handler, recording echo replies.
+func (p *Pinger) Handle(pk *packet.Packet) {
+	if pk.Kind != packet.KindPong {
+		return
+	}
+	now := p.eng.Now()
+	p.Samples = append(p.Samples, Sample{At: now, RTT: now.Sub(pk.EchoTS)})
+}
+
+// RTTsBetween returns RTT samples (in milliseconds) whose replies arrived
+// in [from, to).
+func (p *Pinger) RTTsBetween(from, to sim.Time) []float64 {
+	var out []float64
+	for _, s := range p.Samples {
+		if s.At >= from && s.At < to {
+			out = append(out, float64(s.RTT)/float64(time.Millisecond))
+		}
+	}
+	return out
+}
+
+// Responder answers echo requests; it lives on the server-side host.
+type Responder struct {
+	host *netem.Host
+	flow packet.FlowID
+	// Answered counts echoes returned.
+	Answered int
+}
+
+// NewResponder creates a responder bound to flow on host.
+func NewResponder(host *netem.Host, flow packet.FlowID) *Responder {
+	r := &Responder{host: host, flow: flow}
+	host.Bind(flow, r)
+	return r
+}
+
+// Handle implements packet.Handler, reflecting echo requests.
+func (r *Responder) Handle(pk *packet.Packet) {
+	if pk.Kind != packet.KindPing {
+		return
+	}
+	r.Answered++
+	r.host.Send(&packet.Packet{
+		Flow:   r.flow,
+		Kind:   packet.KindPong,
+		Dst:    pk.Src,
+		Seq:    pk.Seq,
+		Size:   Size,
+		EchoTS: pk.SentAt,
+	})
+}

@@ -1,0 +1,81 @@
+package ping
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// loop wires two hosts with a fixed one-way delay in each direction.
+func loop(owd time.Duration) (*sim.Engine, *netem.Host, *netem.Host) {
+	eng := sim.NewEngine(1)
+	var ids uint64
+	var a, b *netem.Host
+	toB := netem.NewDelay(eng, owd, packet.HandlerFunc(func(p *packet.Packet) { b.Handle(p) }))
+	toA := netem.NewDelay(eng, owd, packet.HandlerFunc(func(p *packet.Packet) { a.Handle(p) }))
+	a = netem.NewHost(eng, 1, toB, &ids)
+	b = netem.NewHost(eng, 2, toA, &ids)
+	return eng, a, b
+}
+
+func TestPingMeasuresRTT(t *testing.T) {
+	eng, cli, srv := loop(8 * time.Millisecond)
+	p := NewPinger(cli, 1, srv.Addr, time.Second)
+	NewResponder(srv, 1)
+	p.Start()
+	eng.Run(sim.At(5500 * time.Millisecond))
+	p.Stop()
+	if len(p.Samples) != 6 { // t=0..5s inclusive
+		t.Fatalf("samples = %d, want 6", len(p.Samples))
+	}
+	for _, s := range p.Samples {
+		if s.RTT != 16*time.Millisecond {
+			t.Errorf("RTT = %v, want 16ms", s.RTT)
+		}
+	}
+}
+
+func TestRTTsBetween(t *testing.T) {
+	eng, cli, srv := loop(5 * time.Millisecond)
+	p := NewPinger(cli, 1, srv.Addr, time.Second)
+	r := NewResponder(srv, 1)
+	p.Start()
+	eng.Run(sim.At(10 * time.Second))
+	window := p.RTTsBetween(sim.At(2*time.Second), sim.At(5*time.Second))
+	if len(window) != 3 {
+		t.Errorf("window samples = %d, want 3", len(window))
+	}
+	for _, ms := range window {
+		if ms != 10 {
+			t.Errorf("sample = %v ms, want 10", ms)
+		}
+	}
+	// The ping sent exactly at the run boundary is still in flight.
+	if r.Answered < p.Sent-1 {
+		t.Errorf("answered %d, sent %d", r.Answered, p.Sent)
+	}
+}
+
+func TestPingStop(t *testing.T) {
+	eng, cli, srv := loop(time.Millisecond)
+	p := NewPinger(cli, 1, srv.Addr, 100*time.Millisecond)
+	NewResponder(srv, 1)
+	p.Start()
+	eng.Schedule(time.Second, p.Stop)
+	eng.Run(sim.At(5 * time.Second))
+	if p.Sent > 11 {
+		t.Errorf("pinger kept sending after Stop: %d", p.Sent)
+	}
+}
+
+func TestResponderIgnoresOtherKinds(t *testing.T) {
+	_, _, srv := loop(time.Millisecond)
+	r := NewResponder(srv, 1)
+	r.Handle(&packet.Packet{Flow: 1, Kind: packet.KindData})
+	if r.Answered != 0 {
+		t.Error("responder answered a non-ping packet")
+	}
+}

@@ -1,0 +1,102 @@
+// Package qoe combines the paper's quality-of-experience indicators
+// (§4.3: frame rate, round-trip delay, loss rate) into a single 0–100
+// score, following the shape of its cited QoE literature: frame-rate
+// utility is logarithmic and saturates at the 60 f/s target (Claypool &
+// Claypool), added network delay costs roughly 10% of QoE per ~55 ms
+// (Wahab et al. — the paper's own §4.3 calibration point), and loss is
+// tolerated up to a few percent before degrading steeply (Di Domenico et
+// al. found services resilient to 5% loss).
+//
+// The absolute scale is a model, not a measurement; its value is ranking
+// conditions and systems consistently with the paper's §4.3 discussion.
+package qoe
+
+import (
+	"math"
+	"time"
+)
+
+// Model parameterises the score; DefaultModel matches the paper's cited
+// calibration points.
+type Model struct {
+	// TargetFPS saturates the frame-rate utility (the paper's 60 f/s).
+	TargetFPS float64
+	// MinFPS is the frame rate of zero utility.
+	MinFPS float64
+	// BaseRTT is the delay included in the experience baseline; only
+	// delay beyond it is penalised.
+	BaseRTT time.Duration
+	// DelayPenaltyPer55ms is the QoE fraction lost per 55 ms of added
+	// delay (Wahab et al.: ~0.10).
+	DelayPenaltyPer55ms float64
+	// MaxDelayPenalty caps the delay term.
+	MaxDelayPenalty float64
+	// LossKnee is the loss fraction where degradation accelerates.
+	LossKnee float64
+}
+
+// DefaultModel returns the calibration used in the tables.
+func DefaultModel() Model {
+	return Model{
+		TargetFPS:           60,
+		MinFPS:              6,
+		BaseRTT:             16500 * time.Microsecond,
+		DelayPenaltyPer55ms: 0.10,
+		MaxDelayPenalty:     0.45,
+		LossKnee:            0.01,
+	}
+}
+
+// FrameRateUtility returns the 0–1 frame-rate component.
+func (m Model) FrameRateUtility(fps float64) float64 {
+	if fps <= m.MinFPS {
+		return 0
+	}
+	u := math.Log(fps/m.MinFPS) / math.Log(m.TargetFPS/m.MinFPS)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// DelayPenalty returns the 0–MaxDelayPenalty fraction lost to added delay.
+func (m Model) DelayPenalty(rtt time.Duration) float64 {
+	extra := rtt - m.BaseRTT
+	if extra <= 0 {
+		return 0
+	}
+	p := m.DelayPenaltyPer55ms * float64(extra) / float64(55*time.Millisecond)
+	if p > m.MaxDelayPenalty {
+		p = m.MaxDelayPenalty
+	}
+	return p
+}
+
+// LossPenalty returns the 0–1 fraction lost to packet loss: gentle below
+// the knee, quadratic above it, saturating at 5x the knee.
+func (m Model) LossPenalty(loss float64) float64 {
+	if loss <= 0 {
+		return 0
+	}
+	if loss <= m.LossKnee {
+		return 0.1 * loss / m.LossKnee
+	}
+	over := (loss - m.LossKnee) / (4 * m.LossKnee)
+	p := 0.1 + 0.9*over*over
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// Score combines the components into 0–100.
+func (m Model) Score(fps float64, rtt time.Duration, loss float64) float64 {
+	s := 100 * m.FrameRateUtility(fps) * (1 - m.DelayPenalty(rtt)) * (1 - m.LossPenalty(loss))
+	if s < 0 {
+		s = 0
+	}
+	if s > 100 {
+		s = 100
+	}
+	return s
+}

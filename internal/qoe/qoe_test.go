@@ -1,0 +1,93 @@
+package qoe
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPerfectConditions(t *testing.T) {
+	m := DefaultModel()
+	s := m.Score(60, m.BaseRTT, 0)
+	if s != 100 {
+		t.Errorf("Score at target = %v, want 100", s)
+	}
+}
+
+func TestPaperDelayCalibration(t *testing.T) {
+	// §4.3: 110 ms vs 55 ms RTT is "about a 10% decrease in QoE".
+	m := DefaultModel()
+	a := m.Score(60, 55*time.Millisecond, 0)
+	b := m.Score(60, 110*time.Millisecond, 0)
+	drop := (a - b) / a
+	if drop < 0.08 || drop < 0 || drop > 0.15 {
+		t.Errorf("QoE drop from 55->110 ms = %.3f, want ~0.10", drop)
+	}
+}
+
+func TestFrameRateUtilityShape(t *testing.T) {
+	m := DefaultModel()
+	if m.FrameRateUtility(60) != 1 {
+		t.Error("60 f/s should saturate")
+	}
+	if m.FrameRateUtility(90) != 1 {
+		t.Error("above-target fps should clamp at 1")
+	}
+	if u := m.FrameRateUtility(22); u < 0.4 || u > 0.8 {
+		t.Errorf("utility at Luna's 22 f/s = %.2f, want mid-range", u)
+	}
+	if m.FrameRateUtility(3) != 0 {
+		t.Error("below MinFPS should be 0")
+	}
+}
+
+func TestLossPenaltyShape(t *testing.T) {
+	m := DefaultModel()
+	if p := m.LossPenalty(0.005); p > 0.06 {
+		t.Errorf("sub-knee loss penalty %.3f too harsh", p)
+	}
+	if p := m.LossPenalty(0.05); p < 0.9 {
+		t.Errorf("5%% loss penalty %.3f too lenient", p)
+	}
+	if m.LossPenalty(0.5) != 1 {
+		t.Error("catastrophic loss should saturate at 1")
+	}
+}
+
+// Properties: score bounded, monotone in each argument.
+func TestScoreProperties(t *testing.T) {
+	m := DefaultModel()
+	f := func(fps10 uint16, rttMs uint16, lossPm uint16) bool {
+		fps := float64(fps10%700) / 10
+		rtt := time.Duration(rttMs%300) * time.Millisecond
+		loss := float64(lossPm%100) / 1000
+		s := m.Score(fps, rtt, loss)
+		if s < 0 || s > 100 {
+			return false
+		}
+		// Monotone: more fps never hurts, more delay/loss never helps.
+		return m.Score(fps+5, rtt, loss) >= s &&
+			m.Score(fps, rtt+10*time.Millisecond, loss) <= s &&
+			m.Score(fps, rtt, loss+0.005) <= s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaperScenarioOrdering(t *testing.T) {
+	// §4.3's qualitative ordering: GeForce's resilient 60 f/s at moderate
+	// delay beats Luna's 22 f/s at low delay.
+	m := DefaultModel()
+	geforce := m.Score(59.5, 25*time.Millisecond, 0.002)
+	luna := m.Score(22.3, 18*time.Millisecond, 0.005)
+	if geforce <= luna {
+		t.Errorf("GeForce %f <= Luna %f: frame-rate collapse should dominate", geforce, luna)
+	}
+	// Bufferbloat (110 ms) vs healthy delay at equal fps.
+	healthy := m.Score(58, 20*time.Millisecond, 0)
+	bloated := m.Score(58, 110*time.Millisecond, 0)
+	if bloated >= healthy {
+		t.Error("bufferbloat did not reduce the score")
+	}
+}

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEventDispatch measures raw event throughput of the engine —
+// the figure that bounds how fast full experiment runs can go.
+func BenchmarkEventDispatch(b *testing.B) {
+	e := NewEngine(1)
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n < b.N {
+			e.Schedule(time.Microsecond, fn)
+		}
+	}
+	e.Schedule(time.Microsecond, fn)
+	b.ResetTimer()
+	e.Run(End)
+}
+
+// BenchmarkDeepHeap measures dispatch with a large pending event set.
+func BenchmarkDeepHeap(b *testing.B) {
+	e := NewEngine(1)
+	for i := 0; i < 10000; i++ {
+		d := time.Duration(i) * time.Second
+		e.Schedule(d+time.Hour, func() {})
+	}
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n < b.N {
+			e.Schedule(time.Microsecond, fn)
+		}
+	}
+	e.Schedule(time.Microsecond, fn)
+	b.ResetTimer()
+	e.Run(At(30 * time.Minute))
+}
+
+func BenchmarkRNG(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}

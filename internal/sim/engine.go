@@ -1,0 +1,249 @@
+// Package sim provides the discrete-event simulation engine that everything
+// else in the testbed is built on: a virtual clock, a time-ordered event
+// queue, timers, and a deterministic seeded random number generator.
+//
+// A simulation run is a pure function of its inputs and seed: the engine
+// never consults the wall clock, and events scheduled for the same instant
+// dispatch in the order they were scheduled, so two runs with identical
+// configuration produce bit-identical results.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual timestamp, in nanoseconds since the start of the run.
+type Time int64
+
+// Common instants.
+const (
+	Start Time = 0
+	End   Time = Time(1<<63 - 1)
+)
+
+// At returns the Time d after the start of the run.
+func At(d time.Duration) Time { return Time(d) }
+
+// Add returns t advanced by d.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts t to the duration since the start of the run.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds returns t in seconds since the start of the run.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// String formats t as a duration since the start of the run.
+func (t Time) String() string { return time.Duration(t).String() }
+
+type event struct {
+	at  Time
+	seq uint64 // tiebreaker: preserves scheduling order for simultaneous events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// one with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	rng     *RNG
+	// processed counts dispatched events, for diagnostics and benchmarks.
+	processed uint64
+}
+
+// NewEngine returns an engine with its clock at zero and an RNG seeded with
+// the given seed.
+func NewEngine(seed uint64) *Engine {
+	e := &Engine{rng: NewRNG(seed)}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random number generator.
+func (e *Engine) Rand() *RNG { return e.rng }
+
+// Processed reports how many events have been dispatched so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Schedule runs fn after delay d. A negative delay is treated as zero.
+// Events at equal times run in scheduling order.
+func (e *Engine) Schedule(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.ScheduleAt(e.now.Add(d), fn)
+}
+
+// ScheduleAt runs fn at time t. Scheduling in the past is an error in the
+// simulation logic and panics, since silently reordering time would corrupt
+// every queue model downstream.
+func (e *Engine) ScheduleAt(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// Stop halts the run loop after the current event finishes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run dispatches events in time order until the queue is empty, Stop is
+// called, or the clock would pass until. Events scheduled exactly at until
+// are dispatched. It returns the final virtual time.
+func (e *Engine) Run(until Time) Time {
+	for !e.stopped && e.events.Len() > 0 {
+		next := e.events[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		e.processed++
+		next.fn()
+	}
+	if e.now < until && !e.stopped {
+		e.now = until
+	}
+	return e.now
+}
+
+// RunFor is shorthand for Run(Now().Add(d)).
+func (e *Engine) RunFor(d time.Duration) Time { return e.Run(e.now.Add(d)) }
+
+// Pending reports how many events are waiting to dispatch.
+func (e *Engine) Pending() int { return e.events.Len() }
+
+// Timer is a cancellable, reschedulable single-shot timer bound to an engine.
+// It is the building block for retransmission timeouts, delayed ACKs, and
+// periodic application ticks.
+type Timer struct {
+	eng     *Engine
+	fn      func()
+	at      Time
+	armed   bool
+	version uint64 // invalidates in-flight events from earlier arms
+}
+
+// NewTimer returns a timer that calls fn when it fires. The timer starts
+// disarmed.
+func NewTimer(eng *Engine, fn func()) *Timer {
+	return &Timer{eng: eng, fn: fn}
+}
+
+// Reset (re)arms the timer to fire after d, cancelling any earlier deadline.
+func (t *Timer) Reset(d time.Duration) {
+	t.version++
+	t.armed = true
+	t.at = t.eng.Now().Add(d)
+	v := t.version
+	t.eng.ScheduleAt(t.at, func() {
+		if t.armed && t.version == v {
+			t.armed = false
+			t.fn()
+		}
+	})
+}
+
+// Stop disarms the timer. It is safe to call on a disarmed timer.
+func (t *Timer) Stop() {
+	t.version++
+	t.armed = false
+}
+
+// Armed reports whether the timer is waiting to fire.
+func (t *Timer) Armed() bool { return t.armed }
+
+// Deadline returns when the timer will fire; meaningful only when Armed.
+func (t *Timer) Deadline() Time { return t.at }
+
+// Ticker invokes fn every interval until stopped. The first tick fires one
+// interval after Start (or immediately if startNow).
+type Ticker struct {
+	eng      *Engine
+	fn       func()
+	interval time.Duration
+	running  bool
+	version  uint64
+}
+
+// NewTicker returns a stopped ticker with the given interval and callback.
+func NewTicker(eng *Engine, interval time.Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("sim: ticker interval must be positive")
+	}
+	return &Ticker{eng: eng, fn: fn, interval: interval}
+}
+
+// Start begins ticking. If startNow, the first tick is dispatched at the
+// current time (still via the event queue, preserving ordering).
+func (t *Ticker) Start(startNow bool) {
+	t.version++
+	t.running = true
+	v := t.version
+	delay := t.interval
+	if startNow {
+		delay = 0
+	}
+	var tick func()
+	tick = func() {
+		if !t.running || t.version != v {
+			return
+		}
+		t.fn()
+		if t.running && t.version == v {
+			t.eng.Schedule(t.interval, tick)
+		}
+	}
+	t.eng.Schedule(delay, tick)
+}
+
+// SetInterval changes the tick interval; takes effect from the next arm.
+func (t *Ticker) SetInterval(d time.Duration) {
+	if d <= 0 {
+		panic("sim: ticker interval must be positive")
+	}
+	t.interval = d
+}
+
+// Interval returns the current tick interval.
+func (t *Ticker) Interval() time.Duration { return t.interval }
+
+// Stop halts the ticker. Safe to call repeatedly.
+func (t *Ticker) Stop() {
+	t.version++
+	t.running = false
+}
+
+// Running reports whether the ticker is active.
+func (t *Ticker) Running() bool { return t.running }

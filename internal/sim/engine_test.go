@@ -1,0 +1,307 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	e := NewEngine(1)
+	if e.Now() != 0 {
+		t.Errorf("Now = %v, want 0", e.Now())
+	}
+}
+
+func TestScheduleOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(3*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(1*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(2*time.Millisecond, func() { got = append(got, 2) })
+	e.Run(End)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("dispatch order = %v, want [1 2 3]", got)
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run(End)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("simultaneous events dispatched out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestRunUntilBoundary(t *testing.T) {
+	e := NewEngine(1)
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.Run(At(2 * time.Second))
+	if len(fired) != 2 {
+		t.Errorf("events fired = %v, want exactly the first two", fired)
+	}
+	if e.Now() != At(2*time.Second) {
+		t.Errorf("Now = %v, want 2s", e.Now())
+	}
+	// Remaining event still pending and fires on the next Run.
+	e.Run(End)
+	if len(fired) != 3 {
+		t.Errorf("after second Run, fired = %v, want 3 events", fired)
+	}
+}
+
+func TestClockAdvancesToUntilWhenIdle(t *testing.T) {
+	e := NewEngine(1)
+	e.Run(At(5 * time.Second))
+	if e.Now() != At(5*time.Second) {
+		t.Errorf("Now = %v, want 5s", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 1; i <= 5; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 2 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run(End)
+	if count != 2 {
+		t.Errorf("processed %d events after Stop, want 2", count)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.ScheduleAt(0, func() {})
+	})
+	e.Run(End)
+}
+
+func TestNegativeDelayClampedToNow(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.Schedule(-time.Second, func() { ran = true })
+	e.Run(End)
+	if !ran {
+		t.Error("negative-delay event did not run")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var at []Time
+	e.Schedule(time.Millisecond, func() {
+		e.Schedule(time.Millisecond, func() { at = append(at, e.Now()) })
+	})
+	e.Run(End)
+	if len(at) != 1 || at[0] != At(2*time.Millisecond) {
+		t.Errorf("nested event at %v, want [2ms]", at)
+	}
+}
+
+// Property: events always dispatch in non-decreasing time order regardless of
+// scheduling order.
+func TestDispatchMonotone(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(42)
+		var seen []Time
+		for _, d := range delays {
+			e.Schedule(time.Duration(d)*time.Microsecond, func() {
+				seen = append(seen, e.Now())
+			})
+		}
+		e.Run(End)
+		return sort.SliceIsSorted(seen, func(i, j int) bool { return seen[i] < seen[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimerFires(t *testing.T) {
+	e := NewEngine(1)
+	fired := Time(-1)
+	tm := NewTimer(e, func() { fired = e.Now() })
+	tm.Reset(10 * time.Millisecond)
+	e.Run(End)
+	if fired != At(10*time.Millisecond) {
+		t.Errorf("timer fired at %v, want 10ms", fired)
+	}
+	if tm.Armed() {
+		t.Error("timer still armed after firing")
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	tm := NewTimer(e, func() { fired = true })
+	tm.Reset(10 * time.Millisecond)
+	e.Schedule(5*time.Millisecond, func() { tm.Stop() })
+	e.Run(End)
+	if fired {
+		t.Error("stopped timer fired")
+	}
+}
+
+func TestTimerResetSupersedes(t *testing.T) {
+	e := NewEngine(1)
+	var fires []Time
+	tm := NewTimer(e, func() { fires = append(fires, e.Now()) })
+	tm.Reset(10 * time.Millisecond)
+	e.Schedule(5*time.Millisecond, func() { tm.Reset(20 * time.Millisecond) })
+	e.Run(End)
+	if len(fires) != 1 || fires[0] != At(25*time.Millisecond) {
+		t.Errorf("fires = %v, want one fire at 25ms", fires)
+	}
+}
+
+func TestTimerReuseAfterFire(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var tm *Timer
+	tm = NewTimer(e, func() {
+		count++
+		if count < 3 {
+			tm.Reset(time.Millisecond)
+		}
+	})
+	tm.Reset(time.Millisecond)
+	e.Run(End)
+	if count != 3 {
+		t.Errorf("timer fired %d times, want 3", count)
+	}
+}
+
+func TestTickerInterval(t *testing.T) {
+	e := NewEngine(1)
+	var ticks []Time
+	tk := NewTicker(e, 100*time.Millisecond, nil)
+	tk.fn = func() { ticks = append(ticks, e.Now()) }
+	tk.Start(false)
+	e.Run(At(350 * time.Millisecond))
+	want := []Time{At(100 * time.Millisecond), At(200 * time.Millisecond), At(300 * time.Millisecond)}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Errorf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestTickerStartNow(t *testing.T) {
+	e := NewEngine(1)
+	var first Time = -1
+	tk := NewTicker(e, time.Second, nil)
+	tk.fn = func() {
+		if first < 0 {
+			first = e.Now()
+		}
+	}
+	tk.Start(true)
+	e.Run(At(100 * time.Millisecond))
+	if first != 0 {
+		t.Errorf("first tick at %v, want 0", first)
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	tk := NewTicker(e, 10*time.Millisecond, nil)
+	tk.fn = func() { count++ }
+	tk.Start(false)
+	e.Schedule(35*time.Millisecond, func() { tk.Stop() })
+	e.Run(At(time.Second))
+	if count != 3 {
+		t.Errorf("ticks after stop = %d, want 3", count)
+	}
+	if tk.Running() {
+		t.Error("ticker reports running after Stop")
+	}
+}
+
+func TestTickerSetInterval(t *testing.T) {
+	e := NewEngine(1)
+	var ticks []Time
+	tk := NewTicker(e, 10*time.Millisecond, nil)
+	tk.fn = func() {
+		ticks = append(ticks, e.Now())
+		tk.SetInterval(20 * time.Millisecond)
+	}
+	tk.Start(false)
+	e.Run(At(55 * time.Millisecond))
+	want := []Time{At(10 * time.Millisecond), At(30 * time.Millisecond), At(50 * time.Millisecond)}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Errorf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestTickerBadIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero interval did not panic")
+		}
+	}()
+	NewTicker(NewEngine(1), 0, func() {})
+}
+
+func TestProcessedCount(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 7; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	e.Run(End)
+	if e.Processed() != 7 {
+		t.Errorf("Processed = %d, want 7", e.Processed())
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	tm := At(time.Second)
+	if tm.Add(time.Second) != At(2*time.Second) {
+		t.Error("Add")
+	}
+	if tm.Sub(At(500*time.Millisecond)) != 500*time.Millisecond {
+		t.Error("Sub")
+	}
+	if tm.Seconds() != 1 {
+		t.Error("Seconds")
+	}
+	if tm.Duration() != time.Second {
+		t.Error("Duration")
+	}
+	if tm.String() != "1s" {
+		t.Errorf("String = %q", tm.String())
+	}
+}

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 identical draws from different seeds", same)
+	}
+}
+
+func TestRNGZeroSeedUsable(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero-seeded RNG appears stuck at zero")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(4)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean of uniforms = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("Intn(10) produced only %d distinct values in 1000 draws", len(seen))
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	r := NewRNG(6)
+	const n = 100000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestNormClamped(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := r.NormClamped(0, 10, -1, 1)
+		if v < -1 || v > 1 {
+			t.Fatalf("NormClamped escaped bounds: %v", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(8)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(3)
+	}
+	mean := sum / n
+	if math.Abs(mean-3) > 0.1 {
+		t.Errorf("exponential mean = %v, want ~3", mean)
+	}
+}
+
+func TestForkIndependent(t *testing.T) {
+	r := NewRNG(9)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	if f1.Uint64() == f2.Uint64() {
+		t.Error("forked generators produce identical first draws")
+	}
+}

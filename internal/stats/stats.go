@@ -1,0 +1,147 @@
+// Package stats provides the statistical accumulators and summaries the
+// paper's analysis uses: streaming (Welford) mean/variance, Student-t 95%
+// confidence intervals across run samples, and percentiles.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Accumulator computes running mean and variance with Welford's algorithm,
+// numerically stable over millions of samples.
+type Accumulator struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one sample.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the sample count.
+func (a *Accumulator) N() int64 { return a.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the unbiased sample variance.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Merge combines another accumulator into this one (parallel Welford).
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	n := a.n + b.n
+	d := b.mean - a.mean
+	a.mean += d * float64(b.n) / float64(n)
+	a.m2 += b.m2 + d*d*float64(a.n)*float64(b.n)/float64(n)
+	a.n = n
+}
+
+// t975 holds two-sided 95% Student-t critical values by degrees of freedom
+// (1-30), falling back to the normal value 1.96 beyond.
+var t975 = []float64{
+	0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+	2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+	2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided 95% Student-t critical value for the
+// given degrees of freedom.
+func TCritical95(df int64) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	if df < int64(len(t975)) {
+		return t975[df]
+	}
+	return 1.96
+}
+
+// CI95 returns the half-width of the 95% confidence interval for the mean.
+func (a *Accumulator) CI95() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return TCritical95(a.n-1) * a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// Summary is a static snapshot of a sample set.
+type Summary struct {
+	N      int64
+	Mean   float64
+	StdDev float64
+	CI95   float64
+}
+
+// Summarize computes a Summary from raw samples.
+func Summarize(xs []float64) Summary {
+	var a Accumulator
+	for _, x := range xs {
+		a.Add(x)
+	}
+	return Summary{N: a.N(), Mean: a.Mean(), StdDev: a.StdDev(), CI95: a.CI95()}
+}
+
+// Percentile returns the p-quantile (0..1) of xs by linear interpolation.
+// It returns NaN for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	pos := p * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	var a Accumulator
+	for _, x := range xs {
+		a.Add(x)
+	}
+	return a.StdDev()
+}

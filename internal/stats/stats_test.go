@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorBasic(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Errorf("N = %d", a.N())
+	}
+	if a.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", a.Mean())
+	}
+	// Unbiased variance of this classic set is 32/7.
+	if math.Abs(a.Variance()-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", a.Variance(), 32.0/7)
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Variance() != 0 || a.CI95() != 0 {
+		t.Error("empty accumulator should be all zeros")
+	}
+}
+
+// Property: Welford matches the naive two-pass computation.
+func TestWelfordMatchesTwoPass(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var a Accumulator
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) / 7
+			a.Add(xs[i])
+		}
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		varsum := 0.0
+		for _, x := range xs {
+			varsum += (x - mean) * (x - mean)
+		}
+		naive := varsum / float64(len(xs)-1)
+		return math.Abs(a.Mean()-mean) < 1e-9 && math.Abs(a.Variance()-naive) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merging accumulators equals accumulating the concatenation.
+func TestMergeEquivalence(t *testing.T) {
+	f := func(xs, ys []int16) bool {
+		var a, b, all Accumulator
+		for _, x := range xs {
+			a.Add(float64(x))
+			all.Add(float64(x))
+		}
+		for _, y := range ys {
+			b.Add(float64(y))
+			all.Add(float64(y))
+		}
+		a.Merge(&b)
+		return a.N() == all.N() &&
+			math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.Variance()-all.Variance()) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTCritical(t *testing.T) {
+	if got := TCritical95(14); got != 2.145 {
+		t.Errorf("t(14) = %v, want 2.145 (the paper's 15-run CI)", got)
+	}
+	if got := TCritical95(1000); got != 1.96 {
+		t.Errorf("t(1000) = %v, want 1.96", got)
+	}
+	if !math.IsNaN(TCritical95(0)) {
+		t.Error("t(0) should be NaN")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	var a Accumulator
+	for i := 0; i < 15; i++ {
+		a.Add(float64(i % 2)) // mean .466, n=15
+	}
+	ci := a.CI95()
+	want := 2.145 * a.StdDev() / math.Sqrt(15)
+	if math.Abs(ci-want) > 1e-12 {
+		t.Errorf("CI95 = %v, want %v", ci, want)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 || math.Abs(s.StdDev-1) > 1e-12 {
+		t.Errorf("Summarize = %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("P%.0f = %v, want %v", c.p*100, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Error("percentile of empty should be NaN")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestMeanStdDevHelpers(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil)")
+	}
+	if Mean([]float64{1, 3}) != 2 {
+		t.Error("Mean")
+	}
+	if math.Abs(StdDev([]float64{2, 4})-math.Sqrt2) > 1e-12 {
+		t.Errorf("StdDev = %v", StdDev([]float64{2, 4}))
+	}
+}

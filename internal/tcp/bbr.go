@@ -1,0 +1,351 @@
+package tcp
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// BBR v1.0 constants, matching the Linux v4.9+ implementation the paper's
+// kernel v5.4 iperf server offered.
+const (
+	bbrHighGain       = 2.885 // 2/ln(2)
+	bbrDrainGain      = 1 / bbrHighGain
+	bbrCwndGain       = 2.0
+	bbrBtlBwWindow    = 10 // rounds for the max-bandwidth filter
+	bbrMinRTTWindow   = 10 * time.Second
+	bbrProbeRTTTime   = 200 * time.Millisecond
+	bbrMinCwndSegs    = 4
+	bbrFullBwThresh   = 1.25 // growth factor that resets the plateau count
+	bbrFullBwRounds   = 3
+	bbrGainCycleLen   = 8
+	bbrProbeGainUp    = 1.25
+	bbrProbeGainDown  = 0.75
+	bbrPacingMarginPc = 1.05 // slight overdrive: the net effect of ack-aggregation bursts and the max-filter bias that makes real BBRv1 hold standing queues (Hock et al.)
+)
+
+type bbrState int
+
+const (
+	bbrStartup bbrState = iota
+	bbrDrain
+	bbrProbeBW
+	bbrProbeRTT
+)
+
+func (s bbrState) String() string {
+	switch s {
+	case bbrStartup:
+		return "STARTUP"
+	case bbrDrain:
+		return "DRAIN"
+	case bbrProbeBW:
+		return "PROBE_BW"
+	case bbrProbeRTT:
+		return "PROBE_RTT"
+	}
+	return "?"
+}
+
+// bwSample is one delivery-rate measurement tagged with its round.
+type bwSample struct {
+	rate  units.Rate
+	round int64
+}
+
+// BBR implements BBR v1.0 (Cardwell et al.): it models the path with a
+// windowed-max bandwidth filter and windowed-min RTT filter, paces at the
+// modelled bottleneck bandwidth scaled by a cyclic gain, and caps inflight
+// at cwnd_gain × BDP — the property responsible for the paper's finding
+// that BBR bounds bottleneck queues to roughly one BDP where Cubic fills
+// them to the limit.
+type BBR struct {
+	mss int64
+
+	state       bbrState
+	btlBw       []bwSample // max filter, entries within bbrBtlBwWindow rounds
+	rtProp      time.Duration
+	rtPropAt    sim.Time
+	rtPropStale bool
+
+	pacingGain float64
+	cwndGain   float64
+
+	fullBw       units.Rate
+	fullBwCount  int
+	fullBwRound  int64 // last round evaluated, so the plateau check runs once per round
+	filledPipe   bool
+	cycleIndex   int
+	cycleStart   sim.Time
+	probeRTTDone sim.Time
+	priorState   bbrState
+	priorCwnd    int64
+
+	cwnd int64
+	// packetConservation marks the first round of a recovery episode,
+	// during which cwnd follows inflight (Linux bbr_set_cwnd semantics);
+	// afterwards the model-driven window applies even in recovery.
+	packetConservation bool
+	recoveryRound      int64
+	inRecovery         bool
+
+	rounds int64
+}
+
+// NewBBR returns a BBR v1.0 controller.
+func NewBBR() *BBR {
+	return &BBR{
+		state:      bbrStartup,
+		pacingGain: bbrHighGain,
+		cwndGain:   bbrHighGain,
+		rtProp:     -1,
+	}
+}
+
+// Name implements CongestionControl.
+func (b *BBR) Name() string { return AlgBBR }
+
+// Init implements CongestionControl.
+func (b *BBR) Init(mss int64) {
+	b.mss = mss
+	b.cwnd = initialWindow * mss
+}
+
+// State returns the current BBR state name, for tests and traces.
+func (b *BBR) State() string { return b.state.String() }
+
+// BtlBw returns the current bottleneck bandwidth estimate.
+func (b *BBR) BtlBw() units.Rate {
+	var maxRate units.Rate
+	for _, s := range b.btlBw {
+		if s.rate > maxRate {
+			maxRate = s.rate
+		}
+	}
+	return maxRate
+}
+
+// RTProp returns the current min-RTT estimate (-1 before any sample).
+func (b *BBR) RTProp() time.Duration { return b.rtProp }
+
+func (b *BBR) bdpBytes(gain float64) int64 {
+	bw := b.BtlBw()
+	if bw <= 0 || b.rtProp <= 0 {
+		return initialWindow * b.mss
+	}
+	bdp := float64(bw) / 8 * b.rtProp.Seconds()
+	return int64(gain * bdp)
+}
+
+// OnAck implements CongestionControl.
+func (b *BBR) OnAck(s AckSample) {
+	b.rounds = s.RoundTrips
+
+	// Update the bandwidth filter. App-limited samples only count if they
+	// raise the estimate.
+	if s.DeliveryRate > 0 && (!s.RateAppLimited || s.DeliveryRate > b.BtlBw()) {
+		b.btlBw = append(b.btlBw, bwSample{rate: s.DeliveryRate, round: s.RoundTrips})
+		// Expire entries beyond the window.
+		cut := 0
+		for cut < len(b.btlBw) && b.btlBw[cut].round < s.RoundTrips-bbrBtlBwWindow {
+			cut++
+		}
+		b.btlBw = b.btlBw[cut:]
+	}
+
+	// Update min-RTT; schedule PROBE_RTT on expiry.
+	if s.RTT > 0 {
+		if b.rtProp <= 0 || s.RTT <= b.rtProp {
+			b.rtProp = s.RTT
+			b.rtPropAt = s.Now
+			b.rtPropStale = false
+		} else if s.Now.Sub(b.rtPropAt) > bbrMinRTTWindow {
+			b.rtPropStale = true
+		}
+	}
+
+	b.checkFullPipe(s)
+	b.updateState(s)
+	b.setCwnd(s)
+}
+
+func (b *BBR) checkFullPipe(s AckSample) {
+	if b.filledPipe || s.RateAppLimited {
+		return
+	}
+	// Evaluate the plateau once per round trip, as the BBR draft requires
+	// — per-ACK counting would declare the pipe full within milliseconds.
+	if s.RoundTrips == b.fullBwRound {
+		return
+	}
+	b.fullBwRound = s.RoundTrips
+	bw := b.BtlBw()
+	if float64(bw) >= float64(b.fullBw)*bbrFullBwThresh {
+		b.fullBw = bw
+		b.fullBwCount = 0
+		return
+	}
+	b.fullBwCount++
+	if b.fullBwCount >= bbrFullBwRounds {
+		b.filledPipe = true
+	}
+}
+
+func (b *BBR) updateState(s AckSample) {
+	switch b.state {
+	case bbrStartup:
+		if b.filledPipe {
+			b.state = bbrDrain
+			b.pacingGain = bbrDrainGain
+			b.cwndGain = bbrHighGain
+		}
+	case bbrDrain:
+		if s.Inflight <= b.bdpBytes(1.0) {
+			b.enterProbeBW(s.Now)
+		}
+	case bbrProbeBW:
+		b.advanceCyclePhase(s)
+	case bbrProbeRTT:
+		if s.Now >= b.probeRTTDone {
+			b.rtPropAt = s.Now
+			b.rtPropStale = false
+			b.exitProbeRTT(s.Now)
+		}
+	}
+
+	// Enter PROBE_RTT when the min-RTT estimate goes stale (except while
+	// already probing).
+	if b.rtPropStale && b.state != bbrProbeRTT && b.state != bbrStartup {
+		b.priorState = b.state
+		b.priorCwnd = b.cwnd
+		b.state = bbrProbeRTT
+		b.pacingGain = 1.0
+		b.cwndGain = 1.0
+		b.probeRTTDone = s.Now.Add(bbrProbeRTTTime)
+	}
+}
+
+func (b *BBR) enterProbeBW(now sim.Time) {
+	b.state = bbrProbeBW
+	b.cwndGain = bbrCwndGain
+	// Start in a deterministic but non-degenerate phase (Linux randomises;
+	// phase 2 keeps the first cycle neutral and determinism intact).
+	b.cycleIndex = 2
+	b.cycleStart = now
+	b.setCycleGain()
+}
+
+func (b *BBR) exitProbeRTT(now sim.Time) {
+	if b.priorState == bbrProbeBW || b.priorState == 0 && b.filledPipe {
+		b.enterProbeBW(now)
+	} else {
+		b.state = b.priorState
+		b.pacingGain = bbrHighGain
+		b.cwndGain = bbrHighGain
+	}
+	if b.priorCwnd > 0 {
+		b.cwnd = max64(b.cwnd, b.priorCwnd)
+	}
+}
+
+func (b *BBR) setCycleGain() {
+	switch b.cycleIndex {
+	case 0:
+		b.pacingGain = bbrProbeGainUp
+	case 1:
+		b.pacingGain = bbrProbeGainDown
+	default:
+		b.pacingGain = 1.0
+	}
+}
+
+func (b *BBR) advanceCyclePhase(s AckSample) {
+	if b.rtProp <= 0 {
+		return
+	}
+	elapsed := s.Now.Sub(b.cycleStart)
+	advance := false
+	switch b.cycleIndex {
+	case 0:
+		// Probe up: move on after one rtProp if we've filled the pipe to
+		// the probed level (or suffered loss, approximated by recovery).
+		if elapsed > b.rtProp && (s.InRecovery || s.Inflight >= b.bdpBytes(bbrProbeGainUp)) {
+			advance = true
+		}
+	case 1:
+		// Drain: leave early once inflight is at or below the BDP.
+		if elapsed > b.rtProp || s.Inflight <= b.bdpBytes(1.0) {
+			advance = true
+		}
+	default:
+		if elapsed > b.rtProp {
+			advance = true
+		}
+	}
+	if advance {
+		b.cycleIndex = (b.cycleIndex + 1) % bbrGainCycleLen
+		b.cycleStart = s.Now
+		b.setCycleGain()
+	}
+}
+
+func (b *BBR) setCwnd(s AckSample) {
+	if s.InRecovery && !b.inRecovery {
+		b.inRecovery = true
+		b.packetConservation = true
+		b.recoveryRound = s.RoundTrips
+	}
+	if b.packetConservation && s.RoundTrips > b.recoveryRound {
+		b.packetConservation = false
+	}
+	if !s.InRecovery {
+		b.inRecovery = false
+		b.packetConservation = false
+	}
+
+	target := b.bdpBytes(b.cwndGain)
+	if b.state == bbrProbeRTT {
+		target = bbrMinCwndSegs * b.mss
+	}
+	if b.packetConservation {
+		// First recovery round only: cwnd follows delivery.
+		target = min64(target, s.Inflight+s.BytesAcked)
+	}
+	target = max64(target, bbrMinCwndSegs*b.mss)
+	if b.filledPipe {
+		b.cwnd = target
+	} else {
+		// During startup, never shrink.
+		b.cwnd = max64(b.cwnd, target)
+	}
+}
+
+// OnLoss implements CongestionControl. BBR v1 does not treat loss as a
+// congestion signal; recovery's packet conservation is applied in setCwnd.
+func (b *BBR) OnLoss(now sim.Time, inflight int64) {}
+
+// OnRTO implements CongestionControl: collapse to minimum and re-probe.
+func (b *BBR) OnRTO(now sim.Time, inflight int64) {
+	b.cwnd = bbrMinCwndSegs * b.mss
+}
+
+// OnExitRecovery implements CongestionControl: restore the model-driven
+// window immediately.
+func (b *BBR) OnExitRecovery(now sim.Time) {
+	b.cwnd = max64(b.cwnd, b.bdpBytes(b.cwndGain))
+}
+
+// CwndBytes implements CongestionControl.
+func (b *BBR) CwndBytes() int64 { return b.cwnd }
+
+// PacingRate implements CongestionControl.
+func (b *BBR) PacingRate() units.Rate {
+	bw := b.BtlBw()
+	if bw <= 0 {
+		// Before any estimate: pace the initial window over a nominal
+		// 10 ms round trip to avoid an unbounded burst.
+		return units.RateFromBytes(units.ByteSize(initialWindow*b.mss), 10*time.Millisecond).Scale(bbrHighGain)
+	}
+	return bw.Scale(b.pacingGain * bbrPacingMarginPc)
+}

@@ -1,0 +1,294 @@
+package tcp
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// BBRv2 constants (after the IETF draft / Linux bbr2 defaults).
+const (
+	bbr2StartupGain    = 2.77
+	bbr2CwndGain       = 2.0
+	bbr2Beta           = 0.7  // inflight_hi multiplicative decrease
+	bbr2LossThresh     = 0.02 // per-round loss rate that marks inflight_hi
+	bbr2ProbeUpCwndAdd = 1    // segments added to inflight_hi per round while probing
+	bbr2MinRTTWindow   = 5 * time.Second
+	bbr2ProbeRTTTime   = 200 * time.Millisecond
+	// bbr2ProbeWaitBase spaces PROBE_UP episodes (the draft randomises
+	// 2-3 s; we use the midpoint for determinism).
+	bbr2ProbeWait = 2500 * time.Millisecond
+)
+
+// AlgBBR2 selects the BBRv2 controller in New.
+const AlgBBR2 = "bbr2"
+
+// bw2Sample is a delivery-rate sample tagged with its arrival time: v2's
+// filter window spans probe cycles (seconds), not round trips.
+type bw2Sample struct {
+	rate units.Rate
+	at   sim.Time
+}
+
+// BBR2 implements a faithful-in-mechanism, simplified BBRv2: on top of
+// v1's bandwidth/min-RTT model it bounds inflight with a loss-responsive
+// upper limit (inflight_hi, cut by beta when a round's loss rate exceeds
+// 2%), probes for more bandwidth on a time schedule instead of a fixed
+// 8-phase cycle, and uses a shorter min-RTT window with a shallower
+// PROBE_RTT. The headline behavioural difference from v1 — and the reason
+// it exists — is loss-responsiveness: BBRv2 coexists with loss-based flows
+// and inelastic traffic instead of bulldozing or starving.
+type BBR2 struct {
+	mss int64
+
+	state       bbrState // reuses v1 state labels
+	btlBw       []bw2Sample
+	rtProp      time.Duration
+	rtPropAt    sim.Time
+	rtPropStale bool
+
+	pacingGain float64
+	cwndGain   float64
+
+	fullBw      units.Rate
+	fullBwCount int
+	fullBwRound int64
+	filledPipe  bool
+
+	// Loss accounting per round.
+	roundStart     int64
+	roundDelivered int64
+	roundLost      int64
+	lossRound      int64
+
+	inflightHi int64 // loss-derived upper bound (0 = unknown)
+	probeWait  sim.Time
+	probingUp  bool
+
+	probeRTTDone sim.Time
+	priorCwnd    int64
+
+	cwnd int64
+}
+
+// NewBBR2 returns a BBRv2 controller.
+func NewBBR2() *BBR2 {
+	return &BBR2{
+		state:      bbrStartup,
+		pacingGain: bbr2StartupGain,
+		cwndGain:   bbr2StartupGain,
+		rtProp:     -1,
+	}
+}
+
+// Name implements CongestionControl.
+func (b *BBR2) Name() string { return AlgBBR2 }
+
+// Init implements CongestionControl.
+func (b *BBR2) Init(mss int64) {
+	b.mss = mss
+	b.cwnd = initialWindow * mss
+}
+
+// State returns the state name for probes.
+func (b *BBR2) State() string { return b.state.String() }
+
+// InflightHi returns the loss-derived inflight bound (0 = unset).
+func (b *BBR2) InflightHi() int64 { return b.inflightHi }
+
+// BtlBw returns the bandwidth estimate.
+func (b *BBR2) BtlBw() units.Rate {
+	var m units.Rate
+	for _, s := range b.btlBw {
+		if s.rate > m {
+			m = s.rate
+		}
+	}
+	return m
+}
+
+// bwWindow is the max-filter retention: two probe cycles.
+const bbr2BwWindow = 2 * bbr2ProbeWait
+
+func (b *BBR2) bdpBytes(gain float64) int64 {
+	bw := b.BtlBw()
+	if bw <= 0 || b.rtProp <= 0 {
+		return initialWindow * b.mss
+	}
+	return int64(gain * float64(bw) / 8 * b.rtProp.Seconds())
+}
+
+// OnAck implements CongestionControl.
+func (b *BBR2) OnAck(s AckSample) {
+	// Bandwidth filter: max over the last two probe cycles.
+	if s.DeliveryRate > 0 && (!s.RateAppLimited || s.DeliveryRate > b.BtlBw()) {
+		b.btlBw = append(b.btlBw, bw2Sample{rate: s.DeliveryRate, at: s.Now})
+		cut := 0
+		for cut < len(b.btlBw) && s.Now.Sub(b.btlBw[cut].at) > bbr2BwWindow {
+			cut++
+		}
+		b.btlBw = b.btlBw[cut:]
+	}
+	// Min-RTT, 5 s window.
+	if s.RTT > 0 {
+		if b.rtProp <= 0 || s.RTT <= b.rtProp {
+			b.rtProp = s.RTT
+			b.rtPropAt = s.Now
+			b.rtPropStale = false
+		} else if s.Now.Sub(b.rtPropAt) > bbr2MinRTTWindow {
+			b.rtPropStale = true
+		}
+	}
+
+	b.updateRoundLoss(s)
+	b.checkFullPipe(s)
+	b.updateState(s)
+	b.setCwnd(s)
+}
+
+// updateRoundLoss applies the loss-exceedance rule once per round.
+func (b *BBR2) updateRoundLoss(s AckSample) {
+	if s.RoundTrips == b.roundStart {
+		b.roundDelivered += s.BytesAcked
+		return
+	}
+	// Round boundary: evaluate the finished round.
+	if b.roundDelivered > 0 && b.lossRound != b.roundStart {
+		lossRate := float64(b.roundLost) / float64(b.roundDelivered+b.roundLost)
+		if lossRate > bbr2LossThresh {
+			b.lossRound = b.roundStart
+			// Mark inflight_hi at a beta-scaled view of what flew.
+			hi := int64(float64(s.Inflight+s.BytesAcked) * bbr2Beta)
+			if b.inflightHi == 0 || hi < b.inflightHi {
+				b.inflightHi = max64(hi, bbrMinCwndSegs*b.mss)
+			}
+			b.probingUp = false
+			b.probeWait = s.Now.Add(bbr2ProbeWait)
+		}
+	}
+	b.roundStart = s.RoundTrips
+	b.roundDelivered = s.BytesAcked
+	b.roundLost = 0
+}
+
+// OnLoss implements CongestionControl: losses accumulate into the round
+// accounting (the sender reports loss events; sizes approximated by MSS).
+func (b *BBR2) OnLoss(now sim.Time, inflight int64) {
+	b.roundLost += b.mss
+}
+
+func (b *BBR2) checkFullPipe(s AckSample) {
+	if b.filledPipe || s.RateAppLimited {
+		return
+	}
+	if s.RoundTrips == b.fullBwRound {
+		return
+	}
+	b.fullBwRound = s.RoundTrips
+	bw := b.BtlBw()
+	if float64(bw) >= float64(b.fullBw)*bbrFullBwThresh {
+		b.fullBw = bw
+		b.fullBwCount = 0
+		return
+	}
+	b.fullBwCount++
+	if b.fullBwCount >= bbrFullBwRounds {
+		b.filledPipe = true
+	}
+}
+
+func (b *BBR2) updateState(s AckSample) {
+	switch b.state {
+	case bbrStartup:
+		if b.filledPipe {
+			b.state = bbrDrain
+			b.pacingGain = 1 / bbr2StartupGain
+			b.cwndGain = bbr2CwndGain
+		}
+	case bbrDrain:
+		if s.Inflight <= b.bdpBytes(1.0) {
+			b.state = bbrProbeBW
+			b.pacingGain = 1.0
+			b.cwndGain = bbr2CwndGain
+			b.probeWait = s.Now.Add(bbr2ProbeWait)
+		}
+	case bbrProbeBW:
+		b.cruiseOrProbe(s)
+	case bbrProbeRTT:
+		if s.Now >= b.probeRTTDone {
+			b.rtPropAt = s.Now
+			b.rtPropStale = false
+			b.state = bbrProbeBW
+			b.pacingGain = 1.0
+			b.cwndGain = bbr2CwndGain
+			b.cwnd = max64(b.cwnd, b.priorCwnd)
+			b.probeWait = s.Now.Add(bbr2ProbeWait)
+		}
+	}
+
+	if b.rtPropStale && b.state != bbrProbeRTT && b.state != bbrStartup {
+		b.priorCwnd = b.cwnd
+		b.state = bbrProbeRTT
+		b.pacingGain = 1.0
+		b.cwndGain = 0.5 // v2 probes RTT at half-BDP, not 4 packets
+		b.probeRTTDone = s.Now.Add(bbr2ProbeRTTTime)
+	}
+}
+
+// cruiseOrProbe implements the time-scheduled PROBE_UP / cruise behaviour.
+func (b *BBR2) cruiseOrProbe(s AckSample) {
+	if b.probingUp {
+		// Grow inflight_hi while probing cleanly; the loss rule ends it.
+		if b.inflightHi > 0 {
+			b.inflightHi += bbr2ProbeUpCwndAdd * b.mss
+		}
+		if s.Inflight >= b.bdpBytes(1.25) || s.InRecovery {
+			b.probingUp = false
+			b.pacingGain = 1.0
+			b.probeWait = s.Now.Add(bbr2ProbeWait)
+		}
+		return
+	}
+	if s.Now >= b.probeWait && b.probeWait > 0 {
+		b.probingUp = true
+		b.pacingGain = 1.25
+	}
+}
+
+func (b *BBR2) setCwnd(s AckSample) {
+	target := b.bdpBytes(b.cwndGain)
+	if b.state == bbrProbeRTT {
+		target = b.bdpBytes(0.5)
+	}
+	if b.inflightHi > 0 && target > b.inflightHi && b.state != bbrStartup {
+		target = b.inflightHi
+	}
+	target = max64(target, bbrMinCwndSegs*b.mss)
+	if b.filledPipe {
+		b.cwnd = target
+	} else {
+		b.cwnd = max64(b.cwnd, target)
+	}
+}
+
+// OnRTO implements CongestionControl.
+func (b *BBR2) OnRTO(now sim.Time, inflight int64) {
+	b.cwnd = bbrMinCwndSegs * b.mss
+	b.inflightHi = 0 // re-learn after a timeout
+}
+
+// OnExitRecovery implements CongestionControl.
+func (b *BBR2) OnExitRecovery(now sim.Time) {}
+
+// CwndBytes implements CongestionControl.
+func (b *BBR2) CwndBytes() int64 { return b.cwnd }
+
+// PacingRate implements CongestionControl.
+func (b *BBR2) PacingRate() units.Rate {
+	bw := b.BtlBw()
+	if bw <= 0 {
+		return units.RateFromBytes(units.ByteSize(initialWindow*b.mss), 10*time.Millisecond).Scale(bbr2StartupGain)
+	}
+	return bw.Scale(b.pacingGain)
+}

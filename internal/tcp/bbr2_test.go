@@ -1,0 +1,87 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func TestBBR2SaturatesSolo(t *testing.T) {
+	rate := units.Mbps(25)
+	rtt := 16 * time.Millisecond
+	tn := newTestNet(1, rate, 2*units.BDP(rate, rtt), rtt/2)
+	s, r := tn.pair(0, AlgBBR2)
+	s.Start()
+	tn.eng.Run(sim.At(20 * time.Second))
+	goodput := units.RateFromBytes(units.ByteSize(r.BytesReceived), 20*time.Second)
+	if goodput.Mbit() < 20 {
+		t.Errorf("BBR2 goodput %.1f Mb/s on a 25 Mb/s link", goodput.Mbit())
+	}
+}
+
+func TestBBR2LearnsInflightHiUnderLoss(t *testing.T) {
+	// A half-BDP queue forces loss; v2 must learn a bound where v1 would
+	// keep hammering.
+	rate := units.Mbps(25)
+	rtt := 16 * time.Millisecond
+	tn := newTestNet(1, rate, units.BDP(rate, rtt)/2, rtt/2)
+	s, _ := tn.pair(0, AlgBBR2)
+	s.Start()
+	tn.eng.Run(sim.At(20 * time.Second))
+	b := s.CC().(*BBR2)
+	if b.InflightHi() == 0 {
+		t.Error("BBR2 never set inflight_hi despite sustained loss")
+	}
+}
+
+func TestBBR2GentlerThanV1AgainstInelasticUDP(t *testing.T) {
+	// v2's loss response must make it less damaging to a fixed-rate UDP
+	// flow at a shallow queue than loss-blind v1.
+	lossFor := func(alg string) float64 {
+		rate := units.Mbps(25)
+		rtt := 16500 * time.Microsecond
+		tn := newTestNet(1, rate, units.BDP(rate, rtt)/2, rtt/2)
+		s, _ := tn.pair(0, alg)
+		sent, dropped := 0, tn.queue.Drops
+		blast := sim.NewTicker(tn.eng, 700*time.Microsecond, func() {
+			tn.shaper.Handle(&packet.Packet{Flow: 99, Kind: packet.KindFrame, Size: 1514, Dst: 201})
+			sent++
+		})
+		blast.Start(true)
+		s.Start()
+		tn.eng.Run(sim.At(30 * time.Second))
+		return float64(tn.queue.Drops-dropped) / float64(sent)
+	}
+	v1 := lossFor(AlgBBR)
+	v2 := lossFor(AlgBBR2)
+	if v2 >= v1 {
+		t.Errorf("BBR2 inflicted loss %.3f >= BBR1 %.3f against inelastic UDP", v2, v1)
+	}
+}
+
+func TestBBR2ProbeRTTShallow(t *testing.T) {
+	// v2 visits PROBE_RTT at half-BDP cwnd, not 4 packets: the cwnd
+	// should never collapse to the v1 floor during steady state.
+	rate := units.Mbps(25)
+	rtt := 16 * time.Millisecond
+	tn := newTestNet(2, rate, 2*units.BDP(rate, rtt), rtt/2)
+	s, _ := tn.pair(0, AlgBBR2)
+	s2, _ := tn.pair(1, AlgCubic)
+	s.Start()
+	s2.Start()
+	b := s.CC().(*BBR2)
+	minCwnd := int64(1 << 60)
+	probe := sim.NewTicker(tn.eng, 20*time.Millisecond, func() {
+		if tn.eng.Now() > sim.At(5*time.Second) && b.CwndBytes() < minCwnd {
+			minCwnd = b.CwndBytes()
+		}
+	})
+	probe.Start(false)
+	tn.eng.Run(sim.At(25 * time.Second))
+	if minCwnd < 4*int64(packet.MSS) {
+		t.Errorf("cwnd collapsed to %d during steady state", minCwnd)
+	}
+}

@@ -1,0 +1,101 @@
+// Package tcp implements the TCP senders that serve as the paper's
+// competing iperf flows: a sender with a SACK scoreboard, RFC 6298
+// retransmission timing, NewReno-style recovery, delivery-rate sampling
+// (for BBR), optional pacing, and pluggable congestion control — Cubic
+// (RFC 8312), BBR v1.0, Reno, and Vegas.
+//
+// The implementation purposefully skips connection establishment and
+// teardown (flows start established, as in most simulation studies); all of
+// the congestion-relevant machinery — cwnd, ssthresh, RTO, fast retransmit,
+// SACK-based loss detection, pacing — is implemented in full, because the
+// paper's findings depend on exactly these dynamics.
+package tcp
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// AckSample summarises one ACK arrival for the congestion controller.
+type AckSample struct {
+	Now        sim.Time
+	BytesAcked int64 // newly cumulatively-acked plus newly-SACKed bytes
+
+	// RTT is the round-trip sample from the timestamp echo, 0 if none.
+	RTT time.Duration
+	// MinRTT is the connection's lifetime minimum RTT.
+	MinRTT time.Duration
+	// SRTT is the smoothed RTT estimate.
+	SRTT time.Duration
+
+	// Delivered is the connection's total delivered bytes.
+	Delivered int64
+	// DeliveryRate is the rate sample computed per the delivery-rate
+	// estimation algorithm (0 if unavailable).
+	DeliveryRate units.Rate
+	// RateAppLimited marks the rate sample as taken while the sender was
+	// application-limited, so it only raises (never lowers) a max filter.
+	RateAppLimited bool
+
+	// Inflight is bytes outstanding after processing this ACK.
+	Inflight int64
+	// InRecovery reports whether the sender is in loss recovery.
+	InRecovery bool
+	// RoundTrips counts completed delivery rounds (for BBR's filters).
+	RoundTrips int64
+	// MSS is the sender's maximum segment size in bytes.
+	MSS int64
+}
+
+// CongestionControl is the pluggable congestion-control algorithm driven by
+// the Sender. Implementations are pure state machines: they never touch the
+// network directly.
+type CongestionControl interface {
+	// Name returns the algorithm name, e.g. "cubic".
+	Name() string
+	// Init is called once with the sender's MSS before any traffic.
+	Init(mss int64)
+	// OnAck processes an ACK arrival.
+	OnAck(s AckSample)
+	// OnLoss is called once per loss event (entering recovery), with the
+	// bytes in flight at detection time.
+	OnLoss(now sim.Time, inflight int64)
+	// OnRTO is called when the retransmission timer fires.
+	OnRTO(now sim.Time, inflight int64)
+	// OnExitRecovery is called when recovery completes.
+	OnExitRecovery(now sim.Time)
+	// CwndBytes returns the current congestion window in bytes.
+	CwndBytes() int64
+	// PacingRate returns the pacing rate, or 0 for pure window clocking.
+	PacingRate() units.Rate
+}
+
+// Algorithm names accepted by New.
+const (
+	AlgCubic = "cubic"
+	AlgBBR   = "bbr"
+	AlgReno  = "reno"
+	AlgVegas = "vegas"
+)
+
+// New returns a congestion controller by name. It panics on an unknown
+// name, which is a configuration error.
+func New(name string) CongestionControl {
+	switch name {
+	case AlgCubic:
+		return NewCubic()
+	case AlgBBR:
+		return NewBBR()
+	case AlgBBR2:
+		return NewBBR2()
+	case AlgReno:
+		return NewReno()
+	case AlgVegas:
+		return NewVegas()
+	case AlgLEDBAT:
+		return NewLEDBAT()
+	}
+	panic("tcp: unknown congestion control " + name)
+}

@@ -1,0 +1,202 @@
+package tcp
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Cubic constants from RFC 8312 (and the Linux implementation the paper's
+// kernel v5.4 iperf sender used).
+const (
+	cubicC    = 0.4
+	cubicBeta = 0.7
+)
+
+// Cubic implements TCP Cubic (RFC 8312): the window grows as a cubic
+// function of time since the last congestion event, anchored at the window
+// size where loss last occurred, with a TCP(Reno)-friendly lower bound and
+// fast convergence.
+type Cubic struct {
+	mss      int64
+	cwnd     int64
+	ssthresh int64
+
+	wMax       float64 // segments
+	k          float64 // seconds
+	epochStart sim.Time
+	inEpoch    bool
+	ackedBytes int64   // CA byte counter for Reno-friendly estimate
+	wEst       float64 // Reno-friendly window estimate, segments
+	lastMinRTT time.Duration
+
+	// HyStart delay-detection state (Linux default: exits slow start on a
+	// per-round RTT rise before the queue-overflow loss storm).
+	hsRound     int64
+	hsCurrMin   time.Duration
+	hsPrevMin   time.Duration
+	hsSamples   int
+	hsTriggered bool
+}
+
+// HyStart parameters (after the Linux implementation).
+const (
+	hystartMinSamples = 8
+	hystartDelayMin   = 4 * time.Millisecond
+	hystartDelayMax   = 16 * time.Millisecond
+)
+
+// hystart runs the delay-increase slow-start exit check once per ACK while
+// in slow start.
+func (c *Cubic) hystart(s AckSample) {
+	if c.hsTriggered || s.RTT <= 0 {
+		return
+	}
+	if s.RoundTrips != c.hsRound {
+		c.hsRound = s.RoundTrips
+		c.hsPrevMin = c.hsCurrMin
+		c.hsCurrMin = 0
+		c.hsSamples = 0
+	}
+	if c.hsSamples < hystartMinSamples {
+		c.hsSamples++
+		if c.hsCurrMin == 0 || s.RTT < c.hsCurrMin {
+			c.hsCurrMin = s.RTT
+		}
+	}
+	if c.hsSamples >= hystartMinSamples && c.hsPrevMin > 0 {
+		thresh := c.hsPrevMin / 8
+		if thresh < hystartDelayMin {
+			thresh = hystartDelayMin
+		}
+		if thresh > hystartDelayMax {
+			thresh = hystartDelayMax
+		}
+		if c.hsCurrMin >= c.hsPrevMin+thresh {
+			c.hsTriggered = true
+			c.ssthresh = c.cwnd
+		}
+	}
+}
+
+// NewCubic returns a Cubic controller.
+func NewCubic() *Cubic { return &Cubic{} }
+
+// Name implements CongestionControl.
+func (c *Cubic) Name() string { return AlgCubic }
+
+// Init implements CongestionControl.
+func (c *Cubic) Init(mss int64) {
+	c.mss = mss
+	c.cwnd = initialWindow * mss
+	c.ssthresh = 1 << 40
+}
+
+func (c *Cubic) segs(bytes int64) float64 { return float64(bytes) / float64(c.mss) }
+
+// OnAck implements CongestionControl.
+func (c *Cubic) OnAck(s AckSample) {
+	if s.InRecovery {
+		// RTO recovery slow-starts back toward ssthresh (CA_Loss
+		// behaviour); fast recovery holds the window.
+		if c.cwnd < c.ssthresh {
+			c.cwnd = min64(c.cwnd+s.BytesAcked, c.ssthresh)
+		}
+		return
+	}
+	if s.MinRTT > 0 {
+		c.lastMinRTT = s.MinRTT
+	}
+	if c.cwnd < c.ssthresh {
+		c.hystart(s)
+		c.cwnd += s.BytesAcked
+		if c.cwnd > c.ssthresh {
+			c.cwnd = c.ssthresh
+		}
+		return
+	}
+	rtt := s.SRTT
+	if rtt <= 0 {
+		rtt = 100 * time.Millisecond
+	}
+	if !c.inEpoch {
+		c.inEpoch = true
+		c.epochStart = s.Now
+		cwndSegs := c.segs(c.cwnd)
+		if cwndSegs < c.wMax {
+			c.k = math.Cbrt((c.wMax - cwndSegs) / cubicC)
+		} else {
+			c.k = 0
+			c.wMax = cwndSegs
+		}
+		c.wEst = cwndSegs
+		c.ackedBytes = 0
+	}
+
+	// Cubic window: W(t+RTT) is the target one RTT ahead.
+	t := s.Now.Sub(c.epochStart) + rtt
+	ts := t.Seconds() - c.k
+	target := c.wMax + cubicC*ts*ts*ts
+
+	// Reno-friendly region (RFC 8312 §4.2).
+	c.ackedBytes += s.BytesAcked
+	c.wEst += 3 * (1 - cubicBeta) / (1 + cubicBeta) * (float64(s.BytesAcked) / float64(c.cwnd))
+	if target < c.wEst {
+		target = c.wEst
+	}
+
+	cwndSegs := c.segs(c.cwnd)
+	if target > cwndSegs {
+		// Approach the target over one RTT, one increment per ACK.
+		inc := (target - cwndSegs) / cwndSegs * c.segs(s.BytesAcked)
+		if inc > c.segs(s.BytesAcked) {
+			inc = c.segs(s.BytesAcked) // at most slow-start speed
+		}
+		c.cwnd += int64(inc * float64(c.mss))
+	} else {
+		// In the concave plateau / max probing region below target:
+		// minimal growth to keep probing.
+		c.ackedBytes += s.BytesAcked
+		if c.ackedBytes >= 100*c.cwnd {
+			c.cwnd += c.mss
+			c.ackedBytes = 0
+		}
+	}
+}
+
+// OnLoss implements CongestionControl.
+func (c *Cubic) OnLoss(now sim.Time, inflight int64) {
+	cwndSegs := c.segs(c.cwnd)
+	// Fast convergence: if this loss came before regaining the previous
+	// wMax, release bandwidth faster.
+	if cwndSegs < c.wMax {
+		c.wMax = cwndSegs * (1 + cubicBeta) / 2
+	} else {
+		c.wMax = cwndSegs
+	}
+	c.cwnd = max64(int64(float64(c.cwnd)*cubicBeta), 2*c.mss)
+	c.ssthresh = c.cwnd
+	c.inEpoch = false
+}
+
+// OnRTO implements CongestionControl.
+func (c *Cubic) OnRTO(now sim.Time, inflight int64) {
+	c.wMax = c.segs(c.cwnd)
+	c.ssthresh = max64(int64(float64(c.cwnd)*cubicBeta), 2*c.mss)
+	c.cwnd = c.mss
+	c.inEpoch = false
+	c.hsTriggered = false
+	c.hsPrevMin = 0
+	c.hsCurrMin = 0
+}
+
+// OnExitRecovery implements CongestionControl.
+func (c *Cubic) OnExitRecovery(now sim.Time) {}
+
+// CwndBytes implements CongestionControl.
+func (c *Cubic) CwndBytes() int64 { return c.cwnd }
+
+// PacingRate implements CongestionControl: Cubic is ACK-clocked.
+func (c *Cubic) PacingRate() units.Rate { return 0 }

@@ -1,0 +1,117 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// codelNet builds a single pair over an ECN-enabled CoDel bottleneck.
+func codelNet(ecn bool) (*sim.Engine, *netem.CoDel, *Sender, *Receiver) {
+	eng := sim.NewEngine(11)
+	var ids uint64
+	rate := units.Mbps(20)
+	rtt := 20 * time.Millisecond
+
+	var sndH, rcvH *netem.Host
+	cd := netem.NewCoDel(7 * units.BDP(rate, rtt))
+	cd.ECN = ecn
+	fwd := netem.NewDelay(eng, rtt/2, packet.HandlerFunc(func(p *packet.Packet) { rcvH.Handle(p) }))
+	sh := netem.NewShaper(eng, rate, 2*packet.MTU, cd, fwd)
+	rev := netem.NewDelay(eng, rtt/2, packet.HandlerFunc(func(p *packet.Packet) { sndH.Handle(p) }))
+	sndH = netem.NewHost(eng, 1, sh, &ids)
+	rcvH = netem.NewHost(eng, 2, rev, &ids)
+
+	s := NewSender(sndH, 1, 2, New(AlgCubic))
+	if ecn {
+		s.EnableECN()
+	}
+	r := NewReceiver(rcvH, 1, 1)
+	return eng, cd, s, r
+}
+
+func TestECNMarksReplaceDrops(t *testing.T) {
+	eng, cd, s, r := codelNet(true)
+	s.Start()
+	eng.Run(sim.At(30 * time.Second))
+	if cd.Marks == 0 {
+		t.Fatal("ECN CoDel never marked despite a saturating Cubic flow")
+	}
+	if s.Stats.ECNResponses == 0 {
+		t.Fatal("sender never responded to ECE echoes")
+	}
+	// With marking doing the signalling, CoDel-initiated drops vanish
+	// (only overflow drops remain, and the cwnd responses prevent those).
+	if cd.Drops > cd.Marks/10 {
+		t.Errorf("drops %d vs marks %d: marking should displace dropping", cd.Drops, cd.Marks)
+	}
+	if s.Stats.Retransmits > 20 {
+		t.Errorf("%d retransmits with ECN; congestion signalling should be loss-free", s.Stats.Retransmits)
+	}
+	goodput := units.RateFromBytes(units.ByteSize(r.BytesReceived), 30*time.Second)
+	if goodput.Mbit() < 16 {
+		t.Errorf("goodput %.1f Mb/s with ECN on a 20 Mb/s link", goodput.Mbit())
+	}
+}
+
+func TestECNKeepsQueueAtTarget(t *testing.T) {
+	eng, cd, s, _ := codelNet(true)
+	s.Start()
+	sum, n := 0.0, 0
+	probe := sim.NewTicker(eng, 100*time.Millisecond, func() {
+		if eng.Now() > sim.At(5*time.Second) {
+			sum += float64(cd.Bytes())
+			n++
+		}
+	})
+	probe.Start(false)
+	eng.Run(sim.At(30 * time.Second))
+	avg := units.ByteSize(sum / float64(n))
+	// CoDel holds the queue near its 5 ms target: 12.5 kB at 20 Mb/s.
+	// Allow generous slack for Cubic's sawtooth.
+	if avg > 40*units.KB {
+		t.Errorf("average queue %v under ECN CoDel, want near the 5 ms target", avg)
+	}
+}
+
+func TestNonECNFlowStillDropped(t *testing.T) {
+	eng, cd, s, _ := codelNet(false)
+	s.Start()
+	eng.Run(sim.At(20 * time.Second))
+	if cd.Marks != 0 {
+		t.Errorf("CoDel marked %d packets of a non-ECN flow", cd.Marks)
+	}
+	if cd.Drops == 0 {
+		t.Error("CoDel never dropped a non-ECN saturating flow")
+	}
+	if s.Stats.ECNResponses != 0 {
+		t.Error("sender reacted to ECE without ECN enabled")
+	}
+}
+
+func TestECNResponseRateLimited(t *testing.T) {
+	// Feed the sender a burst of ECE acks directly; only one response per
+	// SRTT may happen.
+	eng := sim.NewEngine(3)
+	var ids uint64
+	out := packet.HandlerFunc(func(p *packet.Packet) {})
+	h := netem.NewHost(eng, 1, out, &ids)
+	s := NewSender(h, 1, 2, New(AlgCubic))
+	s.EnableECN()
+	s.srtt = 50 * time.Millisecond
+	before := s.CC().CwndBytes()
+	for i := 0; i < 5; i++ {
+		s.Handle(&packet.Packet{Flow: 1, Kind: packet.KindAck, Ack: 0, App: &ackMeta{ece: true}})
+	}
+	after := s.CC().CwndBytes()
+	if s.Stats.ECNResponses != 1 {
+		t.Errorf("ECN responses = %d for a same-instant ECE burst, want 1", s.Stats.ECNResponses)
+	}
+	if after >= before {
+		t.Error("cwnd did not shrink on ECE")
+	}
+}

@@ -1,0 +1,94 @@
+package tcp
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// LEDBAT parameters (RFC 6817).
+const (
+	ledbatTarget = 100 * time.Millisecond // target queuing delay
+	ledbatGain   = 1.0                    // cwnd gain per off-target RTT
+	// ledbatBaseWindow is the base-delay history window.
+	ledbatBaseWindow = 2 * time.Minute
+)
+
+// AlgLEDBAT selects the LEDBAT controller in New.
+const AlgLEDBAT = "ledbat"
+
+// LEDBAT implements the Low Extra Delay Background Transport scavenger
+// (RFC 6817): it targets a bounded amount of self-induced queuing delay
+// and backs away from any foreground traffic, making it the polite
+// opposite of the paper's bulk Cubic/BBR competitors. Useful as a contrast
+// row in the traffic-mixture experiments: a scavenger download should
+// leave a game stream essentially untouched.
+type LEDBAT struct {
+	mss      int64
+	cwnd     int64
+	baseRTT  time.Duration
+	baseAt   sim.Time
+	lastLoss sim.Time
+}
+
+// NewLEDBAT returns a LEDBAT controller.
+func NewLEDBAT() *LEDBAT { return &LEDBAT{baseRTT: -1} }
+
+// Name implements CongestionControl.
+func (l *LEDBAT) Name() string { return AlgLEDBAT }
+
+// Init implements CongestionControl.
+func (l *LEDBAT) Init(mss int64) {
+	l.mss = mss
+	l.cwnd = 2 * mss
+}
+
+// OnAck implements CongestionControl.
+func (l *LEDBAT) OnAck(s AckSample) {
+	if s.RTT <= 0 {
+		return
+	}
+	// Base-delay tracking with periodic reset so route changes and
+	// clock-ish drift don't pin an unreachable floor (RFC 6817 §4.2 uses
+	// a history of per-minute minima; a windowed reset approximates it).
+	if l.baseRTT < 0 || s.RTT < l.baseRTT || s.Now.Sub(l.baseAt) > ledbatBaseWindow {
+		l.baseRTT = s.RTT
+		l.baseAt = s.Now
+	}
+	if s.InRecovery {
+		return
+	}
+	queuing := s.RTT - l.baseRTT
+	offTarget := float64(ledbatTarget-queuing) / float64(ledbatTarget)
+	// cwnd += gain * offTarget * bytes_acked * MSS / cwnd  (RFC 6817)
+	delta := ledbatGain * offTarget * float64(s.BytesAcked) * float64(l.mss) / float64(l.cwnd)
+	l.cwnd += int64(delta)
+	if l.cwnd < 2*l.mss {
+		l.cwnd = 2 * l.mss
+	}
+}
+
+// OnLoss implements CongestionControl: halve, at most once per RTT-ish
+// debounce.
+func (l *LEDBAT) OnLoss(now sim.Time, inflight int64) {
+	if now.Sub(l.lastLoss) < 100*time.Millisecond {
+		return
+	}
+	l.lastLoss = now
+	l.cwnd = max64(l.cwnd/2, 2*l.mss)
+}
+
+// OnRTO implements CongestionControl.
+func (l *LEDBAT) OnRTO(now sim.Time, inflight int64) {
+	l.cwnd = 2 * l.mss
+}
+
+// OnExitRecovery implements CongestionControl.
+func (l *LEDBAT) OnExitRecovery(now sim.Time) {}
+
+// CwndBytes implements CongestionControl.
+func (l *LEDBAT) CwndBytes() int64 { return l.cwnd }
+
+// PacingRate implements CongestionControl.
+func (l *LEDBAT) PacingRate() units.Rate { return 0 }

@@ -1,0 +1,66 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func TestLEDBATSaturatesAlone(t *testing.T) {
+	rate := units.Mbps(20)
+	rtt := 20 * time.Millisecond
+	// Queue deep enough to hold the 100 ms target.
+	tn := newTestNet(1, rate, units.BDP(rate, rtt+200*time.Millisecond), rtt/2)
+	s, r := tn.pair(0, AlgLEDBAT)
+	s.Start()
+	tn.eng.Run(sim.At(30 * time.Second))
+	goodput := units.RateFromBytes(units.ByteSize(r.BytesReceived), 30*time.Second)
+	if goodput.Mbit() < 15 {
+		t.Errorf("solo LEDBAT goodput %.1f Mb/s on a 20 Mb/s link", goodput.Mbit())
+	}
+}
+
+func TestLEDBATTargetsBoundedDelay(t *testing.T) {
+	rate := units.Mbps(20)
+	rtt := 20 * time.Millisecond
+	tn := newTestNet(1, rate, units.BDP(rate, rtt+400*time.Millisecond), rtt/2)
+	s, _ := tn.pair(0, AlgLEDBAT)
+	s.Start()
+	sum, n := 0.0, 0
+	probe := sim.NewTicker(tn.eng, 100*time.Millisecond, func() {
+		if tn.eng.Now() > sim.At(10*time.Second) {
+			sum += float64(tn.queue.Bytes())
+			n++
+		}
+	})
+	probe.Start(false)
+	tn.eng.Run(sim.At(40 * time.Second))
+	avgDelay := time.Duration(sum / float64(n) * 8 / float64(rate) * float64(time.Second))
+	// Self-induced queuing should sit near the 100 ms target, not at the
+	// (much deeper) queue limit.
+	if avgDelay > 180*time.Millisecond {
+		t.Errorf("LEDBAT standing queue delay %v, want near the 100 ms target", avgDelay)
+	}
+	if avgDelay < 30*time.Millisecond {
+		t.Errorf("LEDBAT queue delay %v: not using its delay budget", avgDelay)
+	}
+}
+
+func TestLEDBATYieldsToCubic(t *testing.T) {
+	rate := units.Mbps(20)
+	rtt := 20 * time.Millisecond
+	tn := newTestNet(2, rate, 4*units.BDP(rate, rtt), rtt/2)
+	sl, rl := tn.pair(0, AlgLEDBAT)
+	sc, rc := tn.pair(1, AlgCubic)
+	sl.Start()
+	sc.Start()
+	tn.eng.Run(sim.At(40 * time.Second))
+	led := float64(rl.BytesReceived)
+	cub := float64(rc.BytesReceived)
+	// The scavenger must take a clear minority share.
+	if led > cub/2 {
+		t.Errorf("LEDBAT %.0f vs Cubic %.0f: scavenger not yielding", led, cub)
+	}
+}

@@ -1,0 +1,41 @@
+package tcp
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+type loggingCC struct {
+	*BBR
+	eng  *sim.Engine
+	logT sim.Time
+}
+
+func (l *loggingCC) OnAck(s AckSample) {
+	if s.Now > sim.At(20*time.Second) && s.Now < sim.At(20200*time.Millisecond) {
+		fmt.Printf("  t=%.4fs acked=%d rate=%.3f appLim=%v gain=%.2f inflight=%d rtt=%v\n",
+			s.Now.Seconds(), s.BytesAcked, s.DeliveryRate.Mbit(), s.RateAppLimited, l.BBR.pacingGain, s.Inflight, s.RTT)
+	}
+	l.BBR.OnAck(s)
+}
+
+func TestDebugBBRSamples(t *testing.T) {
+	rate := units.Mbps(25)
+	rtt := 16500 * time.Microsecond
+	q := 2 * units.BDP(rate, rtt)
+	tn := newTestNet(1, rate, q, rtt/2)
+	cc := &loggingCC{BBR: NewBBR(), eng: tn.eng}
+	s := NewSender(tn.sndH[0], 1, tn.rcvH[0].Addr, cc)
+	NewReceiver(tn.rcvH[0], 1, tn.sndH[0].Addr)
+	blast := sim.NewTicker(tn.eng, 550*time.Microsecond, func() {
+		tn.shaper.Handle(&packet.Packet{Flow: 99, Kind: packet.KindFrame, Size: 1514, Dst: 201})
+	})
+	blast.Start(true)
+	s.Start()
+	tn.eng.Run(sim.At(21 * time.Second))
+}

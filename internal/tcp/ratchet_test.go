@@ -1,0 +1,34 @@
+package tcp
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func TestDebugBBRRatchet(t *testing.T) {
+	rate := units.Mbps(25)
+	rtt := 16500 * time.Microsecond
+	q := 2 * units.BDP(rate, rtt)
+	tn := newTestNet(1, rate, q, rtt/2)
+	s, r := tn.pair(0, AlgBBR)
+	blast := sim.NewTicker(tn.eng, 550*time.Microsecond, func() {
+		tn.shaper.Handle(&packet.Packet{Flow: 99, Kind: packet.KindFrame, Size: 1514, Dst: 201})
+	})
+	blast.Start(true)
+	s.Start()
+	prevBytes := int64(0)
+	probe := sim.NewTicker(tn.eng, 10*time.Second, func() {
+		b := s.CC().(*BBR)
+		thr := float64(r.BytesReceived-prevBytes) * 8 / 10 / 1e6
+		prevBytes = r.BytesReceived
+		fmt.Printf("t=%3.0fs thr=%5.2f btlbw=%5.2f rtprop=%v cwnd=%d pipe=%d state=%s qocc=%d\n",
+			tn.eng.Now().Seconds(), thr, b.BtlBw().Mbit(), b.RTProp(), b.CwndBytes(), s.pipeBytes, b.State(), tn.queue.Bytes())
+	})
+	probe.Start(false)
+	tn.eng.Run(sim.At(120 * time.Second))
+}

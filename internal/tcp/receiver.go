@@ -1,0 +1,164 @@
+package tcp
+
+import (
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+const (
+	// delAckTimeout bounds how long a receiver holds a delayed ACK.
+	delAckTimeout = 40 * time.Millisecond
+	// delAckCount acknowledges every Nth full-size segment immediately.
+	delAckCount = 2
+	// maxSackBlocks caps the SACK ranges carried per ACK.
+	maxSackBlocks = 3
+	// ackBaseSize is Ethernet+IP+TCP plus the timestamp option.
+	ackBaseSize = packet.EthIPOverhead + packet.TCPHeader + 12
+	// sackBlockSize is the wire cost of one SACK range.
+	sackBlockSize = 8
+)
+
+// span is a half-open received byte range beyond the cumulative frontier.
+type span struct{ start, end int64 }
+
+// Receiver is the TCP data sink: it reassembles the byte stream, generates
+// cumulative + SACK acknowledgements with delayed-ACK behaviour, and counts
+// goodput for the application.
+type Receiver struct {
+	host *netem.Host
+	eng  *sim.Engine
+	flow packet.FlowID
+	peer packet.Addr
+
+	rcvNxt  int64
+	ooo     []span
+	lastTS  sim.Time
+	pending int  // full-size segments since last ACK
+	ceSeen  bool // CE mark arrived since the last ACK
+
+	delAck *sim.Timer
+
+	// BytesReceived counts distinct payload bytes delivered in order.
+	BytesReceived int64
+	// DupSegments counts retransmitted data the receiver had already seen.
+	DupSegments int
+	// OnDeliver, when set, is invoked with newly in-order byte counts.
+	OnDeliver func(n int64)
+}
+
+// NewReceiver creates a receiver for flow on host, acknowledging to peer.
+// It binds itself to the host for data delivery.
+func NewReceiver(host *netem.Host, flow packet.FlowID, peer packet.Addr) *Receiver {
+	r := &Receiver{host: host, eng: host.Engine(), flow: flow, peer: peer}
+	r.delAck = sim.NewTimer(r.eng, func() { r.sendAck() })
+	host.Bind(flow, r)
+	return r
+}
+
+// RcvNxt returns the cumulative in-order frontier.
+func (r *Receiver) RcvNxt() int64 { return r.rcvNxt }
+
+// Handle implements packet.Handler, processing data segments.
+func (r *Receiver) Handle(p *packet.Packet) {
+	if p.Kind != packet.KindData {
+		return
+	}
+	r.lastTS = p.SentAt
+	if p.CE {
+		r.ceSeen = true
+	}
+	seq, end := p.Seq, p.Seq+int64(p.Payload)
+
+	switch {
+	case end <= r.rcvNxt:
+		// Entirely old: a spurious retransmission. ACK immediately so
+		// the sender can repair its view.
+		r.DupSegments++
+		r.sendAck()
+		return
+	case seq == r.rcvNxt:
+		hadHole := len(r.ooo) > 0
+		r.advance(end)
+		if hadHole {
+			// Filling a hole: ACK now to release the sender promptly.
+			r.sendAck()
+			return
+		}
+		r.pending++
+		if r.pending >= delAckCount {
+			r.sendAck()
+		} else if !r.delAck.Armed() {
+			r.delAck.Reset(delAckTimeout)
+		}
+		return
+	default:
+		// Out of order: buffer and send an immediate duplicate ACK with
+		// SACK information.
+		r.insertOOO(span{seq, end})
+		r.sendAck()
+	}
+}
+
+// advance moves the cumulative frontier to at least end, absorbing any
+// out-of-order ranges that become contiguous.
+func (r *Receiver) advance(end int64) {
+	grown := end - r.rcvNxt
+	r.rcvNxt = end
+	for len(r.ooo) > 0 && r.ooo[0].start <= r.rcvNxt {
+		if r.ooo[0].end > r.rcvNxt {
+			grown += r.ooo[0].end - r.rcvNxt
+			r.rcvNxt = r.ooo[0].end
+		}
+		r.ooo = r.ooo[1:]
+	}
+	r.BytesReceived += grown
+	if r.OnDeliver != nil {
+		r.OnDeliver(grown)
+	}
+}
+
+// insertOOO adds a range into the sorted, disjoint out-of-order list.
+func (r *Receiver) insertOOO(s span) {
+	i := 0
+	for i < len(r.ooo) && r.ooo[i].start < s.start {
+		i++
+	}
+	r.ooo = append(r.ooo, span{})
+	copy(r.ooo[i+1:], r.ooo[i:])
+	r.ooo[i] = s
+	// Merge overlaps around i.
+	merged := r.ooo[:0]
+	for _, sp := range r.ooo {
+		if n := len(merged); n > 0 && sp.start <= merged[n-1].end {
+			if sp.end > merged[n-1].end {
+				merged[n-1].end = sp.end
+			}
+		} else {
+			merged = append(merged, sp)
+		}
+	}
+	r.ooo = merged
+}
+
+func (r *Receiver) sendAck() {
+	r.pending = 0
+	r.delAck.Stop()
+	meta := &ackMeta{ece: r.ceSeen}
+	r.ceSeen = false
+	for i := 0; i < len(r.ooo) && i < maxSackBlocks; i++ {
+		meta.sack = append(meta.sack, [2]int64{r.ooo[i].start, r.ooo[i].end})
+	}
+	p := &packet.Packet{
+		Flow:   r.flow,
+		Kind:   packet.KindAck,
+		Dst:    r.peer,
+		Ack:    r.rcvNxt,
+		EchoTS: r.lastTS,
+		Size:   ackBaseSize + sackBlockSize*len(meta.sack),
+		App:    meta,
+	}
+	r.host.Send(p)
+}

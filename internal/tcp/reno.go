@@ -1,0 +1,91 @@
+package tcp
+
+import (
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Reno implements classic NewReno congestion control: slow start,
+// additive-increase congestion avoidance, and a halving multiplicative
+// decrease on loss. It serves as a baseline and as the "Reno-friendly"
+// reference inside Cubic.
+type Reno struct {
+	mss      int64
+	cwnd     int64
+	ssthresh int64
+	acked    int64 // bytes acked since last cwnd increment in CA
+}
+
+// NewReno returns a NewReno controller.
+func NewReno() *Reno { return &Reno{} }
+
+// Name implements CongestionControl.
+func (r *Reno) Name() string { return AlgReno }
+
+// Init implements CongestionControl.
+func (r *Reno) Init(mss int64) {
+	r.mss = mss
+	r.cwnd = initialWindow * mss
+	r.ssthresh = 1 << 40
+}
+
+// OnAck implements CongestionControl.
+func (r *Reno) OnAck(s AckSample) {
+	if s.InRecovery {
+		// RTO recovery slow-starts back toward ssthresh (CA_Loss
+		// behaviour); fast recovery holds the window.
+		if r.cwnd < r.ssthresh {
+			r.cwnd = min64(r.cwnd+s.BytesAcked, r.ssthresh)
+		}
+		return
+	}
+	if r.cwnd < r.ssthresh {
+		// Slow start with appropriate byte counting.
+		r.cwnd += s.BytesAcked
+		if r.cwnd > r.ssthresh {
+			r.cwnd = r.ssthresh
+		}
+		return
+	}
+	// Congestion avoidance: one MSS per window of data acked.
+	r.acked += s.BytesAcked
+	if r.acked >= r.cwnd {
+		r.acked -= r.cwnd
+		r.cwnd += r.mss
+	}
+}
+
+// OnLoss implements CongestionControl.
+func (r *Reno) OnLoss(now sim.Time, inflight int64) {
+	r.ssthresh = max64(r.cwnd/2, 2*r.mss)
+	r.cwnd = r.ssthresh
+}
+
+// OnRTO implements CongestionControl.
+func (r *Reno) OnRTO(now sim.Time, inflight int64) {
+	r.ssthresh = max64(r.cwnd/2, 2*r.mss)
+	r.cwnd = r.mss
+}
+
+// OnExitRecovery implements CongestionControl.
+func (r *Reno) OnExitRecovery(now sim.Time) {}
+
+// CwndBytes implements CongestionControl.
+func (r *Reno) CwndBytes() int64 { return r.cwnd }
+
+// PacingRate implements CongestionControl: Reno is purely ACK-clocked.
+func (r *Reno) PacingRate() units.Rate { return 0 }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

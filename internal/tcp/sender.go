@@ -1,0 +1,571 @@
+package tcp
+
+import (
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// RFC 6298 / Linux-flavoured retransmission timer bounds.
+const (
+	minRTO     = 200 * time.Millisecond
+	maxRTO     = 60 * time.Second
+	initialRTO = time.Second
+
+	dupThresh = 3 // segments of SACK advance before a hole is declared lost
+
+	// initialWindow is the IW10 initial congestion window (RFC 6928).
+	initialWindow = 10
+)
+
+// seg is one in-flight segment on the sender's scoreboard, carrying the
+// per-packet state for delivery-rate estimation.
+type seg struct {
+	seq           int64
+	len           int64
+	sentAt        sim.Time
+	delivered     int64
+	deliveredTime sim.Time
+	firstSentTime sim.Time
+	appLimited    bool
+	retx          bool
+	sacked        bool
+	lost          bool
+}
+
+// ackMeta is the TCP option block attached to ACK packets (SACK ranges and
+// the ECN echo flag).
+type ackMeta struct {
+	sack [][2]int64 // [start, end) byte ranges above the cumulative ACK
+	ece  bool       // congestion experienced since the last ACK
+}
+
+// Stats holds sender-side counters exposed to the harness.
+type Stats struct {
+	BytesSent    int64
+	BytesAcked   int64
+	Retransmits  int
+	RTOs         int
+	LossEvents   int
+	AckedPackets int
+	ECNResponses int
+}
+
+// Sender is a TCP data sender: an unbounded (or byte-limited) source, a
+// SACK scoreboard, loss detection and recovery, RTT/RTO estimation,
+// delivery-rate sampling, and optional pacing, with the congestion window
+// delegated to a CongestionControl.
+type Sender struct {
+	host *netem.Host
+	eng  *sim.Engine
+	flow packet.FlowID
+	dst  packet.Addr
+	cc   CongestionControl
+	mss  int64
+
+	running bool
+	sndNxt  int64
+	sndUna  int64
+	// limit is the total payload bytes to send; 0 means unbounded.
+	limit int64
+
+	segs        []*seg
+	pipeBytes   int64 // bytes considered in flight
+	highSacked  int64 // highest sequence+len SACKed
+	retxPending int   // segments marked lost awaiting retransmit
+
+	// Delivery-rate estimation state (per the rate-sample algorithm used
+	// by Linux/BBR).
+	delivered     int64
+	deliveredTime sim.Time
+	firstSentTime sim.Time
+	appLimitedSeq int64 // delivered-marker below which samples are app-limited
+
+	srtt, rttvar, rto time.Duration
+	minRTT            time.Duration
+	rtoTimer          *sim.Timer
+	backoff           uint
+
+	inRecovery  bool
+	recoveryEnd int64
+
+	// ECN state: when enabled, data is sent ECN-capable and ECE echoes
+	// trigger a once-per-RTT congestion response without retransmission.
+	ecn          bool
+	ecnNextReact sim.Time
+
+	roundTrips         int64
+	nextRoundDelivered int64
+
+	// rackTime is the transmit time of the most recently sent segment
+	// known delivered, for RACK-style loss detection (catches lost
+	// retransmissions without waiting for an RTO).
+	rackTime sim.Time
+
+	paceNext  sim.Time
+	paceTimer *sim.Timer
+
+	// Stats accumulates counters for the harness.
+	Stats Stats
+}
+
+// NewSender creates a sender on host for the given flow, destined for dst,
+// governed by cc. The sender binds itself to the host for ACK delivery.
+func NewSender(host *netem.Host, flow packet.FlowID, dst packet.Addr, cc CongestionControl) *Sender {
+	s := &Sender{
+		host:   host,
+		eng:    host.Engine(),
+		flow:   flow,
+		dst:    dst,
+		cc:     cc,
+		mss:    packet.MSS,
+		rto:    initialRTO,
+		minRTT: -1,
+	}
+	s.rtoTimer = sim.NewTimer(s.eng, s.onRTO)
+	s.paceTimer = sim.NewTimer(s.eng, s.trySend)
+	cc.Init(s.mss)
+	host.Bind(flow, s)
+	return s
+}
+
+// EnableECN marks outgoing data ECN-capable (RFC 3168). ECE echoes from
+// the receiver then cut the congestion window like a loss event, but
+// without retransmissions — pair with an ECN-enabled CoDel bottleneck.
+func (s *Sender) EnableECN() { s.ecn = true }
+
+// SetLimit bounds the total payload bytes this sender will transmit.
+func (s *Sender) SetLimit(n int64) { s.limit = n }
+
+// Enqueue adds n more payload bytes to the send limit — the application
+// write path for request/response workloads (e.g. a video server pushing
+// one segment at a time). A sender created without a limit is an unbounded
+// source and ignores Enqueue.
+func (s *Sender) Enqueue(n int64) {
+	if n <= 0 || s.limit == 0 {
+		return
+	}
+	s.limit += n
+	if s.running {
+		s.trySend()
+	}
+}
+
+// Outstanding returns payload bytes accepted from the application but not
+// yet acknowledged (0 for unbounded senders).
+func (s *Sender) Outstanding() int64 {
+	if s.limit == 0 {
+		return 0
+	}
+	return s.limit - s.sndUna
+}
+
+// Start begins transmitting.
+func (s *Sender) Start() {
+	s.running = true
+	s.trySend()
+}
+
+// StopSending halts new transmissions; in-flight data drains normally and
+// remains subject to retransmission until acknowledged.
+func (s *Sender) StopSending() {
+	s.running = false
+}
+
+// CC returns the congestion controller, for state inspection by tests and
+// the harness.
+func (s *Sender) CC() CongestionControl { return s.cc }
+
+// SRTT returns the smoothed RTT estimate.
+func (s *Sender) SRTT() time.Duration { return s.srtt }
+
+// Inflight returns the bytes currently considered in flight.
+func (s *Sender) Inflight() int64 { return s.pipeBytes }
+
+// dataAvail reports whether new payload remains to send.
+func (s *Sender) dataAvail() bool {
+	if !s.running {
+		return false
+	}
+	return s.limit == 0 || s.sndNxt < s.limit
+}
+
+// nextSegLen returns the payload size for the next new segment.
+func (s *Sender) nextSegLen() int64 {
+	n := s.mss
+	if s.limit > 0 && s.limit-s.sndNxt < n {
+		n = s.limit - s.sndNxt
+	}
+	return n
+}
+
+// trySend transmits retransmissions first, then new data, subject to the
+// congestion window and (if the controller requests it) pacing.
+func (s *Sender) trySend() {
+	for {
+		wantRetx := s.retxPending > 0
+		if !wantRetx && !s.dataAvail() {
+			s.markAppLimited()
+			return
+		}
+		if !wantRetx && s.pipeBytes+s.nextSegLen() > s.cc.CwndBytes() {
+			return
+		}
+		if wantRetx && s.pipeBytes >= s.cc.CwndBytes() && s.pipeBytes > 0 {
+			// Even retransmits respect the window, except that a
+			// silent pipe may always retransmit one segment.
+			return
+		}
+		if pr := s.cc.PacingRate(); pr > 0 {
+			now := s.eng.Now()
+			if now < s.paceNext {
+				s.paceTimer.Reset(s.paceNext.Sub(now))
+				return
+			}
+		}
+		if wantRetx {
+			s.retransmitOne()
+		} else {
+			s.sendNew()
+		}
+	}
+}
+
+// markAppLimited records that the sender ran out of data with window to
+// spare, so subsequent rate samples must not drag down max filters.
+func (s *Sender) markAppLimited() {
+	if s.pipeBytes < s.cc.CwndBytes() {
+		marker := s.delivered + s.pipeBytes
+		if marker > s.appLimitedSeq {
+			s.appLimitedSeq = marker
+		}
+	}
+}
+
+func (s *Sender) paceAfter(bytes int64) {
+	pr := s.cc.PacingRate()
+	if pr <= 0 {
+		return
+	}
+	interval := pr.TimeToTransmit(units.ByteSize(bytes))
+	now := s.eng.Now()
+	if s.paceNext < now {
+		s.paceNext = now
+	}
+	s.paceNext = s.paceNext.Add(interval)
+}
+
+func (s *Sender) sendNew() {
+	n := s.nextSegLen()
+	now := s.eng.Now()
+	if s.pipeBytes == 0 {
+		s.firstSentTime = now
+		s.deliveredTime = now
+	}
+	sg := &seg{
+		seq:           s.sndNxt,
+		len:           n,
+		sentAt:        now,
+		delivered:     s.delivered,
+		deliveredTime: s.deliveredTime,
+		firstSentTime: s.firstSentTime,
+		appLimited:    s.delivered < s.appLimitedSeq,
+	}
+	s.firstSentTime = now
+	s.segs = append(s.segs, sg)
+	s.sndNxt += n
+	s.pipeBytes += n
+	s.transmit(sg)
+}
+
+func (s *Sender) retransmitOne() {
+	for _, sg := range s.segs {
+		if sg.lost {
+			sg.lost = false
+			sg.retx = true
+			now := s.eng.Now()
+			sg.sentAt = now
+			sg.delivered = s.delivered
+			sg.deliveredTime = s.deliveredTime
+			sg.firstSentTime = now
+			s.retxPending--
+			s.pipeBytes += sg.len
+			s.Stats.Retransmits++
+			s.transmit(sg)
+			return
+		}
+	}
+	// Scoreboard out of sync; repair the counter.
+	s.retxPending = 0
+}
+
+func (s *Sender) transmit(sg *seg) {
+	p := &packet.Packet{
+		Flow:    s.flow,
+		Kind:    packet.KindData,
+		Dst:     s.dst,
+		Seq:     sg.seq,
+		Payload: int(sg.len),
+		Size:    int(sg.len) + packet.EthIPOverhead + packet.TCPHeader + 12, // TS option
+		ECT:     s.ecn,
+	}
+	s.Stats.BytesSent += sg.len
+	s.host.Send(p)
+	s.paceAfter(sg.len + packet.EthIPOverhead + packet.TCPHeader + 12)
+	if !s.rtoTimer.Armed() {
+		s.rtoTimer.Reset(s.curRTO())
+	}
+}
+
+func (s *Sender) curRTO() time.Duration {
+	d := s.rto << s.backoff
+	if s.rto > 0 && d/s.rto != 1<<s.backoff {
+		d = maxRTO // overflow guard
+	}
+	if d > maxRTO {
+		d = maxRTO
+	}
+	return d
+}
+
+// Handle implements packet.Handler, processing ACKs.
+func (s *Sender) Handle(p *packet.Packet) {
+	if p.Kind != packet.KindAck {
+		return
+	}
+	now := s.eng.Now()
+	s.Stats.AckedPackets++
+
+	// ECN congestion response: at most once per SRTT.
+	if meta, ok := p.App.(*ackMeta); ok && meta.ece && s.ecn && now >= s.ecnNextReact {
+		hold := s.srtt
+		if hold < 10*time.Millisecond {
+			hold = 10 * time.Millisecond
+		}
+		s.ecnNextReact = now.Add(hold)
+		s.Stats.ECNResponses++
+		s.cc.OnLoss(now, s.pipeBytes)
+	}
+
+	var newlyDelivered int64
+	var sample *seg
+
+	// Cumulative ACK advance.
+	if p.Ack > s.sndUna {
+		for len(s.segs) > 0 {
+			sg := s.segs[0]
+			if sg.seq+sg.len > p.Ack {
+				break
+			}
+			if !sg.sacked {
+				newlyDelivered += sg.len
+				if !sg.lost {
+					s.pipeBytes -= sg.len
+				} else {
+					s.retxPending--
+				}
+				s.accountDelivered(sg, now)
+			}
+			if sample == nil || sg.delivered > sample.delivered {
+				sample = sg
+			}
+			s.segs = s.segs[1:]
+		}
+		s.Stats.BytesAcked += p.Ack - s.sndUna
+		s.sndUna = p.Ack
+		s.backoff = 0
+	}
+
+	// SACK processing.
+	if meta, ok := p.App.(*ackMeta); ok {
+		for _, blk := range meta.sack {
+			for _, sg := range s.segs {
+				if sg.sacked || sg.seq < blk[0] {
+					continue
+				}
+				if sg.seq+sg.len > blk[1] {
+					break
+				}
+				sg.sacked = true
+				newlyDelivered += sg.len
+				if sg.lost {
+					sg.lost = false
+					s.retxPending--
+				} else {
+					s.pipeBytes -= sg.len
+				}
+				s.accountDelivered(sg, now)
+				if end := sg.seq + sg.len; end > s.highSacked {
+					s.highSacked = end
+				}
+				if sample == nil || sg.delivered > sample.delivered {
+					sample = sg
+				}
+			}
+		}
+	}
+
+	// RTT from the timestamp echo (valid for retransmits too, since the
+	// receiver echoes the arriving segment's own transmit timestamp).
+	var rtt time.Duration
+	if p.EchoTS > 0 {
+		rtt = now.Sub(p.EchoTS)
+		if rtt > 0 {
+			s.updateRTT(rtt)
+		}
+	}
+
+	// Loss detection. Two rules, as in Linux v5.4:
+	//  - SACK: a hole is lost once the SACK frontier is dupThresh
+	//    segments beyond it (first transmissions only);
+	//  - RACK: any segment (retransmissions included) sent a reordering
+	//    window before the most recently delivered segment is lost.
+	reoWnd := s.srtt / 4
+	if reoWnd < time.Millisecond {
+		reoWnd = time.Millisecond
+	}
+	lossDetected := false
+	for _, sg := range s.segs {
+		if sg.sacked || sg.lost {
+			continue
+		}
+		sackLost := !sg.retx && sg.seq+dupThresh*s.mss <= s.highSacked
+		rackLost := s.rackTime > 0 && sg.sentAt.Add(reoWnd) < s.rackTime
+		if sackLost || rackLost {
+			sg.lost = true
+			s.pipeBytes -= sg.len
+			s.retxPending++
+			lossDetected = true
+		}
+	}
+	if lossDetected && !s.inRecovery {
+		s.inRecovery = true
+		s.recoveryEnd = s.sndNxt
+		s.Stats.LossEvents++
+		s.cc.OnLoss(now, s.pipeBytes)
+	}
+	if s.inRecovery && s.sndUna >= s.recoveryEnd {
+		s.inRecovery = false
+		s.cc.OnExitRecovery(now)
+	}
+
+	// Delivery-rate sample from the most recently sent delivered segment.
+	var rateSample units.Rate
+	rateAppLimited := false
+	if sample != nil && newlyDelivered > 0 {
+		sendElapsed := sample.sentAt.Sub(sample.firstSentTime)
+		ackElapsed := now.Sub(sample.deliveredTime)
+		interval := sendElapsed
+		if ackElapsed > interval {
+			interval = ackElapsed
+		}
+		// Discard samples measured over less than the path min-RTT:
+		// they arise from ACK compression and spurious-retransmission
+		// bursts and would wildly overestimate bandwidth (same guard as
+		// Linux's rate sampler).
+		if interval > 0 && (s.minRTT <= 0 || interval >= s.minRTT) {
+			rateSample = units.RateFromBytes(units.ByteSize(s.delivered-sample.delivered), interval)
+		}
+		rateAppLimited = sample.appLimited
+		// Round accounting.
+		if sample.delivered >= s.nextRoundDelivered {
+			s.roundTrips++
+			s.nextRoundDelivered = s.delivered
+		}
+	}
+
+	if newlyDelivered > 0 || rtt > 0 {
+		s.cc.OnAck(AckSample{
+			Now:            now,
+			BytesAcked:     newlyDelivered,
+			RTT:            rtt,
+			MinRTT:         s.minRTT,
+			SRTT:           s.srtt,
+			Delivered:      s.delivered,
+			DeliveryRate:   rateSample,
+			RateAppLimited: rateAppLimited,
+			Inflight:       s.pipeBytes,
+			InRecovery:     s.inRecovery,
+			RoundTrips:     s.roundTrips,
+			MSS:            s.mss,
+		})
+	}
+
+	// Retransmission timer management.
+	if s.pipeBytes > 0 || s.retxPending > 0 {
+		if newlyDelivered > 0 {
+			s.rtoTimer.Reset(s.curRTO())
+		}
+	} else if len(s.segs) == 0 {
+		s.rtoTimer.Stop()
+	}
+
+	s.trySend()
+}
+
+// accountDelivered updates connection-level delivery state for a segment
+// leaving the network.
+func (s *Sender) accountDelivered(sg *seg, now sim.Time) {
+	s.delivered += sg.len
+	s.deliveredTime = now
+	if sg.sentAt > s.firstSentTime {
+		s.firstSentTime = sg.sentAt
+	}
+	if sg.sentAt > s.rackTime {
+		s.rackTime = sg.sentAt
+	}
+}
+
+func (s *Sender) updateRTT(rtt time.Duration) {
+	if s.minRTT < 0 || rtt < s.minRTT {
+		s.minRTT = rtt
+	}
+	if s.srtt == 0 {
+		s.srtt = rtt
+		s.rttvar = rtt / 2
+	} else {
+		diff := s.srtt - rtt
+		if diff < 0 {
+			diff = -diff
+		}
+		s.rttvar = (3*s.rttvar + diff) / 4
+		s.srtt = (7*s.srtt + rtt) / 8
+	}
+	s.rto = s.srtt + 4*s.rttvar
+	if s.rto < minRTO {
+		s.rto = minRTO
+	}
+	if s.rto > maxRTO {
+		s.rto = maxRTO
+	}
+}
+
+// onRTO fires when the retransmission timer expires: every outstanding
+// segment is marked lost and recovery restarts from sndUna.
+func (s *Sender) onRTO() {
+	if len(s.segs) == 0 {
+		return
+	}
+	now := s.eng.Now()
+	s.Stats.RTOs++
+	for _, sg := range s.segs {
+		if sg.sacked || sg.lost {
+			continue
+		}
+		sg.lost = true
+		sg.retx = false
+		s.pipeBytes -= sg.len
+		s.retxPending++
+	}
+	s.inRecovery = true
+	s.recoveryEnd = s.sndNxt
+	s.backoff++
+	s.cc.OnRTO(now, s.pipeBytes)
+	s.rtoTimer.Reset(s.curRTO())
+	// Pacing must not delay the recovery retransmit.
+	s.paceNext = now
+	s.trySend()
+}

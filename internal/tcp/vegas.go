@@ -1,0 +1,123 @@
+package tcp
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Vegas parameters (Brakmo & Peterson), in segments of queued data.
+const (
+	vegasAlpha = 2
+	vegasBeta  = 4
+	vegasGamma = 1 // slow-start exit threshold
+)
+
+// Vegas implements delay-based TCP Vegas: it estimates the number of its
+// own segments queued at the bottleneck from the difference between
+// expected and actual throughput, holding that backlog between alpha and
+// beta segments. Included as the delay-based representative used in the
+// related-work comparisons (Turkovic et al.).
+type Vegas struct {
+	mss      int64
+	cwnd     int64
+	ssthresh int64
+
+	baseRTT time.Duration
+	// Per-round accounting: min RTT observed this round.
+	roundMinRTT time.Duration
+	roundStart  int64 // RoundTrips value at round start
+	slowStart   bool
+	ssToggle    bool // Vegas grows every other RTT in slow start
+}
+
+// NewVegas returns a Vegas controller.
+func NewVegas() *Vegas { return &Vegas{} }
+
+// Name implements CongestionControl.
+func (v *Vegas) Name() string { return AlgVegas }
+
+// Init implements CongestionControl.
+func (v *Vegas) Init(mss int64) {
+	v.mss = mss
+	v.cwnd = initialWindow * mss
+	v.ssthresh = 1 << 40
+	v.slowStart = true
+	v.baseRTT = -1
+	v.roundMinRTT = -1
+}
+
+// OnAck implements CongestionControl.
+func (v *Vegas) OnAck(s AckSample) {
+	if s.RTT > 0 {
+		if v.baseRTT < 0 || s.RTT < v.baseRTT {
+			v.baseRTT = s.RTT
+		}
+		if v.roundMinRTT < 0 || s.RTT < v.roundMinRTT {
+			v.roundMinRTT = s.RTT
+		}
+	}
+	if s.InRecovery {
+		return
+	}
+	if s.RoundTrips == v.roundStart {
+		return // decide once per round trip
+	}
+	defer func() {
+		v.roundStart = s.RoundTrips
+		v.roundMinRTT = -1
+	}()
+	if v.baseRTT <= 0 || v.roundMinRTT <= 0 {
+		return
+	}
+
+	// diff = cwnd * (rtt - baseRTT) / rtt, in segments: our own queue.
+	rtt := v.roundMinRTT
+	diffSegs := float64(v.cwnd) / float64(v.mss) * float64(rtt-v.baseRTT) / float64(rtt)
+
+	if v.slowStart {
+		if diffSegs > vegasGamma {
+			v.slowStart = false
+			v.cwnd = max64(v.cwnd*3/4, 2*v.mss)
+			return
+		}
+		// Double every other round.
+		v.ssToggle = !v.ssToggle
+		if v.ssToggle {
+			v.cwnd *= 2
+		}
+		return
+	}
+
+	switch {
+	case diffSegs < vegasAlpha:
+		v.cwnd += v.mss
+	case diffSegs > vegasBeta:
+		v.cwnd -= v.mss
+		if v.cwnd < 2*v.mss {
+			v.cwnd = 2 * v.mss
+		}
+	}
+}
+
+// OnLoss implements CongestionControl.
+func (v *Vegas) OnLoss(now sim.Time, inflight int64) {
+	v.cwnd = max64(v.cwnd*3/4, 2*v.mss)
+	v.slowStart = false
+}
+
+// OnRTO implements CongestionControl.
+func (v *Vegas) OnRTO(now sim.Time, inflight int64) {
+	v.cwnd = 2 * v.mss
+	v.slowStart = false
+}
+
+// OnExitRecovery implements CongestionControl.
+func (v *Vegas) OnExitRecovery(now sim.Time) {}
+
+// CwndBytes implements CongestionControl.
+func (v *Vegas) CwndBytes() int64 { return v.cwnd }
+
+// PacingRate implements CongestionControl.
+func (v *Vegas) PacingRate() units.Rate { return 0 }

@@ -1,0 +1,172 @@
+// Package trace is the simulator's Wireshark: a capture point that observes
+// every packet arriving at the bottleneck router plus every drop at its
+// queue, and aggregates per-flow bitrate and loss time series in the 0.5 s
+// bins the paper's analysis uses.
+package trace
+
+import (
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// DefaultBin matches the paper's 0.5 s bitrate computation interval.
+const DefaultBin = 500 * time.Millisecond
+
+// FlowTrace accumulates one flow's per-bin counters.
+type FlowTrace struct {
+	byteBins []int64 // offered at the router (pre-queue)
+	pktBins  []int64
+	dropBins []int64
+	dlvBins  []int64 // delivered past the bottleneck (post-queue)
+
+	// Totals since capture start.
+	Packets   int64
+	Bytes     int64
+	Drops     int64
+	Delivered int64
+}
+
+// Capture observes packets at the bottleneck. Attach Tap to the router and
+// OnDrop to the bottleneck queue's drop callback.
+type Capture struct {
+	eng    *sim.Engine
+	binDur sim.Time
+	flows  map[packet.FlowID]*FlowTrace
+}
+
+// NewCapture creates a capture with the given bin duration (DefaultBin if
+// zero).
+func NewCapture(eng *sim.Engine, bin time.Duration) *Capture {
+	if bin <= 0 {
+		bin = DefaultBin
+	}
+	return &Capture{
+		eng:    eng,
+		binDur: sim.At(bin),
+		flows:  make(map[packet.FlowID]*FlowTrace),
+	}
+}
+
+// BinDuration returns the configured bin width.
+func (c *Capture) BinDuration() time.Duration { return c.binDur.Duration() }
+
+func (c *Capture) flow(id packet.FlowID) *FlowTrace {
+	f, ok := c.flows[id]
+	if !ok {
+		f = &FlowTrace{}
+		c.flows[id] = f
+	}
+	return f
+}
+
+func (c *Capture) bin() int { return int(c.eng.Now() / c.binDur) }
+
+func grow(s []int64, bin int) []int64 {
+	for len(s) <= bin {
+		s = append(s, 0)
+	}
+	return s
+}
+
+// Tap records a forwarded packet; register it with Router.Tap.
+func (c *Capture) Tap(p *packet.Packet) {
+	f := c.flow(p.Flow)
+	b := c.bin()
+	f.byteBins = grow(f.byteBins, b)
+	f.pktBins = grow(f.pktBins, b)
+	f.byteBins[b] += int64(p.Size)
+	f.pktBins[b]++
+	f.Packets++
+	f.Bytes += int64(p.Size)
+}
+
+// TapDelivered records a packet that made it past the bottleneck; place it
+// on the shaper's egress. Delivered bins are what the paper's bitrate plots
+// show (Wireshark saw post-bottleneck traffic at the clients).
+func (c *Capture) TapDelivered(p *packet.Packet) {
+	f := c.flow(p.Flow)
+	b := c.bin()
+	f.dlvBins = grow(f.dlvBins, b)
+	f.dlvBins[b] += int64(p.Size)
+	f.Delivered += int64(p.Size)
+}
+
+// OnDrop records a bottleneck drop; register it with the queue's drop
+// callback.
+func (c *Capture) OnDrop(p *packet.Packet) {
+	f := c.flow(p.Flow)
+	b := c.bin()
+	f.dropBins = grow(f.dropBins, b)
+	f.dropBins[b]++
+	f.Drops++
+}
+
+// Flow returns the trace for a flow (empty trace if never seen).
+func (c *Capture) Flow(id packet.FlowID) *FlowTrace {
+	return c.flow(id)
+}
+
+// BitrateSeries returns the flow's delivered on-wire bitrate per bin in
+// Mb/s, with exactly n bins (zero-padded). Requires TapDelivered wiring.
+func (c *Capture) BitrateSeries(id packet.FlowID, n int) []float64 {
+	f := c.flow(id)
+	sec := c.binDur.Duration().Seconds()
+	out := make([]float64, n)
+	for i := 0; i < n && i < len(f.dlvBins); i++ {
+		out[i] = float64(f.dlvBins[i]) * 8 / sec / 1e6
+	}
+	return out
+}
+
+// OfferedSeries returns the flow's offered (pre-queue) bitrate per bin in
+// Mb/s.
+func (c *Capture) OfferedSeries(id packet.FlowID, n int) []float64 {
+	f := c.flow(id)
+	sec := c.binDur.Duration().Seconds()
+	out := make([]float64, n)
+	for i := 0; i < n && i < len(f.byteBins); i++ {
+		out[i] = float64(f.byteBins[i]) * 8 / sec / 1e6
+	}
+	return out
+}
+
+// RateBetween returns the flow's average delivered rate over [from, to),
+// resolved to whole bins.
+func (c *Capture) RateBetween(id packet.FlowID, from, to sim.Time) units.Rate {
+	f := c.flow(id)
+	var total int64
+	lo, hi := int(from/c.binDur), int(to/c.binDur)
+	for i := lo; i < hi && i < len(f.dlvBins); i++ {
+		total += f.dlvBins[i]
+	}
+	if hi <= lo {
+		return 0
+	}
+	dur := time.Duration(hi-lo) * c.binDur.Duration()
+	return units.RateFromBytes(units.ByteSize(total), dur)
+}
+
+// LossBetween returns the flow's loss fraction over [from, to): drops at
+// the bottleneck queue divided by packets offered to the router (the tap
+// sits upstream of the queue, so tap counts include the later-dropped
+// packets).
+func (c *Capture) LossBetween(id packet.FlowID, from, to sim.Time) float64 {
+	f := c.flow(id)
+	lo, hi := int(from/c.binDur), int(to/c.binDur)
+	var pkts, drops int64
+	for i := lo; i < hi; i++ {
+		if i < len(f.pktBins) {
+			pkts += f.pktBins[i]
+		}
+		if i < len(f.dropBins) {
+			drops += f.dropBins[i]
+		}
+	}
+	if pkts == 0 {
+		return 0
+	}
+	return float64(drops) / float64(pkts)
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+func TestBitrateBins(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := NewCapture(eng, 0)
+	if c.BinDuration() != 500*time.Millisecond {
+		t.Fatalf("default bin = %v", c.BinDuration())
+	}
+	// 1 Mb/s for one second: 125000 bytes split over two bins.
+	for i := 0; i < 10; i++ {
+		eng.Schedule(time.Duration(i)*100*time.Millisecond, func() {
+			p := &packet.Packet{Flow: 1, Size: 12500}
+			c.Tap(p)
+			c.TapDelivered(p)
+		})
+	}
+	eng.Run(sim.At(time.Second))
+	series := c.BitrateSeries(1, 2)
+	if len(series) != 2 {
+		t.Fatalf("series length %d", len(series))
+	}
+	for i, v := range series {
+		if v < 0.99 || v > 1.01 {
+			t.Errorf("bin %d = %.3f Mb/s, want 1.0", i, v)
+		}
+	}
+}
+
+func TestRateBetween(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := NewCapture(eng, 500*time.Millisecond)
+	eng.Schedule(250*time.Millisecond, func() {
+		p := &packet.Packet{Flow: 2, Size: 62500}
+		c.Tap(p)
+		c.TapDelivered(p)
+	})
+	eng.Run(sim.At(2 * time.Second))
+	// 62500 B in the first 0.5 s bin = 1 Mb/s over that bin.
+	got := c.RateBetween(2, 0, sim.At(500*time.Millisecond))
+	if got.Mbit() < 0.99 || got.Mbit() > 1.01 {
+		t.Errorf("RateBetween = %v", got)
+	}
+	// Averaged over 2 s it is 0.25 Mb/s.
+	got = c.RateBetween(2, 0, sim.At(2*time.Second))
+	if got.Mbit() < 0.24 || got.Mbit() > 0.26 {
+		t.Errorf("RateBetween full = %v", got)
+	}
+}
+
+func TestLossAccounting(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := NewCapture(eng, 500*time.Millisecond)
+	for i := 0; i < 100; i++ {
+		c.Tap(&packet.Packet{Flow: 3, Size: 1000})
+	}
+	for i := 0; i < 5; i++ {
+		c.OnDrop(&packet.Packet{Flow: 3, Size: 1000})
+	}
+	loss := c.LossBetween(3, 0, sim.At(500*time.Millisecond))
+	if loss != 0.05 {
+		t.Errorf("loss = %v, want 0.05", loss)
+	}
+	if c.Flow(3).Drops != 5 || c.Flow(3).Packets != 100 {
+		t.Errorf("totals: %+v", c.Flow(3))
+	}
+}
+
+func TestFlowsIndependent(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := NewCapture(eng, 500*time.Millisecond)
+	c.Tap(&packet.Packet{Flow: 1, Size: 1000})
+	c.Tap(&packet.Packet{Flow: 2, Size: 9000})
+	c.TapDelivered(&packet.Packet{Flow: 1, Size: 1000})
+	if c.Flow(1).Bytes != 1000 || c.Flow(2).Bytes != 9000 {
+		t.Error("flows mixed")
+	}
+	if c.LossBetween(1, 0, sim.At(time.Second)) != 0 {
+		t.Error("phantom loss")
+	}
+	if c.Flow(1).Delivered != 1000 || c.Flow(2).Delivered != 0 {
+		t.Error("delivered accounting wrong")
+	}
+	off := c.OfferedSeries(2, 1)
+	if off[0] == 0 {
+		t.Error("offered series empty for tapped flow")
+	}
+}
+
+func TestUnknownFlowEmpty(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := NewCapture(eng, 500*time.Millisecond)
+	if c.RateBetween(9, 0, sim.At(time.Second)) != 0 {
+		t.Error("unknown flow rate should be 0")
+	}
+	series := c.BitrateSeries(9, 4)
+	for _, v := range series {
+		if v != 0 {
+			t.Error("unknown flow series should be zero")
+		}
+	}
+}

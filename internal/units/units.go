@@ -1,0 +1,116 @@
+// Package units provides typed quantities used throughout the simulator:
+// data rates in bits per second, byte sizes, and bandwidth-delay-product
+// helpers. Keeping these as distinct types prevents the classic
+// bits-versus-bytes confusion in rate-limiter and congestion-control math.
+package units
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Rate is a data rate in bits per second.
+type Rate int64
+
+// Common rate constants.
+const (
+	BitPerSec  Rate = 1
+	KbitPerSec Rate = 1_000
+	MbitPerSec Rate = 1_000_000
+	GbitPerSec Rate = 1_000_000_000
+)
+
+// Mbps returns a Rate of m megabits per second.
+func Mbps(m float64) Rate { return Rate(m * float64(MbitPerSec)) }
+
+// Kbps returns a Rate of k kilobits per second.
+func Kbps(k float64) Rate { return Rate(k * float64(KbitPerSec)) }
+
+// Gbps returns a Rate of g gigabits per second.
+func Gbps(g float64) Rate { return Rate(g * float64(GbitPerSec)) }
+
+// Mbit returns the rate in megabits per second as a float.
+func (r Rate) Mbit() float64 { return float64(r) / float64(MbitPerSec) }
+
+// BytesPerSec returns the rate in bytes per second.
+func (r Rate) BytesPerSec() float64 { return float64(r) / 8 }
+
+// TimeToTransmit returns how long transmitting n bytes takes at rate r.
+// A zero or negative rate transmits instantaneously (infinite capacity).
+func (r Rate) TimeToTransmit(n ByteSize) time.Duration {
+	if r <= 0 {
+		return 0
+	}
+	bits := float64(n) * 8
+	sec := bits / float64(r)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// BytesIn returns how many whole bytes rate r delivers in d.
+func (r Rate) BytesIn(d time.Duration) ByteSize {
+	if r <= 0 || d <= 0 {
+		return 0
+	}
+	bits := float64(r) * d.Seconds()
+	return ByteSize(bits / 8)
+}
+
+// Scale returns r scaled by factor f.
+func (r Rate) Scale(f float64) Rate {
+	return Rate(math.Round(float64(r) * f))
+}
+
+// String formats the rate with an adaptive unit, e.g. "25.0 Mb/s".
+func (r Rate) String() string {
+	switch {
+	case r >= GbitPerSec:
+		return fmt.Sprintf("%.1f Gb/s", float64(r)/float64(GbitPerSec))
+	case r >= MbitPerSec:
+		return fmt.Sprintf("%.1f Mb/s", float64(r)/float64(MbitPerSec))
+	case r >= KbitPerSec:
+		return fmt.Sprintf("%.1f Kb/s", float64(r)/float64(KbitPerSec))
+	default:
+		return fmt.Sprintf("%d b/s", int64(r))
+	}
+}
+
+// ByteSize is a size in bytes.
+type ByteSize int64
+
+// Common size constants.
+const (
+	Byte ByteSize = 1
+	KB   ByteSize = 1_000
+	MB   ByteSize = 1_000_000
+)
+
+// Bits returns the size in bits.
+func (b ByteSize) Bits() int64 { return int64(b) * 8 }
+
+// String formats the size with an adaptive unit, e.g. "510.0 KB".
+func (b ByteSize) String() string {
+	switch {
+	case b >= MB:
+		return fmt.Sprintf("%.1f MB", float64(b)/float64(MB))
+	case b >= KB:
+		return fmt.Sprintf("%.1f KB", float64(b)/float64(KB))
+	default:
+		return fmt.Sprintf("%d B", int64(b))
+	}
+}
+
+// BDP returns the bandwidth-delay product in bytes for a bottleneck of the
+// given rate and round-trip time. This mirrors the paper's definition: link
+// capacity in bits per second multiplied by the round-trip time in seconds.
+func BDP(rate Rate, rtt time.Duration) ByteSize {
+	return rate.BytesIn(rtt)
+}
+
+// RateFromBytes returns the average rate of n bytes transferred over d.
+func RateFromBytes(n ByteSize, d time.Duration) Rate {
+	if d <= 0 {
+		return 0
+	}
+	return Rate(float64(n.Bits()) / d.Seconds())
+}

@@ -1,0 +1,164 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRateConstructors(t *testing.T) {
+	if Mbps(25) != 25*MbitPerSec {
+		t.Errorf("Mbps(25) = %d, want %d", Mbps(25), 25*MbitPerSec)
+	}
+	if Kbps(500) != 500*KbitPerSec {
+		t.Errorf("Kbps(500) = %d, want %d", Kbps(500), 500*KbitPerSec)
+	}
+	if Gbps(1) != GbitPerSec {
+		t.Errorf("Gbps(1) = %d, want %d", Gbps(1), GbitPerSec)
+	}
+}
+
+func TestRateMbit(t *testing.T) {
+	if got := Mbps(25).Mbit(); got != 25 {
+		t.Errorf("Mbit() = %v, want 25", got)
+	}
+}
+
+func TestTimeToTransmit(t *testing.T) {
+	// 1500 bytes at 12 Mb/s = 12000 bits / 12e6 b/s = 1 ms.
+	got := Mbps(12).TimeToTransmit(1500)
+	if got != time.Millisecond {
+		t.Errorf("TimeToTransmit = %v, want 1ms", got)
+	}
+}
+
+func TestTimeToTransmitZeroRate(t *testing.T) {
+	if got := Rate(0).TimeToTransmit(1500); got != 0 {
+		t.Errorf("zero rate should transmit instantly, got %v", got)
+	}
+}
+
+func TestBytesIn(t *testing.T) {
+	// 8 Mb/s for 1 s = 1 MB.
+	if got := Mbps(8).BytesIn(time.Second); got != 1_000_000 {
+		t.Errorf("BytesIn = %v, want 1000000", got)
+	}
+	if got := Mbps(8).BytesIn(-time.Second); got != 0 {
+		t.Errorf("negative duration should give 0, got %v", got)
+	}
+}
+
+func TestBDP(t *testing.T) {
+	// The paper's normal condition: 25 Mb/s with 16.5 ms RTT.
+	// BDP = 25e6 * 0.0165 / 8 = 51562.5 bytes.
+	got := BDP(Mbps(25), 16500*time.Microsecond)
+	want := ByteSize(51562)
+	if got != want {
+		t.Errorf("BDP = %d, want %d", got, want)
+	}
+}
+
+func TestRateFromBytes(t *testing.T) {
+	// 1 MB over 1 s = 8 Mb/s.
+	got := RateFromBytes(1_000_000, time.Second)
+	if got != Mbps(8) {
+		t.Errorf("RateFromBytes = %v, want 8 Mb/s", got)
+	}
+	if got := RateFromBytes(100, 0); got != 0 {
+		t.Errorf("zero duration should give 0, got %v", got)
+	}
+}
+
+func TestRateString(t *testing.T) {
+	cases := []struct {
+		r    Rate
+		want string
+	}{
+		{Gbps(1), "1.0 Gb/s"},
+		{Mbps(25), "25.0 Mb/s"},
+		{Kbps(500), "500.0 Kb/s"},
+		{Rate(12), "12 b/s"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("String(%d) = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestByteSizeString(t *testing.T) {
+	cases := []struct {
+		b    ByteSize
+		want string
+	}{
+		{2 * MB, "2.0 MB"},
+		{510 * KB, "510.0 KB"},
+		{12, "12 B"},
+	}
+	for _, c := range cases {
+		if got := c.b.String(); got != c.want {
+			t.Errorf("String(%d) = %q, want %q", c.b, got, c.want)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	if got := Mbps(10).Scale(0.5); got != Mbps(5) {
+		t.Errorf("Scale = %v, want 5 Mb/s", got)
+	}
+}
+
+// Property: transmitting BytesIn(d) bytes at rate r takes approximately d.
+func TestTransmitRoundTrip(t *testing.T) {
+	f := func(rateMbit uint16, ms uint16) bool {
+		if rateMbit == 0 || ms == 0 {
+			return true
+		}
+		r := Mbps(float64(rateMbit))
+		d := time.Duration(ms) * time.Millisecond
+		n := r.BytesIn(d)
+		back := r.TimeToTransmit(n)
+		// Within one byte's transmission time of d.
+		tol := r.TimeToTransmit(1) + time.Nanosecond
+		diff := back - d
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= tol
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BDP is monotone in both rate and RTT.
+func TestBDPMonotone(t *testing.T) {
+	f := func(a, b uint8, ms uint8) bool {
+		if ms == 0 {
+			return true
+		}
+		lo, hi := Rate(a)*MbitPerSec, Rate(b)*MbitPerSec
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		rtt := time.Duration(ms) * time.Millisecond
+		return BDP(lo, rtt) <= BDP(hi, rtt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBits(t *testing.T) {
+	if got := ByteSize(10).Bits(); got != 80 {
+		t.Errorf("Bits = %d, want 80", got)
+	}
+}
+
+func TestScaleRounding(t *testing.T) {
+	got := Rate(3).Scale(0.5)
+	if math.Abs(float64(got)-1.5) > 0.5 {
+		t.Errorf("Scale(3, .5) = %v, want 2 (rounded)", got)
+	}
+}

@@ -1,0 +1,27 @@
+# Verification entry points. `make verify` is the tier-1 gate plus the
+# static and race checks that keep the concurrent sweep code honest; CI and
+# pre-commit hooks should call it rather than re-listing the steps.
+
+GO ?= go
+
+.PHONY: verify build test vet race bench
+
+verify: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The sweep runner and the observability sinks are the only concurrent
+# code in the repository; keep them race-clean.
+race:
+	$(GO) test -race ./internal/experiment/... ./internal/sim/... ./internal/obs/...
+
+# One regeneration per benchmark target (reduced-size campaigns).
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

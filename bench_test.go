@@ -104,7 +104,7 @@ func BenchmarkLossRates(b *testing.B) {
 
 // BenchmarkSingleRun measures the cost of one full-fidelity 9-minute trace
 // (the unit of work behind every table cell) and reports simulated events
-// per second.
+// per run, engine dispatch throughput, and the sim/wall speedup.
 func BenchmarkSingleRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res := experiment.Run(experiment.RunConfig{
@@ -117,6 +117,10 @@ func BenchmarkSingleRun(b *testing.B) {
 			Seed: uint64(i + 1),
 		})
 		b.ReportMetric(float64(res.EventsProcessed), "events/run")
+		if s := res.Engine; s.WallTime > 0 {
+			b.ReportMetric(s.EventsPerSecond(), "events/sec")
+			b.ReportMetric(s.Speedup(), "sim_x_real")
+		}
 	}
 }
 

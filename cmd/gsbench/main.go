@@ -9,19 +9,29 @@
 //	gsbench -exp table4 -iters 5         # one table, fewer runs
 //	gsbench -exp figure2 -scale 0.2      # compressed timeline
 //	gsbench -exp figure3 -aqm fq_codel   # future-work AQM variant
+//	gsbench -exp all -progress -runlog runs.jsonl
+//
+// Ctrl-C cancels the in-progress sweep: in-flight runs drain, tables
+// rendered from the partial data mark missing cells with "-", and the
+// remaining experiments are skipped.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/figures"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -29,19 +39,57 @@ func main() {
 		exp     = flag.String("exp", "all", "experiment: table1|figure2|figure3|figure4|table3|table4|table5|loss|harm|mix|aqmcmp|ablation|responserecovery|qoe|summary|all")
 		iters   = flag.Int("iters", 15, "iterations per condition (paper: 15)")
 		scale   = flag.Float64("scale", 1.0, "timeline compression factor (1.0 = full 9-minute traces)")
-		workers = flag.Int("workers", runtime.NumCPU(), "parallel runs")
+		workers = flag.Int("workers", experiment.DefaultWorkers(), "parallel runs")
 		aqm     = flag.String("aqm", experiment.AQMDropTail, "bottleneck queue discipline: droptail|codel|fq_codel")
 		saveDir = flag.String("save", "", "save materialised sweeps into this directory")
 		loadDir = flag.String("load", "", "load previously saved sweeps from this directory")
+
+		progress   = flag.Bool("progress", false, "print live sweep progress to stderr")
+		runlog     = flag.String("runlog", "", "write one JSONL record per completed run to this file (truncates)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	c := figures.NewCampaign(figures.Options{
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gsbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "gsbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memprofile)
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	opts := figures.Options{
 		Iterations: *iters,
 		TimeScale:  *scale,
 		Workers:    *workers,
 		AQM:        *aqm,
-	})
+	}
+	if *progress {
+		opts.Progress = obs.NewPrinter(os.Stderr)
+	}
+	if *runlog != "" {
+		f, err := os.Create(*runlog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gsbench:", err)
+			os.Exit(1)
+		}
+		// Unbuffered on purpose: one small write per completed run keeps
+		// the log tail-able while the campaign executes.
+		defer f.Close()
+		opts.RunLog = obs.NewJSONL(f)
+	}
+	c := figures.NewCampaign(opts)
+	c.SetContext(ctx)
 
 	if *loadDir != "" {
 		if err := c.Load(*loadDir); err != nil {
@@ -99,19 +147,21 @@ func main() {
 		}
 	}
 
-	if *exp == "all" {
-		for _, name := range []string{
-			"table1", "figure2", "figure3", "figure4",
-			"table3", "table4", "table5", "loss",
-			"responserecovery", "summary",
-		} {
-			run(name)
-		}
-	} else {
+	names := []string{
+		"table1", "figure2", "figure3", "figure4",
+		"table3", "table4", "table5", "loss",
+		"responserecovery", "summary",
+	}
+	if *exp != "all" {
 		// Comma-separated experiments share one campaign (one set of
 		// sweeps) within this process.
-		for _, name := range strings.Split(*exp, ",") {
-			run(strings.TrimSpace(name))
+		names = strings.Split(*exp, ",")
+	}
+	for _, name := range names {
+		run(strings.TrimSpace(name))
+		if c.Interrupted() {
+			fmt.Fprintln(os.Stderr, "gsbench: interrupted — results above are partial; skipping remaining experiments")
+			break
 		}
 	}
 	if *saveDir != "" {
@@ -122,4 +172,20 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "gsbench: done in %v (iters=%d scale=%g workers=%d aqm=%s)\n",
 		time.Since(start), *iters, *scale, *workers, *aqm)
+}
+
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gsbench:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "gsbench:", err)
+	}
 }

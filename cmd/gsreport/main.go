@@ -1,13 +1,19 @@
-// Command gsreport reads a trace CSV produced by gssim and recomputes the
-// paper's derived measures offline: original/adjusted bitrates, response
-// and recovery times, adaptiveness inputs, fairness ratio, and RTT/frame
-// rate summaries. This separates data collection from analysis the way the
-// paper's Wireshark-then-scripts pipeline did.
+// Command gsreport reads artefacts produced by gssim and recomputes the
+// paper's derived measures offline. In its default mode it parses a trace
+// CSV and reports original/adjusted bitrates, response and recovery times,
+// adaptiveness inputs, fairness ratio, and RTT/frame rate summaries. With
+// -runlog it instead aggregates a JSONL run log (written by gssim -sweep
+// or gsbench) per condition — including interrupted, partial campaigns.
+// This separates data collection from analysis the way the paper's
+// Wireshark-then-scripts pipeline did.
 //
 // Usage:
 //
 //	gssim -system luna -cca bbr > trace.csv
 //	gsreport -capacity 25 trace.csv
+//
+//	gssim -sweep -runlog runs.jsonl
+//	gsreport -runlog runs.jsonl
 package main
 
 import (
@@ -15,11 +21,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -27,10 +35,19 @@ func main() {
 	capacity := flag.Float64("capacity", 25, "bottleneck capacity in Mb/s (for the fairness ratio)")
 	flowStart := flag.Float64("flow-start", 185, "competing flow arrival (s)")
 	flowStop := flag.Float64("flow-stop", 370, "competing flow departure (s)")
+	runlog := flag.String("runlog", "", "aggregate a JSONL run log instead of a trace CSV")
 	flag.Parse()
 
+	if *runlog != "" {
+		if err := reportRunLog(*runlog); err != nil {
+			fmt.Fprintln(os.Stderr, "gsreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: gsreport [flags] trace.csv")
+		fmt.Fprintln(os.Stderr, "usage: gsreport [flags] trace.csv  |  gsreport -runlog runs.jsonl")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -84,6 +101,71 @@ func main() {
 	if loss := window(cols["game_loss"], tcol, *flowStart+transient, *flowStop); len(loss) > 0 {
 		fmt.Printf("game loss:          %6.3f %%\n", 100*stats.Mean(loss))
 	}
+}
+
+// reportRunLog aggregates a JSONL run log per condition: run counts, mean
+// headline metrics, and the engine's aggregate throughput — a campaign
+// health check that works on partial (interrupted) logs too.
+func reportRunLog(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := obs.ReadJSONL(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("%s: no records", path)
+	}
+
+	type agg struct {
+		n                         int
+		game, tcp, fair, rtt, fps stats.Accumulator
+		events                    uint64
+		wall                      float64
+	}
+	byCond := map[string]*agg{}
+	var totalEvents uint64
+	var totalWall float64
+	for _, r := range recs {
+		a := byCond[r.Cond]
+		if a == nil {
+			a = &agg{}
+			byCond[r.Cond] = a
+		}
+		a.n++
+		a.game.Add(r.GameMbps)
+		a.tcp.Add(r.TCPMbps)
+		a.fair.Add(r.Fairness)
+		a.rtt.Add(r.RTTMs)
+		a.fps.Add(r.FPS)
+		a.events += r.Engine.Events
+		a.wall += r.Engine.WallSeconds
+		totalEvents += r.Engine.Events
+		totalWall += r.Engine.WallSeconds
+	}
+
+	var conds []string
+	for c := range byCond {
+		conds = append(conds, c)
+	}
+	sort.Strings(conds)
+
+	fmt.Printf("run log: %s (%d runs, %d conditions)\n", path, len(recs), len(conds))
+	fmt.Printf("%-28s %5s %10s %10s %9s %8s %7s\n",
+		"condition", "runs", "game Mb/s", "tcp Mb/s", "fairness", "rtt ms", "fps")
+	for _, c := range conds {
+		a := byCond[c]
+		fmt.Printf("%-28s %5d %10.1f %10.1f %+9.2f %8.1f %7.1f\n",
+			c, a.n, a.game.Mean(), a.tcp.Mean(), a.fair.Mean(), a.rtt.Mean(), a.fps.Mean())
+	}
+	if totalWall > 0 {
+		fmt.Printf("engine: %d events in %.1fs wall across runs = %.3g events/s\n",
+			totalEvents, totalWall, float64(totalEvents)/totalWall)
+	}
+	return nil
 }
 
 // readCSV parses a headered numeric CSV into named columns.

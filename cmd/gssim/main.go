@@ -1,21 +1,36 @@
-// Command gssim runs a single experiment condition and prints its 0.5 s
-// time series (game bitrate, competing-flow bitrate, RTT, frame rate, loss)
-// as CSV — the raw data behind one line of Figure 2.
+// Command gssim runs experiments directly. In its default single-run mode
+// it executes one condition and prints its 0.5 s time series (game bitrate,
+// competing-flow bitrate, RTT, frame rate, loss) as CSV — the raw data
+// behind one line of Figure 2. With -sweep it instead executes the paper's
+// full campaign grid (narrowed by -iters/-scale) with live progress,
+// structured JSONL run logs, and clean SIGINT cancellation.
 //
 // Usage:
 //
 //	gssim -system stadia -cca cubic -capacity 25 -queue 2 > trace.csv
+//	gssim -sweep -progress -runlog runs.jsonl -iters 15
+//	gssim -sweep -iters 1 -scale 0.2 -cpuprofile cpu.out
+//
+// A sweep interrupted with Ctrl-C drains its in-flight runs, reports the
+// partial results, and marks them "interrupted" on stderr and in the exit
+// summary; every completed run is already in the JSONL log.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
+	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/gamestream"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/pcap"
 	"repro/internal/report"
@@ -32,47 +47,133 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "run seed")
 		scale    = flag.Float64("scale", 1, "timeline compression")
 		pcapPath = flag.String("pcap", "", "also write the bottleneck trace as a pcap file")
+
+		sweep   = flag.Bool("sweep", false, "run the paper's full sweep grid instead of a single condition")
+		iters   = flag.Int("iters", 15, "sweep iterations per condition")
+		workers = flag.Int("workers", 0, "sweep parallelism (0 = one worker per CPU)")
+
+		progress   = flag.Bool("progress", false, "print live progress to stderr")
+		runlog     = flag.String("runlog", "", "write one JSONL record per completed run to this file (truncates)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	ccaVal := *cca
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memprofile)
+
+	var runLog *obs.JSONL
+	if *runlog != "" {
+		f, err := os.Create(*runlog)
+		if err != nil {
+			fatal(err)
+		}
+		// Unbuffered on purpose: one small write per completed run keeps
+		// the log tail-able while the sweep executes.
+		runLog = obs.NewJSONL(f)
+		defer f.Close()
+	}
+
+	if *sweep {
+		runSweep(*iters, *scale, *workers, *aqm, *progress, runLog)
+		return
+	}
+	runSingle(*system, *cca, *capacity, *queue, *aqm, *seed, *scale, *pcapPath, *progress, runLog)
+}
+
+// runSweep executes the paper's campaign with live observability and clean
+// SIGINT cancellation, printing one summary line per condition at the end.
+func runSweep(iters int, scale float64, workers int, aqm string, progress bool, runLog *obs.JSONL) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := core.SweepOptions{
+		Iterations: iters,
+		TimeScale:  scale,
+		Workers:    workers,
+		AQM:        aqm,
+	}
+	if runLog != nil {
+		opts.RunLog = runLog
+	}
+	if progress {
+		opts.Progress = obs.NewPrinter(os.Stderr)
+	}
+
+	start := time.Now()
+	sw := core.SweepContext(ctx, opts)
+
+	total := 0
+	for _, cond := range sw.Conditions {
+		total += len(cond.Runs)
+		ff, ft := cond.ContentionWindow()
+		g := cond.GameRate(ff, ft)
+		t := cond.TCPRate(ff, ft)
+		fmt.Printf("%-28s runs %2d  game %5.1f Mb/s  tcp %5.1f Mb/s  fairness %+5.2f\n",
+			cond.Cond, len(cond.Runs), g.Mean, t.Mean, cond.FairnessRatio())
+	}
+	state := "completed"
+	if sw.Interrupted {
+		state = "interrupted"
+	}
+	fmt.Fprintf(os.Stderr, "gssim: sweep %s: %d runs across %d conditions in %v\n",
+		state, total, len(sw.Conditions), time.Since(start).Round(time.Second))
+	if runLog != nil {
+		fmt.Fprintf(os.Stderr, "gssim: %d JSONL records written\n", runLog.Count())
+	}
+}
+
+// runSingle executes one condition and prints its time series as CSV.
+func runSingle(system, cca string, capacity, queue float64, aqm string, seed uint64, scale float64, pcapPath string, progress bool, runLog *obs.JSONL) {
+	ccaVal := cca
 	if ccaVal == "none" {
 		ccaVal = core.None
 	}
 	cfg := core.Config{
-		System:    gamestream.System(*system),
+		System:    gamestream.System(system),
 		CCA:       ccaVal,
-		Capacity:  core.Mbps(*capacity),
-		Queue:     *queue,
-		AQM:       *aqm,
-		Seed:      *seed,
-		TimeScale: *scale,
+		Capacity:  core.Mbps(capacity),
+		Queue:     queue,
+		AQM:       aqm,
+		Seed:      seed,
+		TimeScale: scale,
 	}
-	if *pcapPath != "" {
-		f, err := os.Create(*pcapPath)
+	if pcapPath != "" {
+		f, err := os.Create(pcapPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gssim:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
 		bw := bufio.NewWriterSize(f, 1<<20)
 		defer bw.Flush()
 		pw, err := pcap.NewWriter(bw)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gssim:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		cfg.OnPacket = func(at sim.Time, p *packet.Packet) {
 			if err := pw.Write(at, p); err != nil {
-				fmt.Fprintln(os.Stderr, "gssim: pcap:", err)
-				os.Exit(1)
+				fatal(fmt.Errorf("pcap: %w", err))
 			}
 		}
 		defer func() {
-			fmt.Fprintf(os.Stderr, "gssim: wrote %d packets to %s\n", pw.Packets(), *pcapPath)
+			fmt.Fprintf(os.Stderr, "gssim: wrote %d packets to %s\n", pw.Packets(), pcapPath)
 		}()
 	}
 	res := core.Run(cfg)
+	if runLog != nil {
+		if err := runLog.Log(res.Record(0)); err != nil {
+			fmt.Fprintln(os.Stderr, "gssim:", err)
+		}
+	}
 
 	n := len(res.GameMbps)
 	tcol := make([]float64, n)
@@ -103,4 +204,32 @@ func main() {
 		"run %s: original %.1f Mb/s, contended %.1f Mb/s, fairness %+.2f, response %.0fs, recovery %.0fs, rtt %.1f ms, fps %.1f\n",
 		res.Cfg.Condition, rr.OriginalMbs, rr.AdjustedMbs, res.FairnessRatio(),
 		rr.Response.Seconds(), rr.Recovery.Seconds(), res.MeanRTT(), res.MeanFPS())
+	if progress {
+		es := res.Engine
+		fmt.Fprintf(os.Stderr,
+			"engine: %d events (%d peak pending), %.0fs sim in %.2fs wall = %.0fx real time, %.2g events/s\n",
+			es.EventsDispatched, es.PeakPending, es.SimTime.Seconds(), es.WallTime.Seconds(),
+			es.Speedup(), es.EventsPerSecond())
+	}
+}
+
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gssim:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "gssim:", err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gssim:", err)
+	os.Exit(1)
 }

@@ -24,11 +24,13 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/gamestream"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/tcp"
@@ -157,7 +159,7 @@ type SweepOptions struct {
 	Iterations int
 	// TimeScale compresses the timeline for quick campaigns.
 	TimeScale float64
-	// Workers bounds parallelism.
+	// Workers bounds parallelism (0 = one worker per CPU).
 	Workers int
 	// AQM selects the bottleneck discipline for the whole campaign.
 	AQM string
@@ -167,15 +169,30 @@ type SweepOptions struct {
 	CCAs       []string
 	Capacities []units.Rate
 	Queues     []float64
+	// Progress, when non-nil, receives live sweep progress (e.g. an
+	// obs.Printer on stderr).
+	Progress obs.Progress
+	// RunLog, when non-nil, receives one structured record per run (e.g.
+	// an obs.JSONL on a file).
+	RunLog obs.RunLog
 }
 
 // Sweep runs a campaign over the paper's grid (or the narrowed grid in
 // opts) and returns the aggregated results.
 func Sweep(opts SweepOptions) *experiment.SweepResult {
+	return SweepContext(context.Background(), opts)
+}
+
+// SweepContext is Sweep with cancellation: cancelling ctx stops new runs
+// from starting, drains in-flight runs, and returns the partial results
+// with Interrupted set.
+func SweepContext(ctx context.Context, opts SweepOptions) *experiment.SweepResult {
 	cfg := experiment.PaperSweep()
 	cfg.Iterations = opts.Iterations
 	cfg.Workers = opts.Workers
 	cfg.AQM = opts.AQM
+	cfg.Progress = opts.Progress
+	cfg.RunLog = opts.RunLog
 	if opts.TimeScale > 0 && opts.TimeScale != 1 {
 		cfg.Timeline = cfg.Timeline.Scale(opts.TimeScale)
 	}
@@ -191,7 +208,7 @@ func Sweep(opts SweepOptions) *experiment.SweepResult {
 	if len(opts.Queues) > 0 {
 		cfg.QueueMults = opts.Queues
 	}
-	return experiment.RunSweep(cfg)
+	return experiment.RunSweep(ctx, cfg)
 }
 
 // Baselines returns Table 1's reference values: the unconstrained solo

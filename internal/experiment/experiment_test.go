@@ -1,11 +1,16 @@
 package experiment
 
 import (
+	"bytes"
+	"context"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/gamestream"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/units"
 )
 
@@ -162,7 +167,10 @@ func TestRunSweepAggregation(t *testing.T) {
 		Timeline:   quickTL,
 		Workers:    3,
 	}
-	sw := RunSweep(cfg)
+	sw := RunSweep(context.Background(), cfg)
+	if sw.Interrupted {
+		t.Error("uncancelled sweep flagged Interrupted")
+	}
 	if len(sw.Conditions) != 1 {
 		t.Fatalf("conditions = %d, want 1", len(sw.Conditions))
 	}
@@ -211,8 +219,8 @@ func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 	one.Workers = 1
 	four := base
 	four.Workers = 4
-	a := RunSweep(one)
-	b := RunSweep(four)
+	a := RunSweep(context.Background(), one)
+	b := RunSweep(context.Background(), four)
 	ra := a.Conditions[0].Runs
 	rb := b.Conditions[0].Runs
 	if len(ra) != len(rb) {
@@ -288,7 +296,7 @@ func TestSweepSaveLoadRoundtrip(t *testing.T) {
 		Timeline:   quickTL,
 		Workers:    2,
 	}
-	orig := RunSweep(cfg)
+	orig := RunSweep(context.Background(), cfg)
 	path := t.TempDir() + "/sweep.gz"
 	if err := SaveSweep(path, orig); err != nil {
 		t.Fatal(err)
@@ -331,5 +339,175 @@ func TestSweepSaveLoadRoundtrip(t *testing.T) {
 func TestLoadSweepMissingFile(t *testing.T) {
 	if _, err := LoadSweep(t.TempDir() + "/nope.gz"); err == nil {
 		t.Error("loading a missing sweep did not error")
+	}
+}
+
+// cancellingProgress is a Progress sink that cancels the sweep's context
+// after a fixed number of completed runs.
+type cancellingProgress struct {
+	cancel context.CancelFunc
+	after  int
+
+	mu       sync.Mutex
+	total    int
+	updates  []obs.Update
+	finished bool
+	partial  bool
+}
+
+func (p *cancellingProgress) SweepStart(total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.total = total
+}
+
+func (p *cancellingProgress) RunDone(u obs.Update) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.updates = append(p.updates, u)
+	if len(p.updates) == p.after {
+		p.cancel()
+	}
+}
+
+func (p *cancellingProgress) SweepDone(interrupted bool, _ time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.finished = true
+	p.partial = interrupted
+}
+
+func TestSweepCancellationReturnsPartialResults(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sink := &cancellingProgress{cancel: cancel, after: 2}
+
+	before := runtime.NumGoroutine()
+	cfg := SweepConfig{
+		Systems:    gamestream.Systems,
+		CCAs:       []string{"cubic", "bbr"},
+		Capacities: []units.Rate{units.Mbps(25)},
+		QueueMults: []float64{2},
+		Iterations: 4,
+		Timeline:   quickTL,
+		Workers:    2,
+		Progress:   sink,
+	}
+	sw := RunSweep(ctx, cfg)
+
+	if !sw.Interrupted {
+		t.Error("cancelled sweep not flagged Interrupted")
+	}
+	done := 0
+	for _, c := range sw.Conditions {
+		done += len(c.Runs)
+	}
+	if done == 0 {
+		t.Error("cancelled sweep returned no completed runs")
+	}
+	total := 3 * 2 * 4 // systems × ccas × iterations
+	if done >= total {
+		t.Errorf("cancelled sweep completed all %d runs", total)
+	}
+	sink.mu.Lock()
+	if sink.total != total {
+		t.Errorf("SweepStart total = %d, want %d", sink.total, total)
+	}
+	if len(sink.updates) != done {
+		t.Errorf("progress saw %d runs, results hold %d", len(sink.updates), done)
+	}
+	if !sink.finished || !sink.partial {
+		t.Error("SweepDone not called with interrupted=true")
+	}
+	sink.mu.Unlock()
+
+	// Workers and the job feeder must have drained: the goroutine count
+	// returns to (near) its pre-sweep level.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before sweep, %d after", before, runtime.NumGoroutine())
+}
+
+func TestSweepRunLogRecords(t *testing.T) {
+	var buf bytes.Buffer
+	log := obs.NewJSONL(&buf)
+	cfg := SweepConfig{
+		Systems:    []gamestream.System{gamestream.Stadia},
+		CCAs:       []string{"cubic"},
+		Capacities: []units.Rate{units.Mbps(25)},
+		QueueMults: []float64{2},
+		Iterations: 2,
+		Timeline:   quickTL,
+		Workers:    2,
+		RunLog:     log,
+	}
+	sw := RunSweep(context.Background(), cfg)
+	recs, err := obs.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("run log has %d records, want 2", len(recs))
+	}
+	runs := sw.Conditions[0].Runs
+	seeds := map[uint64]bool{}
+	for _, r := range runs {
+		seeds[r.Cfg.Seed] = true
+	}
+	for _, rec := range recs {
+		if !seeds[rec.Seed] {
+			t.Errorf("record seed %d not among the sweep's runs", rec.Seed)
+		}
+		if rec.Cond != runs[0].Cfg.Condition.String() {
+			t.Errorf("record cond = %q, want %q", rec.Cond, runs[0].Cfg.Condition.String())
+		}
+		if rec.Engine.Events == 0 || rec.Engine.Scheduled < rec.Engine.Events {
+			t.Errorf("engine stats malformed: %+v", rec.Engine)
+		}
+		if rec.GameMbps <= 0 {
+			t.Errorf("record game bitrate %v not positive", rec.GameMbps)
+		}
+	}
+}
+
+func TestRunResultRecordMatchesHeadlines(t *testing.T) {
+	r := quickRun(t, Condition{
+		System: gamestream.Stadia, CCA: "cubic", Capacity: units.Mbps(25), QueueMult: 2,
+	}, 9)
+	rec := r.Record(3)
+	ff, ft := r.Cfg.Timeline.FairnessWindow()
+	if rec.Iteration != 3 || rec.Seed != r.Cfg.Seed {
+		t.Errorf("identity fields wrong: %+v", rec)
+	}
+	if want := r.GameSeries().MeanBetween(ff, ft); rec.GameMbps != want {
+		t.Errorf("GameMbps = %v, want %v", rec.GameMbps, want)
+	}
+	if rec.Engine.Events != r.Engine.EventsDispatched {
+		t.Errorf("Engine.Events = %d, want %d", rec.Engine.Events, r.Engine.EventsDispatched)
+	}
+	if rec.Engine.SimSeconds != r.Engine.SimTime.Seconds() {
+		t.Errorf("Engine.SimSeconds = %v, want %v", rec.Engine.SimSeconds, r.Engine.SimTime.Seconds())
+	}
+	if rec.FramesDisplayed != r.FramesDisplayed {
+		t.Errorf("FramesDisplayed = %d, want %d", rec.FramesDisplayed, r.FramesDisplayed)
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if DefaultWorkers() != runtime.NumCPU() {
+		t.Errorf("DefaultWorkers = %d, want NumCPU %d", DefaultWorkers(), runtime.NumCPU())
+	}
+	if cfg := (SweepConfig{}).Defaults(); cfg.Workers != DefaultWorkers() {
+		t.Errorf("SweepConfig default workers = %d, want %d", cfg.Workers, DefaultWorkers())
+	}
+	// A negative count would spawn zero workers and return an empty
+	// "interrupted" sweep; Defaults must normalise it too.
+	if cfg := (SweepConfig{Workers: -3}).Defaults(); cfg.Workers != DefaultWorkers() {
+		t.Errorf("negative workers normalised to %d, want %d", cfg.Workers, DefaultWorkers())
 	}
 }

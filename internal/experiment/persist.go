@@ -30,6 +30,7 @@ type persistedRun struct {
 	NackRetx         int64
 	TCPRetransmits   int
 	EventsProcessed  uint64
+	Engine           sim.Stats
 }
 
 type persistedSample struct {
@@ -58,7 +59,12 @@ func SaveSweep(path string, s *SweepResult) error {
 		Cfg        SweepConfig
 		Conditions int
 	}
-	if err := enc.Encode(header{Cfg: s.Cfg, Conditions: len(s.Conditions)}); err != nil {
+	// The observability sinks are live objects, not data; strip them so
+	// the header stays encodable and self-contained.
+	cfg := s.Cfg
+	cfg.Progress = nil
+	cfg.RunLog = nil
+	if err := enc.Encode(header{Cfg: cfg, Conditions: len(s.Conditions)}); err != nil {
 		return fmt.Errorf("experiment: save sweep header: %w", err)
 	}
 	for _, cond := range s.Conditions {
@@ -143,6 +149,7 @@ func toPersisted(r *RunResult) persistedRun {
 		NackRetx:         r.NackRetx,
 		TCPRetransmits:   r.TCPRetransmits,
 		EventsProcessed:  r.EventsProcessed,
+		Engine:           r.Engine,
 	}
 	for _, s := range r.RTT {
 		p.RTT = append(p.RTT, persistedSample{At: int64(s.At), RTT: int64(s.RTT)})
@@ -166,6 +173,7 @@ func fromPersisted(p *persistedRun) *RunResult {
 		NackRetx:         p.NackRetx,
 		TCPRetransmits:   p.TCPRetransmits,
 		EventsProcessed:  p.EventsProcessed,
+		Engine:           p.Engine,
 	}
 	for _, s := range p.RTT {
 		r.RTT = append(r.RTT, pingSample(s.At, s.RTT))

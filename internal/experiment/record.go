@@ -1,0 +1,54 @@
+package experiment
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// Record renders the run as a structured log record: condition coordinates,
+// seed, engine counters, and the headline metrics over the paper's
+// stabilised contention window. iter is the run's index within its grid
+// cell (pass 0 for standalone runs).
+func (r *RunResult) Record(iter int) obs.Record {
+	ff, ft := r.Cfg.Timeline.FairnessWindow()
+	game := r.GameSeries().MeanBetween(ff, ft)
+	tcp := r.TCPSeries().MeanBetween(ff, ft)
+	rtt := 0.0
+	if xs := r.RTTBetween(ff, ft); len(xs) > 0 {
+		for _, x := range xs {
+			rtt += x
+		}
+		rtt /= float64(len(xs))
+	}
+	es := r.Engine
+	return obs.Record{
+		Cond:         r.Cfg.Condition.String(),
+		System:       string(r.Cfg.System),
+		CCA:          r.Cfg.CCA,
+		CapacityMbps: r.Cfg.Capacity.Mbit(),
+		QueueMult:    r.Cfg.QueueMult,
+		AQM:          r.Cfg.AQM,
+		Seed:         r.Cfg.Seed,
+		Iteration:    iter,
+		Engine: obs.EngineStats{
+			Events:          es.EventsDispatched,
+			Scheduled:       es.EventsScheduled,
+			PeakPending:     es.PeakPending,
+			SimSeconds:      es.SimTime.Seconds(),
+			WallSeconds:     es.WallTime.Seconds(),
+			Speedup:         es.Speedup(),
+			EventsPerSecond: es.EventsPerSecond(),
+		},
+		GameMbps:        game,
+		TCPMbps:         tcp,
+		Fairness:        metrics.FairnessRatio(game, tcp, r.Cfg.Capacity.Mbit()),
+		RTTMs:           rtt,
+		FPS:             r.FPSSeries().MeanBetween(ff, ft),
+		LossPct:         100 * r.LossBetween(ff, ft),
+		FramesSent:      r.FramesSent,
+		FramesDisplayed: r.FramesDisplayed,
+		FramesDropped:   r.FramesDropped,
+		NackRetx:        r.NackRetx,
+		TCPRetransmits:  r.TCPRetransmits,
+	}
+}

@@ -1,15 +1,24 @@
 package experiment
 
 import (
+	"context"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/gamestream"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/units"
 )
+
+// DefaultWorkers is the repository-wide default for run parallelism: one
+// worker per CPU. Every layer that exposes a Workers knob (SweepConfig,
+// figures.Options, cmd/gsbench) funnels its zero value through this
+// function, so the default lives in exactly one place.
+func DefaultWorkers() int { return runtime.NumCPU() }
 
 // SweepConfig describes a full experimental campaign (Table 2 defaults).
 type SweepConfig struct {
@@ -22,10 +31,16 @@ type SweepConfig struct {
 	Timeline   metrics.Timeline
 	BaseRTT    time.Duration
 	Burst      units.ByteSize
-	// Workers bounds run parallelism (0 = 8).
+	// Workers bounds run parallelism (<= 0 = DefaultWorkers, i.e. NumCPU).
 	Workers int
 	// BaseSeed derives all per-run seeds deterministically.
 	BaseSeed uint64
+	// Progress, when non-nil, receives live sweep progress (see obs). It
+	// is never persisted by SaveSweep.
+	Progress obs.Progress
+	// RunLog, when non-nil, receives one structured record per completed
+	// run (see obs.JSONL). It is never persisted by SaveSweep.
+	RunLog obs.RunLog
 }
 
 // PaperSweep returns the paper's full grid: 3 systems × {cubic, bbr} ×
@@ -62,8 +77,8 @@ func (s SweepConfig) Defaults() SweepConfig {
 	if s.Timeline == (metrics.Timeline{}) {
 		s.Timeline = metrics.PaperTimeline
 	}
-	if s.Workers == 0 {
-		s.Workers = 8
+	if s.Workers <= 0 {
+		s.Workers = DefaultWorkers()
 	}
 	if s.BaseSeed == 0 {
 		s.BaseSeed = 20220322
@@ -96,6 +111,10 @@ type ConditionResult struct {
 type SweepResult struct {
 	Cfg        SweepConfig
 	Conditions []*ConditionResult
+	// Interrupted is set when the sweep's context was cancelled before
+	// every run completed; the Conditions then hold only the runs that
+	// finished.
+	Interrupted bool
 }
 
 // Find returns the result for a condition, or nil.
@@ -113,8 +132,15 @@ func (s *SweepResult) Find(cond Condition) *ConditionResult {
 // a position-derived seed. The iteration order mirrors the paper's striping
 // (outer: iteration; inner: system) to document the methodology, although
 // in simulation ordering has no temporal effect.
-func RunSweep(cfg SweepConfig) *SweepResult {
+//
+// Cancelling ctx stops new runs from starting; in-flight runs complete and
+// the partial result comes back with Interrupted set. Progress and run-log
+// sinks on cfg observe the sweep as it executes.
+func RunSweep(ctx context.Context, cfg SweepConfig) *SweepResult {
 	cfg = cfg.Defaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 
 	type job struct {
 		cond Condition
@@ -135,34 +161,72 @@ func RunSweep(cfg SweepConfig) *SweepResult {
 			}
 		}
 	}
+	total := len(jobs)
+	if cfg.Progress != nil {
+		cfg.Progress.SweepStart(total)
+	}
+	start := time.Now()
+
+	// Feed jobs through a channel so cancellation simply stops the feed;
+	// workers drain whatever is in flight and exit.
+	jobCh := make(chan job)
+	go func() {
+		defer close(jobCh)
+		for _, j := range jobs {
+			select {
+			case jobCh <- j:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
 
 	results := make(map[Condition][]*RunResult)
 	var mu sync.Mutex
+	done := 0
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for _, j := range jobs {
-		j := j
+	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
-		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			rc := RunConfig{
-				Condition: j.cond,
-				Timeline:  cfg.Timeline,
-				Seed:      runSeed(cfg.BaseSeed, j.iter, j.cond),
-				BaseRTT:   cfg.BaseRTT,
-				Burst:     cfg.Burst,
+			for j := range jobCh {
+				runStart := time.Now()
+				rc := RunConfig{
+					Condition: j.cond,
+					Timeline:  cfg.Timeline,
+					Seed:      runSeed(cfg.BaseSeed, j.iter, j.cond),
+					BaseRTT:   cfg.BaseRTT,
+					Burst:     cfg.Burst,
+				}
+				res := Run(rc)
+				if cfg.RunLog != nil {
+					// Sinks serialise internally; errors are the sink's
+					// to surface (a broken log must not kill a campaign).
+					_ = cfg.RunLog.Log(res.Record(j.iter))
+				}
+				mu.Lock()
+				results[j.cond] = append(results[j.cond], res)
+				done++
+				d := done
+				mu.Unlock()
+				if cfg.Progress != nil {
+					elapsed := time.Since(start)
+					var eta time.Duration
+					if d < total {
+						eta = time.Duration(float64(elapsed) / float64(d) * float64(total-d))
+					}
+					cfg.Progress.RunDone(obs.Update{
+						Done: d, Total: total,
+						Cond: j.cond.String(), Seed: rc.Seed, Iteration: j.iter,
+						RunWall: time.Since(runStart), Elapsed: elapsed, ETA: eta,
+					})
+				}
 			}
-			res := Run(rc)
-			mu.Lock()
-			results[j.cond] = append(results[j.cond], res)
-			mu.Unlock()
 		}()
 	}
 	wg.Wait()
 
-	out := &SweepResult{Cfg: cfg}
+	out := &SweepResult{Cfg: cfg, Interrupted: done < total}
 	for cond, runs := range results {
 		sort.Slice(runs, func(i, j int) bool { return runs[i].Cfg.Seed < runs[j].Cfg.Seed })
 		out.Conditions = append(out.Conditions, &ConditionResult{Cond: cond, Runs: runs})
@@ -170,6 +234,9 @@ func RunSweep(cfg SweepConfig) *SweepResult {
 	sort.Slice(out.Conditions, func(i, j int) bool {
 		return out.Conditions[i].Cond.String() < out.Conditions[j].Cond.String()
 	})
+	if cfg.Progress != nil {
+		cfg.Progress.SweepDone(out.Interrupted, time.Since(start))
+	}
 	return out
 }
 

@@ -1,10 +1,3 @@
-// Package experiment reproduces the paper's methodology: it wires the
-// Figure-1 testbed (game server and iperf server behind a shaped bottleneck
-// router, game client and iperf client on the LAN side), runs the 9-minute
-// automated procedure with the competing TCP flow active in the middle
-// third, and sweeps the full parameter grid — system × congestion control ×
-// capacity × queue size × iteration — collecting the traces behind every
-// table and figure.
 package experiment
 
 import (
@@ -172,6 +165,9 @@ type RunResult struct {
 	NackRetx        int64
 	TCPRetransmits  int
 	EventsProcessed uint64
+	// Engine is the full engine counter snapshot at the end of the run
+	// (EventsProcessed is kept alongside for older call sites).
+	Engine sim.Stats
 }
 
 // GameSeries returns the game bitrate as a metrics.Series.
@@ -361,6 +357,7 @@ func Run(cfg RunConfig) *RunResult {
 		FramesDropped:   client.FramesDropped,
 		NackRetx:        server.Retransmits,
 		EventsProcessed: eng.Processed(),
+		Engine:          eng.Stats(),
 	}
 	res.GameLossBins = lossBins(capture, flowGame, nbins)
 	res.TCPLossBins = lossBins(capture, flowIperf, nbins)

@@ -6,6 +6,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/gamestream"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/units"
@@ -26,18 +28,23 @@ type Options struct {
 	Iterations int
 	// TimeScale compresses the 9-minute timeline; 0 or 1 is full length.
 	TimeScale float64
-	// Workers bounds run parallelism.
+	// Workers bounds run parallelism (<= 0 = one worker per CPU).
 	Workers int
 	// AQM overrides the bottleneck discipline (default drop-tail).
 	AQM string
+	// Progress, when non-nil, observes every sweep the campaign runs.
+	Progress obs.Progress
+	// RunLog, when non-nil, receives one structured record per run across
+	// all of the campaign's sweeps.
+	RunLog obs.RunLog
 }
 
 func (o Options) defaults() Options {
 	if o.Iterations == 0 {
 		o.Iterations = 15
 	}
-	if o.Workers == 0 {
-		o.Workers = 8
+	if o.Workers <= 0 {
+		o.Workers = experiment.DefaultWorkers()
 	}
 	return o
 }
@@ -55,6 +62,9 @@ func (o Options) timeline() metrics.Timeline {
 type Campaign struct {
 	Opts Options
 
+	ctx         context.Context
+	interrupted bool
+
 	contended *experiment.SweepResult // cubic+bbr grid
 	solo      *experiment.SweepResult // no competing flow grid
 	baseline  *experiment.SweepResult // unconstrained, no competing flow
@@ -62,18 +72,43 @@ type Campaign struct {
 
 // NewCampaign prepares a campaign with the given options.
 func NewCampaign(opts Options) *Campaign {
-	return &Campaign{Opts: opts.defaults()}
+	return &Campaign{Opts: opts.defaults(), ctx: context.Background()}
+}
+
+// SetContext installs the context future sweeps run under. Cancelling it
+// makes in-progress sweeps return partial results (flagged via
+// Interrupted); tables rendered from partial sweeps mark missing cells
+// with "-".
+func (c *Campaign) SetContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.ctx = ctx
+}
+
+// Interrupted reports whether any of the campaign's sweeps was cancelled
+// before completing.
+func (c *Campaign) Interrupted() bool { return c.interrupted }
+
+// sweep applies the campaign-wide options and runs cfg.
+func (c *Campaign) sweep(cfg experiment.SweepConfig) *experiment.SweepResult {
+	cfg.Iterations = c.Opts.Iterations
+	cfg.Workers = c.Opts.Workers
+	cfg.Timeline = c.Opts.timeline()
+	cfg.AQM = c.Opts.AQM
+	cfg.Progress = c.Opts.Progress
+	cfg.RunLog = c.Opts.RunLog
+	sw := experiment.RunSweep(c.ctx, cfg)
+	if sw.Interrupted {
+		c.interrupted = true
+	}
+	return sw
 }
 
 // Contended runs (once) and returns the full competing-flow sweep.
 func (c *Campaign) Contended() *experiment.SweepResult {
 	if c.contended == nil {
-		cfg := experiment.PaperSweep()
-		cfg.Iterations = c.Opts.Iterations
-		cfg.Workers = c.Opts.Workers
-		cfg.Timeline = c.Opts.timeline()
-		cfg.AQM = c.Opts.AQM
-		c.contended = experiment.RunSweep(cfg)
+		c.contended = c.sweep(experiment.PaperSweep())
 	}
 	return c.contended
 }
@@ -83,11 +118,7 @@ func (c *Campaign) Solo() *experiment.SweepResult {
 	if c.solo == nil {
 		cfg := experiment.PaperSweep()
 		cfg.CCAs = []string{""}
-		cfg.Iterations = c.Opts.Iterations
-		cfg.Workers = c.Opts.Workers
-		cfg.Timeline = c.Opts.timeline()
-		cfg.AQM = c.Opts.AQM
-		c.solo = experiment.RunSweep(cfg)
+		c.solo = c.sweep(cfg)
 	}
 	return c.solo
 }
@@ -99,11 +130,7 @@ func (c *Campaign) Baseline() *experiment.SweepResult {
 		cfg.CCAs = []string{""}
 		cfg.Capacities = []units.Rate{units.Mbps(950)}
 		cfg.QueueMults = []float64{2}
-		cfg.Iterations = c.Opts.Iterations
-		cfg.Workers = c.Opts.Workers
-		cfg.Timeline = c.Opts.timeline()
-		cfg.AQM = c.Opts.AQM
-		c.baseline = experiment.RunSweep(cfg)
+		c.baseline = c.sweep(cfg)
 	}
 	return c.baseline
 }

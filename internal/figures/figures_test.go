@@ -119,7 +119,7 @@ func TestCampaignCachesSweeps(t *testing.T) {
 
 func TestOptionsDefaults(t *testing.T) {
 	o := Options{}.defaults()
-	if o.Iterations != 15 || o.Workers != 8 {
+	if o.Iterations != 15 || o.Workers != experiment.DefaultWorkers() {
 		t.Errorf("defaults = %+v", o)
 	}
 }

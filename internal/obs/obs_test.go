@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func sampleRecord(i int) Record {
+	return Record{
+		Cond: "stadia/cubic/B25/q2.0x", System: "stadia", CCA: "cubic",
+		CapacityMbps: 25, QueueMult: 2, AQM: "droptail",
+		Seed: uint64(100 + i), Iteration: i,
+		Engine:   EngineStats{Events: 1000, Scheduled: 1010, PeakPending: 40, SimSeconds: 540, WallSeconds: 2, Speedup: 270},
+		GameMbps: 18.5, TCPMbps: 5.1, Fairness: 0.53, RTTMs: 21.0, FPS: 59.2, LossPct: 0.4,
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewJSONL(&buf)
+	for i := 0; i < 3; i++ {
+		if err := l.Log(sampleRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Count() != 3 {
+		t.Errorf("Count = %d, want 3", l.Count())
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 3 {
+		t.Errorf("output has %d lines, want 3", got)
+	}
+	recs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("read %d records", len(recs))
+	}
+	for i, r := range recs {
+		if r != sampleRecord(i) {
+			t.Errorf("record %d round-trip mismatch:\n got %+v\nwant %+v", i, r, sampleRecord(i))
+		}
+	}
+}
+
+func TestJSONLConcurrentWriters(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewJSONL(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = l.Log(sampleRecord(w*50 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	recs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("interleaved writes corrupted the log: %v", err)
+	}
+	if len(recs) != 400 || l.Count() != 400 {
+		t.Errorf("records = %d, Count = %d, want 400", len(recs), l.Count())
+	}
+}
+
+func TestReadJSONLSkipsBlankAndRejectsGarbage(t *testing.T) {
+	recs, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(recs) != 0 {
+		t.Errorf("blank log: recs=%d err=%v", len(recs), err)
+	}
+	if _, err := ReadJSONL(strings.NewReader("{\"cond\":\"x\"}\nnot json\n")); err == nil {
+		t.Error("garbage line did not error")
+	}
+}
+
+func TestPrinterLifecycle(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPrinter(&buf)
+	p.Every = 0 // print every update
+	p.SweepStart(4)
+	for i := 1; i <= 4; i++ {
+		p.RunDone(Update{
+			Done: i, Total: 4, Cond: "luna/bbr/B25/q7.0x",
+			RunWall: 100 * time.Millisecond, Elapsed: time.Duration(i) * time.Second,
+			ETA: time.Duration(4-i) * time.Second,
+		})
+	}
+	p.SweepDone(false, 4*time.Second)
+	out := buf.String()
+	for _, want := range []string{"starting 4 runs", "4/4 (100.0%)", "luna/bbr/B25/q7.0x", "done after 4s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if w := p.CondWall()["luna/bbr/B25/q7.0x"]; w != 400*time.Millisecond {
+		t.Errorf("per-condition wall = %v, want 400ms", w)
+	}
+}
+
+func TestPrinterThrottles(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPrinter(&buf)
+	p.Every = time.Hour // nothing but the final update may print
+	p.SweepStart(100)
+	for i := 1; i <= 100; i++ {
+		p.RunDone(Update{Done: i, Total: 100, Cond: "c"})
+	}
+	lines := strings.Count(buf.String(), "\n")
+	// One "starting" line plus exactly one progress line (the 100/100 one).
+	if lines != 2 {
+		t.Errorf("throttled printer wrote %d lines, want 2:\n%s", lines, buf.String())
+	}
+}
+
+func TestPrinterInterruptedSummary(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPrinter(&buf)
+	p.SweepStart(10)
+	p.RunDone(Update{Done: 1, Total: 10, Cond: "a", RunWall: time.Second})
+	p.SweepDone(true, 30*time.Second)
+	if !strings.Contains(buf.String(), "interrupted after 30s") {
+		t.Errorf("missing interrupted summary:\n%s", buf.String())
+	}
+}

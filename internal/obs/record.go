@@ -1,0 +1,68 @@
+package obs
+
+// EngineStats is the JSON-friendly form of the discrete-event engine's
+// execution counters (sim.Stats), flattened to plain numbers so run logs
+// stay readable without knowing the simulator's internal types.
+type EngineStats struct {
+	// Events is the number of events dispatched by the engine.
+	Events uint64 `json:"events"`
+	// Scheduled is the number of events ever scheduled (dispatched plus
+	// still pending when the run ended).
+	Scheduled uint64 `json:"scheduled"`
+	// PeakPending is the high-water mark of the event queue depth.
+	PeakPending int `json:"peak_pending"`
+	// SimSeconds is how much virtual time the run advanced.
+	SimSeconds float64 `json:"sim_s"`
+	// WallSeconds is how much wall-clock time the engine spent dispatching.
+	WallSeconds float64 `json:"wall_s"`
+	// Speedup is SimSeconds/WallSeconds: how much faster than real time
+	// the run executed.
+	Speedup float64 `json:"speedup"`
+	// EventsPerSecond is the engine's dispatch throughput.
+	EventsPerSecond float64 `json:"events_per_s"`
+}
+
+// Record is the structured log line one experiment run emits: where the run
+// sits in the grid, how it was seeded, how the engine performed, and the
+// headline metrics the paper's tables report. One Record per run makes a
+// campaign grep-able ("every Luna/BBR cell"), tail-able while it executes,
+// and diffable across code revisions.
+type Record struct {
+	// Cond is the compact condition string, e.g. "stadia/cubic/B25/q2.0x".
+	Cond string `json:"cond"`
+	// System, CCA, CapacityMbps, QueueMult and AQM are the condition's
+	// individual coordinates, duplicated from Cond for structured queries.
+	System       string  `json:"system"`
+	CCA          string  `json:"cca"`
+	CapacityMbps float64 `json:"capacity_mbps"`
+	QueueMult    float64 `json:"queue_mult"`
+	AQM          string  `json:"aqm"`
+	// Seed is the run's deterministic seed; Iteration its index within the
+	// grid cell.
+	Seed      uint64 `json:"seed"`
+	Iteration int    `json:"iter"`
+
+	// Engine holds the run's execution counters.
+	Engine EngineStats `json:"engine"`
+
+	// Headline metrics over the paper's stabilised contention window.
+	GameMbps float64 `json:"game_mbps"`
+	TCPMbps  float64 `json:"tcp_mbps"`
+	Fairness float64 `json:"fairness"`
+	RTTMs    float64 `json:"rtt_ms"`
+	FPS      float64 `json:"fps"`
+	LossPct  float64 `json:"loss_pct"`
+
+	// End-state counters for the whole trace.
+	FramesSent      int64 `json:"frames_sent"`
+	FramesDisplayed int64 `json:"frames_displayed"`
+	FramesDropped   int64 `json:"frames_dropped"`
+	NackRetx        int64 `json:"nack_retx"`
+	TCPRetransmits  int   `json:"tcp_retx"`
+}
+
+// RunLog consumes one Record per completed run. Implementations must be
+// safe for concurrent use: sweeps log from worker goroutines.
+type RunLog interface {
+	Log(Record) error
+}

@@ -6,7 +6,9 @@ import (
 )
 
 // BenchmarkEventDispatch measures raw event throughput of the engine —
-// the figure that bounds how fast full experiment runs can go.
+// the figure that bounds how fast full experiment runs can go. The
+// events/sec metric gives BENCH_*.json a trajectory to track across
+// revisions.
 func BenchmarkEventDispatch(b *testing.B) {
 	e := NewEngine(1)
 	n := 0
@@ -20,6 +22,9 @@ func BenchmarkEventDispatch(b *testing.B) {
 	e.Schedule(time.Microsecond, fn)
 	b.ResetTimer()
 	e.Run(End)
+	if s := e.Stats().EventsPerSecond(); s > 0 {
+		b.ReportMetric(s, "events/sec")
+	}
 }
 
 // BenchmarkDeepHeap measures dispatch with a large pending event set.
@@ -40,6 +45,9 @@ func BenchmarkDeepHeap(b *testing.B) {
 	e.Schedule(time.Microsecond, fn)
 	b.ResetTimer()
 	e.Run(At(30 * time.Minute))
+	if s := e.Stats().EventsPerSecond(); s > 0 {
+		b.ReportMetric(s, "events/sec")
+	}
 }
 
 func BenchmarkRNG(b *testing.B) {

@@ -76,6 +76,65 @@ type Engine struct {
 	rng     *RNG
 	// processed counts dispatched events, for diagnostics and benchmarks.
 	processed uint64
+	// peakPending is the high-water mark of the event heap.
+	peakPending int
+	// wall accumulates wall-clock time spent inside Run. It never feeds
+	// back into the simulation, so determinism is preserved.
+	wall time.Duration
+}
+
+// Stats is a snapshot of the engine's counters. All counters are maintained
+// on the hot event loop at the cost of one integer compare per Schedule and
+// two wall-clock reads per Run call, so snapshotting is always cheap and
+// safe.
+type Stats struct {
+	// EventsDispatched is the number of events popped and executed.
+	EventsDispatched uint64
+	// EventsScheduled is the number of events ever pushed (including ones
+	// still pending). The invariant EventsDispatched == EventsScheduled -
+	// uint64(Pending) holds at all times, because events only ever leave
+	// the queue by being dispatched.
+	EventsScheduled uint64
+	// Pending is the number of events still waiting in the queue.
+	Pending int
+	// PeakPending is the high-water mark of the event queue depth, a proxy
+	// for the simulation's working-set size.
+	PeakPending int
+	// SimTime is the current virtual clock.
+	SimTime Time
+	// WallTime is the cumulative wall-clock time spent inside Run.
+	WallTime time.Duration
+}
+
+// Speedup returns simulated seconds advanced per wall-clock second spent in
+// Run — the figure that tells you how much faster than real time the
+// simulation executes. Zero if no wall time has been recorded yet.
+func (s Stats) Speedup() float64 {
+	if s.WallTime <= 0 {
+		return 0
+	}
+	return s.SimTime.Seconds() / s.WallTime.Seconds()
+}
+
+// EventsPerSecond returns dispatched events per wall-clock second, or zero
+// if no wall time has been recorded yet.
+func (s Stats) EventsPerSecond() float64 {
+	if s.WallTime <= 0 {
+		return 0
+	}
+	return float64(s.EventsDispatched) / s.WallTime.Seconds()
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		EventsDispatched: e.processed,
+		EventsScheduled:  e.seq,
+		Pending:          e.events.Len(),
+		PeakPending:      e.peakPending,
+		SimTime:          e.now,
+		WallTime:         e.wall,
+	}
 }
 
 // NewEngine returns an engine with its clock at zero and an RNG seeded with
@@ -113,6 +172,9 @@ func (e *Engine) ScheduleAt(t Time, fn func()) {
 	}
 	e.seq++
 	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	if n := e.events.Len(); n > e.peakPending {
+		e.peakPending = n
+	}
 }
 
 // Stop halts the run loop after the current event finishes.
@@ -122,6 +184,7 @@ func (e *Engine) Stop() { e.stopped = true }
 // called, or the clock would pass until. Events scheduled exactly at until
 // are dispatched. It returns the final virtual time.
 func (e *Engine) Run(until Time) Time {
+	start := time.Now()
 	for !e.stopped && e.events.Len() > 0 {
 		next := e.events[0]
 		if next.at > until {
@@ -135,6 +198,7 @@ func (e *Engine) Run(until Time) Time {
 	if e.now < until && !e.stopped {
 		e.now = until
 	}
+	e.wall += time.Since(start)
 	return e.now
 }
 

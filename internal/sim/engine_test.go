@@ -305,3 +305,89 @@ func TestTimeHelpers(t *testing.T) {
 		t.Errorf("String = %q", tm.String())
 	}
 }
+
+func TestStatsInvariants(t *testing.T) {
+	e := NewEngine(1)
+	// Schedule 10 events; run past only the first 6.
+	for i := 0; i < 10; i++ {
+		e.Schedule(time.Duration(i)*time.Second, func() {})
+	}
+	e.Run(At(5 * time.Second))
+	s := e.Stats()
+	if s.EventsScheduled != 10 {
+		t.Errorf("EventsScheduled = %d, want 10", s.EventsScheduled)
+	}
+	if s.EventsDispatched != 6 {
+		t.Errorf("EventsDispatched = %d, want 6", s.EventsDispatched)
+	}
+	if s.Pending != 4 {
+		t.Errorf("Pending = %d, want 4", s.Pending)
+	}
+	// The core invariant: dispatched == scheduled - pending, at any point.
+	if s.EventsDispatched != s.EventsScheduled-uint64(s.Pending) {
+		t.Errorf("invariant violated: dispatched %d != scheduled %d - pending %d",
+			s.EventsDispatched, s.EventsScheduled, s.Pending)
+	}
+	if s.PeakPending != 10 {
+		t.Errorf("PeakPending = %d, want 10", s.PeakPending)
+	}
+	if s.SimTime != At(5*time.Second) {
+		t.Errorf("SimTime = %v", s.SimTime)
+	}
+	if s.WallTime <= 0 {
+		t.Error("WallTime not recorded")
+	}
+
+	// Drain the rest; the invariant must still hold and peak must not move.
+	e.Run(End)
+	s = e.Stats()
+	if s.EventsDispatched != 10 || s.Pending != 0 {
+		t.Errorf("after drain: dispatched %d pending %d", s.EventsDispatched, s.Pending)
+	}
+	if s.EventsDispatched != s.EventsScheduled-uint64(s.Pending) {
+		t.Error("invariant violated after drain")
+	}
+	if s.PeakPending != 10 {
+		t.Errorf("PeakPending moved to %d", s.PeakPending)
+	}
+}
+
+func TestStatsInvariantHoldsMidRun(t *testing.T) {
+	e := NewEngine(1)
+	rng := e.Rand()
+	// A self-rescheduling workload with a random branching factor checks
+	// the invariant under churn, sampled from inside event callbacks.
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		s := e.Stats()
+		if s.EventsDispatched != s.EventsScheduled-uint64(s.Pending) {
+			t.Fatalf("invariant violated mid-run at event %d: %+v", n, s)
+		}
+		if n < 500 {
+			for k := uint64(0); k <= rng.Uint64()%2; k++ {
+				e.Schedule(time.Duration(1+rng.Uint64()%1000)*time.Microsecond, fn)
+			}
+		}
+	}
+	e.Schedule(0, fn)
+	e.Run(End)
+	if n < 500 {
+		t.Fatalf("workload ended early: %d events", n)
+	}
+}
+
+func TestStatsSpeedupAndThroughput(t *testing.T) {
+	s := Stats{EventsDispatched: 1000, SimTime: At(10 * time.Second), WallTime: time.Second}
+	if got := s.Speedup(); got != 10 {
+		t.Errorf("Speedup = %v, want 10", got)
+	}
+	if got := s.EventsPerSecond(); got != 1000 {
+		t.Errorf("EventsPerSecond = %v, want 1000", got)
+	}
+	var zero Stats
+	if zero.Speedup() != 0 || zero.EventsPerSecond() != 0 {
+		t.Error("zero-wall stats must report 0, not NaN/Inf")
+	}
+}

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race bench
+.PHONY: verify build test vet race bench probe-demo
 
 verify: build vet test race
 
@@ -25,3 +25,9 @@ race:
 # One regeneration per benchmark target (reduced-size campaigns).
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# The EXPERIMENTS.md worked example: one probed Cubic-vs-BBR run plus the
+# terminal summaries of the exported CC and queue telemetry.
+probe-demo:
+	$(GO) run ./cmd/gssim -cca cubic,bbr -probe -probe-out demo > demo.trace.csv
+	$(GO) run ./cmd/gsreport -cc demo.cc.csv -queue demo.queue.csv

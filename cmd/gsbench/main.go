@@ -32,6 +32,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/figures"
 	"repro/internal/obs"
+	"repro/internal/probe"
 )
 
 func main() {
@@ -48,6 +49,11 @@ func main() {
 		runlog     = flag.String("runlog", "", "write one JSONL record per completed run to this file (truncates)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		probeOn       = flag.Bool("probe", false, "attach CC/queue instrumentation to every run")
+		probeInterval = flag.Duration("probe-interval", 100*time.Millisecond, "probe sampling interval (0 = snapshot on every ACK)")
+		events        = flag.Int("events", 0, "packet lifecycle event ring capacity per run (0 = off)")
+		probeDir      = flag.String("probe-out", "probes", "directory receiving per-run probe exports")
 	)
 	flag.Parse()
 
@@ -73,6 +79,13 @@ func main() {
 		TimeScale:  *scale,
 		Workers:    *workers,
 		AQM:        *aqm,
+	}
+	if *probeOn {
+		opts.Probe = &probe.Config{Interval: *probeInterval, Events: *events}
+		if *probeInterval == 0 {
+			opts.Probe.PerAck = true
+		}
+		opts.ProbeDir = *probeDir
 	}
 	if *progress {
 		opts.Progress = obs.NewPrinter(os.Stderr)

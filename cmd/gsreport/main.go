@@ -4,6 +4,8 @@
 // adaptiveness inputs, fairness ratio, and RTT/frame rate summaries. With
 // -runlog it instead aggregates a JSONL run log (written by gssim -sweep
 // or gsbench) per condition — including interrupted, partial campaigns.
+// With -cc / -queue it summarises probe exports (gssim -probe): per-flow
+// cwnd-vs-time and per-queue depth-vs-time with terminal sparklines.
 // This separates data collection from analysis the way the paper's
 // Wireshark-then-scripts pipeline did.
 //
@@ -14,6 +16,9 @@
 //
 //	gssim -sweep -runlog runs.jsonl
 //	gsreport -runlog runs.jsonl
+//
+//	gssim -cca cubic,bbr -probe -probe-out demo
+//	gsreport -cc demo.cc.csv -queue demo.queue.csv
 package main
 
 import (
@@ -36,12 +41,29 @@ func main() {
 	flowStart := flag.Float64("flow-start", 185, "competing flow arrival (s)")
 	flowStop := flag.Float64("flow-stop", 370, "competing flow departure (s)")
 	runlog := flag.String("runlog", "", "aggregate a JSONL run log instead of a trace CSV")
+	ccPath := flag.String("cc", "", "summarise a probe cc.csv export (cwnd-vs-time per flow)")
+	queuePath := flag.String("queue", "", "summarise a probe queue.csv export (depth-vs-time per queue)")
 	flag.Parse()
 
 	if *runlog != "" {
 		if err := reportRunLog(*runlog); err != nil {
 			fmt.Fprintln(os.Stderr, "gsreport:", err)
 			os.Exit(1)
+		}
+		return
+	}
+	if *ccPath != "" || *queuePath != "" {
+		if *ccPath != "" {
+			if err := reportCC(*ccPath); err != nil {
+				fmt.Fprintln(os.Stderr, "gsreport:", err)
+				os.Exit(1)
+			}
+		}
+		if *queuePath != "" {
+			if err := reportQueue(*queuePath); err != nil {
+				fmt.Fprintln(os.Stderr, "gsreport:", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

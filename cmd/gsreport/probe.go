@@ -1,0 +1,241 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// probeRows is a headered CSV parsed keeping every field as a string, since
+// probe exports mix numeric and categorical columns (flow names, CC modes).
+type probeRows struct {
+	headers []string
+	col     map[string]int
+	rows    [][]string
+}
+
+func readProbeCSV(path string) (*probeRows, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("%s: empty file", path)
+	}
+	p := &probeRows{
+		headers: strings.Split(strings.TrimSpace(sc.Text()), ","),
+		col:     map[string]int{},
+	}
+	for i, h := range p.headers {
+		p.col[h] = i
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		p.rows = append(p.rows, strings.Split(line, ","))
+	}
+	return p, sc.Err()
+}
+
+// field returns the named column of a row ("" when absent).
+func (p *probeRows) field(row []string, name string) string {
+	i, ok := p.col[name]
+	if !ok || i >= len(row) {
+		return ""
+	}
+	return row[i]
+}
+
+func (p *probeRows) num(row []string, name string) float64 {
+	v, _ := strconv.ParseFloat(p.field(row, name), 64)
+	return v
+}
+
+// sparkline renders vs as a fixed-width block-character strip, downsampling
+// by bucket means — enough to see a Cubic sawtooth or a filling queue in a
+// terminal without a plotting stack.
+func sparkline(vs []float64, width int) string {
+	if len(vs) == 0 {
+		return ""
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	if width > len(vs) {
+		width = len(vs)
+	}
+	buckets := make([]float64, width)
+	for b := range buckets {
+		lo, hi := b*len(vs)/width, (b+1)*len(vs)/width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, v := range vs[lo:hi] {
+			sum += v
+		}
+		buckets[b] = sum / float64(hi-lo)
+	}
+	min, max := buckets[0], buckets[0]
+	for _, v := range buckets {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]rune, width)
+	for i, v := range buckets {
+		k := 0
+		if max > min {
+			k = int((v - min) / (max - min) * float64(len(ramp)-1))
+		}
+		out[i] = ramp[k]
+	}
+	return string(out)
+}
+
+// reportCC summarises a probe cc.csv: per-flow cwnd-vs-time with sample
+// counts, byte summaries and a sparkline, plus the RTT picture and the CC
+// mode mix — the quick-look version of the paper's cwnd mechanism plots.
+func reportCC(path string) error {
+	p, err := readProbeCSV(path)
+	if err != nil {
+		return err
+	}
+	if _, ok := p.col["cwnd_bytes"]; !ok {
+		return fmt.Errorf("%s: not a cc probe export (no cwnd_bytes column)", path)
+	}
+	type flowAgg struct {
+		alg    string
+		t      []float64
+		cwnd   []float64
+		infl   []float64
+		srttMS []float64
+		modes  map[string]int
+	}
+	flows := map[string]*flowAgg{}
+	var order []string
+	for _, row := range p.rows {
+		name := p.field(row, "flow")
+		fa := flows[name]
+		if fa == nil {
+			fa = &flowAgg{alg: p.field(row, "alg"), modes: map[string]int{}}
+			flows[name] = fa
+			order = append(order, name)
+		}
+		fa.t = append(fa.t, p.num(row, "t_s"))
+		fa.cwnd = append(fa.cwnd, p.num(row, "cwnd_bytes"))
+		fa.infl = append(fa.infl, p.num(row, "inflight_bytes"))
+		fa.srttMS = append(fa.srttMS, p.num(row, "srtt_us")/1000)
+		if m := p.field(row, "mode"); m != "" {
+			fa.modes[m]++
+		}
+	}
+	fmt.Printf("cc probe: %s (%d samples, %d flows)\n", path, len(p.rows), len(flows))
+	for _, name := range order {
+		fa := flows[name]
+		span := 0.0
+		if n := len(fa.t); n > 0 {
+			span = fa.t[n-1] - fa.t[0]
+		}
+		cw := stats.Summarize(fa.cwnd)
+		in := stats.Summarize(fa.infl)
+		rt := stats.Summarize(nonzero(fa.srttMS))
+		fmt.Printf("\nflow %s (%s): %d samples over %.1f s\n", name, fa.alg, len(fa.t), span)
+		fmt.Printf("  cwnd:     mean %7.1f kB  max %7.1f kB\n", cw.Mean/1000, maxOf(fa.cwnd)/1000)
+		fmt.Printf("  cwnd/t:   %s\n", sparkline(fa.cwnd, 60))
+		fmt.Printf("  inflight: mean %7.1f kB  max %7.1f kB\n", in.Mean/1000, maxOf(fa.infl)/1000)
+		if rt.N > 0 {
+			fmt.Printf("  srtt:     mean %7.1f ms  sd %.1f ms\n", rt.Mean, rt.StdDev)
+		}
+		if len(fa.modes) > 0 {
+			var ms []string
+			for m := range fa.modes {
+				ms = append(ms, m)
+			}
+			sort.Strings(ms)
+			parts := make([]string, len(ms))
+			for i, m := range ms {
+				parts[i] = fmt.Sprintf("%s %.0f%%", m, 100*float64(fa.modes[m])/float64(len(fa.t)))
+			}
+			fmt.Printf("  modes:    %s\n", strings.Join(parts, ", "))
+		}
+	}
+	return nil
+}
+
+// reportQueue summarises a probe queue.csv: occupancy-vs-time per queue with
+// a sparkline, sojourn statistics, and the drop total — the queue half of
+// the paper's bufferbloat mechanism.
+func reportQueue(path string) error {
+	p, err := readProbeCSV(path)
+	if err != nil {
+		return err
+	}
+	if _, ok := p.col["sojourn_us"]; !ok {
+		return fmt.Errorf("%s: not a queue probe export (no sojourn_us column)", path)
+	}
+	type qAgg struct {
+		t, bytes, pkts []float64
+		sojournMS      []float64
+		drops          float64
+	}
+	queues := map[string]*qAgg{}
+	var order []string
+	for _, row := range p.rows {
+		name := p.field(row, "queue")
+		qa := queues[name]
+		if qa == nil {
+			qa = &qAgg{}
+			queues[name] = qa
+			order = append(order, name)
+		}
+		qa.t = append(qa.t, p.num(row, "t_s"))
+		qa.bytes = append(qa.bytes, p.num(row, "bytes"))
+		qa.pkts = append(qa.pkts, p.num(row, "packets"))
+		if s := p.field(row, "sojourn_us"); s != "" {
+			qa.sojournMS = append(qa.sojournMS, p.num(row, "sojourn_us")/1000)
+		}
+		qa.drops = p.num(row, "cum_drops") // cumulative; last row wins
+	}
+	fmt.Printf("queue probe: %s (%d samples, %d queues)\n", path, len(p.rows), len(queues))
+	for _, name := range order {
+		qa := queues[name]
+		span := 0.0
+		if n := len(qa.t); n > 0 {
+			span = qa.t[n-1] - qa.t[0]
+		}
+		by := stats.Summarize(qa.bytes)
+		fmt.Printf("\nqueue %s: %d samples over %.1f s\n", name, len(qa.t), span)
+		fmt.Printf("  depth:    mean %7.1f kB  max %7.1f kB  (mean %.1f pkts)\n",
+			by.Mean/1000, maxOf(qa.bytes)/1000, stats.Mean(qa.pkts))
+		fmt.Printf("  depth/t:  %s\n", sparkline(qa.bytes, 60))
+		if len(qa.sojournMS) > 0 {
+			so := stats.Summarize(qa.sojournMS)
+			fmt.Printf("  sojourn:  mean %7.1f ms  max %7.1f ms  (%d non-empty samples)\n",
+				so.Mean, maxOf(qa.sojournMS), len(qa.sojournMS))
+		}
+		fmt.Printf("  drops:    %.0f\n", qa.drops)
+	}
+	return nil
+}
+
+func maxOf(vs []float64) float64 {
+	m := 0.0
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -23,8 +23,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 	"time"
 
@@ -56,8 +58,21 @@ func main() {
 		runlog     = flag.String("runlog", "", "write one JSONL record per completed run to this file (truncates)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		probeOn       = flag.Bool("probe", false, "attach CC/queue instrumentation and export cc/queue/drops series")
+		probeInterval = flag.Duration("probe-interval", 100*time.Millisecond, "probe sampling interval (0 = snapshot on every ACK)")
+		events        = flag.Int("events", 0, "packet lifecycle event ring capacity (0 = off)")
+		probeOut      = flag.String("probe-out", "probe", "probe export location: basename prefix for a single run, directory for -sweep")
 	)
 	flag.Parse()
+
+	var probeCfg *core.ProbeConfig
+	if *probeOn {
+		probeCfg = &core.ProbeConfig{Interval: *probeInterval, Events: *events}
+		if *probeInterval == 0 {
+			probeCfg.PerAck = true
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -84,15 +99,15 @@ func main() {
 	}
 
 	if *sweep {
-		runSweep(*iters, *scale, *workers, *aqm, *progress, runLog)
+		runSweep(*iters, *scale, *workers, *aqm, *progress, runLog, probeCfg, *probeOut)
 		return
 	}
-	runSingle(*system, *cca, *capacity, *queue, *aqm, *seed, *scale, *pcapPath, *progress, runLog)
+	runSingle(*system, *cca, *capacity, *queue, *aqm, *seed, *scale, *pcapPath, *progress, runLog, probeCfg, *probeOut)
 }
 
 // runSweep executes the paper's campaign with live observability and clean
 // SIGINT cancellation, printing one summary line per condition at the end.
-func runSweep(iters int, scale float64, workers int, aqm string, progress bool, runLog *obs.JSONL) {
+func runSweep(iters int, scale float64, workers int, aqm string, progress bool, runLog *obs.JSONL, probeCfg *core.ProbeConfig, probeDir string) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -101,6 +116,10 @@ func runSweep(iters int, scale float64, workers int, aqm string, progress bool, 
 		TimeScale:  scale,
 		Workers:    workers,
 		AQM:        aqm,
+	}
+	if probeCfg != nil {
+		opts.Probe = probeCfg
+		opts.ProbeDir = probeDir
 	}
 	if runLog != nil {
 		opts.RunLog = runLog
@@ -132,8 +151,10 @@ func runSweep(iters int, scale float64, workers int, aqm string, progress bool, 
 	}
 }
 
-// runSingle executes one condition and prints its time series as CSV.
-func runSingle(system, cca string, capacity, queue float64, aqm string, seed uint64, scale float64, pcapPath string, progress bool, runLog *obs.JSONL) {
+// runSingle executes one condition and prints its time series as CSV. The
+// -cca flag accepts a comma-separated list (e.g. "cubic,bbr") to put
+// several bulk flows on the bottleneck at once.
+func runSingle(system, cca string, capacity, queue float64, aqm string, seed uint64, scale float64, pcapPath string, progress bool, runLog *obs.JSONL, probeCfg *core.ProbeConfig, probeOut string) {
 	ccaVal := cca
 	if ccaVal == "none" {
 		ccaVal = core.None
@@ -146,6 +167,11 @@ func runSingle(system, cca string, capacity, queue float64, aqm string, seed uin
 		AQM:       aqm,
 		Seed:      seed,
 		TimeScale: scale,
+		Probe:     probeCfg,
+	}
+	if ccas := strings.Split(ccaVal, ","); len(ccas) > 1 {
+		cfg.CCA = ccas[0] // condition label; the competitor list drives the run
+		cfg.Competitors = ccas
 	}
 	if pcapPath != "" {
 		f, err := os.Create(pcapPath)
@@ -169,8 +195,25 @@ func runSingle(system, cca string, capacity, queue float64, aqm string, seed uin
 		}()
 	}
 	res := core.Run(cfg)
+	var pmeta *obs.ProbeMeta
+	if res.Probe != nil {
+		dir, base := filepath.Split(probeOut)
+		if dir == "" {
+			dir = "."
+		}
+		m, err := res.Probe.Export(dir, base)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gssim:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "gssim: probe: %d cc samples, %d queue samples, %d events -> %s.{cc,queue,drops}.csv\n",
+				m.CCSamples, m.QueueSamples, m.Events, probeOut)
+		}
+		pmeta = &m
+	}
 	if runLog != nil {
-		if err := runLog.Log(res.Record(0)); err != nil {
+		rec := res.Record(0)
+		rec.Probe = pmeta
+		if err := runLog.Log(rec); err != nil {
 			fmt.Fprintln(os.Stderr, "gssim:", err)
 		}
 	}

@@ -32,10 +32,16 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/packet"
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/tcp"
 	"repro/internal/units"
 )
+
+// ProbeConfig configures the tcp_probe-style instrumentation layer (alias
+// of probe.Config): CC state sampling cadence and the lifecycle event ring
+// capacity.
+type ProbeConfig = probe.Config
 
 // Game-streaming systems under test.
 const (
@@ -89,6 +95,13 @@ type Config struct {
 	// OnPacket, when non-nil, observes every packet at the bottleneck
 	// router (e.g. a pcap tap).
 	OnPacket func(at sim.Time, p *packet.Packet)
+	// Competitors, when non-empty, replaces the single CCA iperf flow with
+	// one bulk iperf flow per listed algorithm (e.g. {"cubic", "bbr"} for
+	// a mixed-contention run).
+	Competitors []string
+	// Probe, when non-nil, attaches CC/queue/lifecycle instrumentation;
+	// the capture comes back on Result.Probe.
+	Probe *probe.Config
 }
 
 // Result is the outcome of one run. It embeds the experiment-level result
@@ -103,6 +116,10 @@ func Run(cfg Config) Result {
 	if cfg.TimeScale > 0 && cfg.TimeScale != 1 {
 		tl = tl.Scale(cfg.TimeScale)
 	}
+	var comps []experiment.Competitor
+	for _, cca := range cfg.Competitors {
+		comps = append(comps, experiment.Competitor{Kind: experiment.CompIperf, CCA: cca})
+	}
 	rr := experiment.Run(experiment.RunConfig{
 		Condition: experiment.Condition{
 			System:    cfg.System,
@@ -111,9 +128,11 @@ func Run(cfg Config) Result {
 			QueueMult: cfg.Queue,
 			AQM:       cfg.AQM,
 		},
-		Timeline: tl,
-		Seed:     cfg.Seed,
-		OnPacket: cfg.OnPacket,
+		Timeline:    tl,
+		Seed:        cfg.Seed,
+		OnPacket:    cfg.OnPacket,
+		Competitors: comps,
+		Probe:       cfg.Probe,
 	})
 	return Result{rr}
 }
@@ -175,6 +194,10 @@ type SweepOptions struct {
 	// RunLog, when non-nil, receives one structured record per run (e.g.
 	// an obs.JSONL on a file).
 	RunLog obs.RunLog
+	// Probe, when non-nil, instruments every run; ProbeDir, when also
+	// non-empty, receives per-run CSV/JSONL exports.
+	Probe    *probe.Config
+	ProbeDir string
 }
 
 // Sweep runs a campaign over the paper's grid (or the narrowed grid in
@@ -193,6 +216,8 @@ func SweepContext(ctx context.Context, opts SweepOptions) *experiment.SweepResul
 	cfg.AQM = opts.AQM
 	cfg.Progress = opts.Progress
 	cfg.RunLog = opts.RunLog
+	cfg.Probe = opts.Probe
+	cfg.ProbeDir = opts.ProbeDir
 	if opts.TimeScale > 0 && opts.TimeScale != 1 {
 		cfg.Timeline = cfg.Timeline.Scale(opts.TimeScale)
 	}

@@ -2,14 +2,17 @@ package experiment
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/gamestream"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/probe"
 	"repro/internal/stats"
 	"repro/internal/units"
 )
@@ -41,6 +44,13 @@ type SweepConfig struct {
 	// RunLog, when non-nil, receives one structured record per completed
 	// run (see obs.JSONL). It is never persisted by SaveSweep.
 	RunLog obs.RunLog
+	// Probe, when non-nil, instruments every run (see probe.Config); the
+	// capture metadata rides along on each RunLog record.
+	Probe *probe.Config
+	// ProbeDir, when non-empty (and Probe is set), receives one set of
+	// probe exports per run, named <cond>__seed<seed>.{cc,queue,drops}.csv
+	// (plus .events.jsonl when the ring is on).
+	ProbeDir string
 }
 
 // PaperSweep returns the paper's full grid: 3 systems × {cubic, bbr} ×
@@ -84,6 +94,12 @@ func (s SweepConfig) Defaults() SweepConfig {
 		s.BaseSeed = 20220322
 	}
 	return s
+}
+
+// probeBase derives a filesystem-safe export basename from a run's grid
+// position, e.g. "stadia_cubic_B25_q2.0x__seed123".
+func probeBase(cond Condition, seed uint64) string {
+	return fmt.Sprintf("%s__seed%d", strings.ReplaceAll(cond.String(), "/", "_"), seed)
 }
 
 // runSeed derives a deterministic seed for one run from its grid position.
@@ -197,12 +213,27 @@ func RunSweep(ctx context.Context, cfg SweepConfig) *SweepResult {
 					Seed:      runSeed(cfg.BaseSeed, j.iter, j.cond),
 					BaseRTT:   cfg.BaseRTT,
 					Burst:     cfg.Burst,
+					Probe:     cfg.Probe,
 				}
 				res := Run(rc)
+				var pmeta *obs.ProbeMeta
+				if res.Probe != nil {
+					m := res.Probe.Meta()
+					if cfg.ProbeDir != "" {
+						// An export failure must not kill a campaign; the
+						// meta then carries counts without filenames.
+						if em, err := res.Probe.Export(cfg.ProbeDir, probeBase(j.cond, rc.Seed)); err == nil {
+							m = em
+						}
+					}
+					pmeta = &m
+				}
 				if cfg.RunLog != nil {
 					// Sinks serialise internally; errors are the sink's
 					// to surface (a broken log must not kill a campaign).
-					_ = cfg.RunLog.Log(res.Record(j.iter))
+					rec := res.Record(j.iter)
+					rec.Probe = pmeta
+					_ = cfg.RunLog.Log(rec)
 				}
 				mu.Lock()
 				results[j.cond] = append(results[j.cond], res)

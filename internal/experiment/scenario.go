@@ -11,6 +11,7 @@ import (
 	"repro/internal/netem"
 	"repro/internal/packet"
 	"repro/internal/ping"
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -104,6 +105,12 @@ type RunConfig struct {
 	Burst units.ByteSize
 	// PingInterval spaces the RTT probes.
 	PingInterval time.Duration
+	// Probe, when non-nil, attaches the tcp_probe-style instrumentation
+	// layer: per-flow CC samplers on every TCP competitor, occupancy and
+	// sojourn telemetry on the bottleneck queue, and (capacity permitting)
+	// a packet lifecycle event ring. The populated probe comes back on
+	// RunResult.Probe.
+	Probe *probe.Config
 }
 
 // Defaults fills zero fields with the paper's parameters.
@@ -168,6 +175,11 @@ type RunResult struct {
 	// Engine is the full engine counter snapshot at the end of the run
 	// (EventsProcessed is kept alongside for older call sites).
 	Engine sim.Stats
+
+	// Probe holds the instrumentation capture when Cfg.Probe was set; nil
+	// otherwise. It is not persisted by SaveSweep (export it to CSV/JSONL
+	// instead).
+	Probe *probe.Probe
 }
 
 // GameSeries returns the game bitrate as a metrics.Series.
@@ -233,14 +245,38 @@ func Run(cfg RunConfig) *RunResult {
 	}
 
 	capture := trace.NewCapture(eng, trace.DefaultBin)
+	capture.SetHorizon(cfg.Timeline.TraceEnd)
 	q.SetDropCallback(capture.OnDrop)
 
+	// Instrumentation: when probing, the drop callback chains into the
+	// probe's drop-event recorder and the shaper/delivery taps feed the
+	// lifecycle ring. When not probing, every hook stays nil.
+	var prb *probe.Probe
+	if cfg.Probe != nil {
+		prb = probe.New(eng, *cfg.Probe)
+		qp := prb.AttachQueue("bottleneck", q)
+		q.SetDropCallback(func(p *packet.Packet) {
+			capture.OnDrop(p)
+			prb.OnDrop(qp, p)
+		})
+	}
+
 	downDelay := netem.NewDelay(eng, owd, clientSwitch)
-	deliveredTap := packet.HandlerFunc(func(p *packet.Packet) {
+	var deliveredTap packet.Handler = packet.HandlerFunc(func(p *packet.Packet) {
 		capture.TapDelivered(p)
 		downDelay.Handle(p)
 	})
+	if prb != nil {
+		inner := deliveredTap
+		deliveredTap = packet.HandlerFunc(func(p *packet.Packet) {
+			prb.Log(probe.EvDeliver, p)
+			inner.Handle(p)
+		})
+	}
 	shaper := netem.NewShaper(eng, cfg.Capacity, cfg.Burst, q, deliveredTap)
+	if prb != nil {
+		shaper.SetQueueTap(prb.LogTap(probe.EvEnqueue), prb.LogTap(probe.EvDequeue))
+	}
 	downRouter := netem.NewRouter()
 	downRouter.Tap(capture.Tap)
 	if cfg.OnPacket != nil {
@@ -307,10 +343,16 @@ func Run(cfg RunConfig) *RunResult {
 			if bulk == nil {
 				bulk = f
 			}
+			if prb != nil {
+				prb.AttachSender(fmt.Sprintf("iperf-%s-%d", comp.CCA, i), f.Sender)
+			}
 		case CompDash:
 			sess := dash.New(iperfServerHost, iperfClientHost, flow, dash.Config{CCA: comp.CCA})
 			eng.ScheduleAt(startAt, sess.Start)
 			eng.ScheduleAt(stopAt, sess.Stop)
+			if prb != nil {
+				prb.AttachSender(fmt.Sprintf("dash-%s-%d", comp.CCA, i), sess.Sender)
+			}
 		case CompVideoCall:
 			vp := gamestream.VideoCallProfile()
 			vs := gamestream.NewServer(iperfServerHost, flow, addrIperfClient, vp, eng.Rand().Fork())
@@ -326,6 +368,9 @@ func Run(cfg RunConfig) *RunResult {
 	ping.NewResponder(gameServerHost, flowPing)
 
 	// --- Procedure ---
+	if prb != nil {
+		prb.Start()
+	}
 	server.Start()
 	pinger.Start()
 	end := sim.At(cfg.Timeline.TraceEnd)
@@ -362,6 +407,7 @@ func Run(cfg RunConfig) *RunResult {
 	res.GameLossBins = lossBins(capture, flowGame, nbins)
 	res.TCPLossBins = lossBins(capture, flowIperf, nbins)
 	res.CompetitorTraces = compTraces
+	res.Probe = prb
 	if bulk != nil {
 		res.TCPRetransmits = bulk.Sender.Stats.Retransmits
 	}

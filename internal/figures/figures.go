@@ -17,6 +17,7 @@ import (
 	"repro/internal/gamestream"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/probe"
 	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/units"
@@ -37,6 +38,10 @@ type Options struct {
 	// RunLog, when non-nil, receives one structured record per run across
 	// all of the campaign's sweeps.
 	RunLog obs.RunLog
+	// Probe, when non-nil, instruments every run of every sweep; ProbeDir,
+	// when also non-empty, receives the per-run CSV/JSONL exports.
+	Probe    *probe.Config
+	ProbeDir string
 }
 
 func (o Options) defaults() Options {
@@ -98,6 +103,8 @@ func (c *Campaign) sweep(cfg experiment.SweepConfig) *experiment.SweepResult {
 	cfg.AQM = c.Opts.AQM
 	cfg.Progress = c.Opts.Progress
 	cfg.RunLog = c.Opts.RunLog
+	cfg.Probe = c.Opts.Probe
+	cfg.ProbeDir = c.Opts.ProbeDir
 	sw := experiment.RunSweep(c.ctx, cfg)
 	if sw.Interrupted {
 		c.interrupted = true

@@ -16,7 +16,9 @@ type Series struct {
 	V   []float64
 }
 
-// idx converts a time offset to a bin index, clamped to the series.
+// idx converts a time offset to a bin index, clamped to the series. The
+// clamping is silent by design — use Window when "no data in range" must be
+// distinguishable from "data happened to be zero".
 func (s Series) idx(t time.Duration) int {
 	i := int(t / s.Bin)
 	if i < 0 {
@@ -28,22 +30,56 @@ func (s Series) idx(t time.Duration) int {
 	return i
 }
 
-// MeanBetween returns the mean over [from, to).
-func (s Series) MeanBetween(from, to time.Duration) float64 {
+// Window returns the bins covering [from, to) and whether that window
+// actually holds data. ok is false when the series is empty, the bin width
+// is unset, or the clamped range is empty (to <= from, or from beyond the
+// recorded data). Callers for whom an empty window means "measurement
+// impossible" rather than "measured zero" — response/recovery detection in
+// particular — must branch on ok instead of trusting a zero mean.
+func (s Series) Window(from, to time.Duration) (v []float64, ok bool) {
+	if s.Bin <= 0 || len(s.V) == 0 {
+		return nil, false
+	}
 	lo, hi := s.idx(from), s.idx(to)
 	if hi <= lo {
-		return 0
+		return nil, false
 	}
-	return stats.Mean(s.V[lo:hi])
+	return s.V[lo:hi], true
 }
 
-// StdBetween returns the sample standard deviation over [from, to).
-func (s Series) StdBetween(from, to time.Duration) float64 {
-	lo, hi := s.idx(from), s.idx(to)
-	if hi <= lo {
-		return 0
+// MeanBetweenOK returns the mean over [from, to) and whether the window held
+// any data.
+func (s Series) MeanBetweenOK(from, to time.Duration) (float64, bool) {
+	w, ok := s.Window(from, to)
+	if !ok {
+		return 0, false
 	}
-	return stats.StdDev(s.V[lo:hi])
+	return stats.Mean(w), true
+}
+
+// MeanBetween returns the mean over [from, to). Zero-value contract: an
+// empty window yields 0, indistinguishable from a true zero mean; use
+// MeanBetweenOK where the difference matters.
+func (s Series) MeanBetween(from, to time.Duration) float64 {
+	m, _ := s.MeanBetweenOK(from, to)
+	return m
+}
+
+// StdBetweenOK returns the sample standard deviation over [from, to) and
+// whether the window held any data.
+func (s Series) StdBetweenOK(from, to time.Duration) (float64, bool) {
+	w, ok := s.Window(from, to)
+	if !ok {
+		return 0, false
+	}
+	return stats.StdDev(w), true
+}
+
+// StdBetween returns the sample standard deviation over [from, to), with the
+// same zero-value contract as MeanBetween.
+func (s Series) StdBetween(from, to time.Duration) float64 {
+	sd, _ := s.StdBetweenOK(from, to)
+	return sd
 }
 
 // Smoothed returns a centred moving average with the given half-window (in
@@ -148,9 +184,9 @@ type ResponseRecovery struct {
 func MeasureResponseRecovery(s Series, tl Timeline) ResponseRecovery {
 	of, ot := tl.OriginalWindow()
 	af, at := tl.AdjustedWindow()
-	orig := s.MeanBetween(of, ot)
+	orig, origOK := s.MeanBetweenOK(of, ot)
 	origStd := s.StdBetween(of, ot)
-	adj := s.MeanBetween(af, at)
+	adj, adjOK := s.MeanBetweenOK(af, at)
 	adjStd := s.StdBetween(af, at)
 
 	// Floor the tolerance bands at 5% of the respective level so a
@@ -162,8 +198,18 @@ func MeasureResponseRecovery(s Series, tl Timeline) ResponseRecovery {
 		origStd = min
 	}
 
-	resp, responded := SettleTime(s, tl.FlowStart, tl.FlowStop, adj, adjStd)
-	rec, recovered := SettleTime(s, tl.FlowStop, tl.TraceEnd, orig, origStd)
+	// A reference window with no data means the target level (and a zero
+	// tolerance band around it) would be fabricated from nothing, and a
+	// series idling at zero would "settle" instantly. Report the full scan
+	// window and not-settled instead — the honest "never responds" answer.
+	resp, responded := tl.FlowStop-tl.FlowStart, false
+	if adjOK {
+		resp, responded = SettleTime(s, tl.FlowStart, tl.FlowStop, adj, adjStd)
+	}
+	rec, recovered := tl.TraceEnd-tl.FlowStop, false
+	if origOK {
+		rec, recovered = SettleTime(s, tl.FlowStop, tl.TraceEnd, orig, origStd)
+	}
 	return ResponseRecovery{
 		Response:    resp,
 		Responded:   responded,

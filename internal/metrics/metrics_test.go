@@ -246,3 +246,73 @@ func TestSettleTimeImmediate(t *testing.T) {
 		t.Errorf("already-settled series: %v %v", d, ok)
 	}
 }
+
+func TestWindowOKSignal(t *testing.T) {
+	s := Series{Bin: time.Second, V: []float64{1, 2, 3, 4}}
+
+	if w, ok := s.Window(0, 2*time.Second); !ok || len(w) != 2 {
+		t.Errorf("Window(0,2s) = %v, %v", w, ok)
+	}
+	// Inverted and point windows hold no data.
+	if _, ok := s.Window(2*time.Second, time.Second); ok {
+		t.Error("inverted window reported ok")
+	}
+	if _, ok := s.Window(time.Second, time.Second); ok {
+		t.Error("empty window reported ok")
+	}
+	// A window entirely past the data clamps to nothing.
+	if _, ok := s.Window(10*time.Second, 20*time.Second); ok {
+		t.Error("beyond-data window reported ok")
+	}
+	// Empty and zero-bin series never report ok.
+	if _, ok := (Series{Bin: time.Second}).Window(0, time.Second); ok {
+		t.Error("empty series reported ok")
+	}
+	if _, ok := (Series{V: []float64{1}}).Window(0, time.Second); ok {
+		t.Error("zero-bin series reported ok")
+	}
+
+	// The OK variants distinguish "no data" from "mean of zero"; the plain
+	// variants keep the documented zero-value contract.
+	if m, ok := s.MeanBetweenOK(0, 2*time.Second); !ok || m != 1.5 {
+		t.Errorf("MeanBetweenOK = %v, %v", m, ok)
+	}
+	if _, ok := s.MeanBetweenOK(10*time.Second, 20*time.Second); ok {
+		t.Error("MeanBetweenOK beyond data reported ok")
+	}
+	if got := s.MeanBetween(10*time.Second, 20*time.Second); got != 0 {
+		t.Errorf("MeanBetween beyond data = %v, want 0", got)
+	}
+	if _, ok := s.StdBetweenOK(10*time.Second, 20*time.Second); ok {
+		t.Error("StdBetweenOK beyond data reported ok")
+	}
+}
+
+func TestResponseRecoveryEmptyWindows(t *testing.T) {
+	tl := Timeline{FlowStart: 185 * time.Second, FlowStop: 370 * time.Second, TraceEnd: 540 * time.Second}
+
+	// An empty series must not "settle": with no data in the reference
+	// windows the target level would be a fabricated zero, and any
+	// zero-valued series would instantly match it.
+	rr := MeasureResponseRecovery(Series{Bin: 500 * time.Millisecond}, tl)
+	if rr.Responded || rr.Recovered {
+		t.Errorf("empty series settled: %+v", rr)
+	}
+	if rr.Response != tl.FlowStop-tl.FlowStart {
+		t.Errorf("response = %v, want full scan window", rr.Response)
+	}
+	if rr.Recovery != tl.TraceEnd-tl.FlowStop {
+		t.Errorf("recovery = %v, want full scan window", rr.Recovery)
+	}
+
+	// A series truncated before the adjusted window behaves the same way
+	// for response, since the adjusted level cannot be measured.
+	short := Series{Bin: time.Second, V: make([]float64, 100)} // 100 s of data
+	for i := range short.V {
+		short.V[i] = 20
+	}
+	rr = MeasureResponseRecovery(short, tl)
+	if rr.Responded || rr.Recovered {
+		t.Errorf("truncated series settled: %+v", rr)
+	}
+}

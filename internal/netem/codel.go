@@ -171,6 +171,15 @@ func (c *CoDel) Peek() *packet.Packet {
 	return q.p
 }
 
+// HeadSojourn implements HeadSojourner.
+func (c *CoDel) HeadSojourn(now sim.Time) (time.Duration, bool) {
+	q, ok := c.q.peek()
+	if !ok {
+		return 0, false
+	}
+	return now.Sub(q.at), true
+}
+
 // Len implements Queue.
 func (c *CoDel) Len() int { return c.q.len() }
 

@@ -114,6 +114,13 @@ type Shaper struct {
 	lastRefill sim.Time
 	drainArmed bool
 	Stats      Stats
+
+	// onEnqueue/onDequeue, when non-nil, observe packets entering and
+	// leaving the attached queue (the probe layer's lifecycle taps). They
+	// do not fire for packets that pass straight through on spare tokens —
+	// those never touch the queue.
+	onEnqueue func(*packet.Packet)
+	onDequeue func(*packet.Packet)
 }
 
 // NewShaper returns a shaper emitting to next. Burst is clamped below at one
@@ -138,6 +145,14 @@ func (s *Shaper) Queue() Queue { return s.queue }
 // Rate returns the configured shaping rate.
 func (s *Shaper) Rate() units.Rate { return s.rate }
 
+// SetQueueTap registers observers for packets entering and leaving the
+// attached queue. Either may be nil; unset taps cost one nil check per
+// packet.
+func (s *Shaper) SetQueueTap(onEnqueue, onDequeue func(*packet.Packet)) {
+	s.onEnqueue = onEnqueue
+	s.onDequeue = onDequeue
+}
+
 func (s *Shaper) refill() {
 	now := s.eng.Now()
 	elapsed := now.Sub(s.lastRefill)
@@ -158,6 +173,9 @@ func (s *Shaper) Handle(p *packet.Packet) {
 		return
 	}
 	if s.queue.Enqueue(p, s.eng.Now()) {
+		if s.onEnqueue != nil {
+			s.onEnqueue(p)
+		}
 		s.armDrain()
 	} else {
 		s.Stats.Drops++
@@ -206,6 +224,9 @@ func (s *Shaper) drain() {
 		if p == nil {
 			// AQM dropped the whole backlog during dequeue.
 			return
+		}
+		if s.onDequeue != nil {
+			s.onDequeue(p)
 		}
 		s.emit(p)
 	}

@@ -7,6 +7,8 @@
 package netem
 
 import (
+	"time"
+
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -31,6 +33,18 @@ type Queue interface {
 	Bytes() units.ByteSize
 	// SetDropCallback registers fn to be invoked for every dropped packet.
 	SetDropCallback(fn func(*packet.Packet))
+}
+
+// HeadSojourner is the optional telemetry side of a Queue: implementations
+// report how long their oldest packet has been waiting — the queue's
+// current sojourn time, the quantity CoDel's control law acts on. The probe
+// layer type-asserts for it, so queues without sojourn accounting (e.g.
+// schedulers whose "head" depends on a pending scheduling decision) simply
+// produce no sojourn series.
+type HeadSojourner interface {
+	// HeadSojourn returns the waiting time of the oldest queued packet at
+	// time now. ok is false when the queue is empty.
+	HeadSojourn(now sim.Time) (d time.Duration, ok bool)
 }
 
 // queued wraps a packet with its enqueue time, needed by CoDel's sojourn
@@ -135,6 +149,15 @@ func (d *DropTail) Bytes() units.ByteSize { return d.q.bytes }
 
 // Limit returns the configured byte limit (0 = unlimited).
 func (d *DropTail) Limit() units.ByteSize { return d.limit }
+
+// HeadSojourn implements HeadSojourner.
+func (d *DropTail) HeadSojourn(now sim.Time) (time.Duration, bool) {
+	q, ok := d.q.peek()
+	if !ok {
+		return 0, false
+	}
+	return now.Sub(q.at), true
+}
 
 // SetDropCallback implements Queue.
 func (d *DropTail) SetDropCallback(fn func(*packet.Packet)) { d.onDrop = fn }

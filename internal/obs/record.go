@@ -22,6 +22,29 @@ type EngineStats struct {
 	EventsPerSecond float64 `json:"events_per_s"`
 }
 
+// ProbeMeta summarises the instrumentation attached to a run: how the
+// congestion-control sampler was configured, how many samples each probe
+// layer captured, and where the exported artefacts landed (paths are
+// relative to the run-log location, empty when the run was not exported).
+type ProbeMeta struct {
+	// IntervalMS is the sampling interval in milliseconds; 0 means the
+	// sampler snapshotted on every ACK instead of on a timer.
+	IntervalMS float64 `json:"interval_ms"`
+	// PerAck reports whether ACK-driven sampling was active.
+	PerAck bool `json:"per_ack,omitempty"`
+	// CCSamples, QueueSamples and Events count captured datapoints.
+	CCSamples    int    `json:"cc_samples"`
+	QueueSamples int    `json:"queue_samples"`
+	Events       uint64 `json:"events"`
+	// EventsLost counts lifecycle events overwritten in the bounded ring.
+	EventsLost uint64 `json:"events_lost,omitempty"`
+	// Exported artefact filenames, empty when not written.
+	CCCSV       string `json:"cc_csv,omitempty"`
+	QueueCSV    string `json:"queue_csv,omitempty"`
+	DropsCSV    string `json:"drops_csv,omitempty"`
+	EventsJSONL string `json:"events_jsonl,omitempty"`
+}
+
 // Record is the structured log line one experiment run emits: where the run
 // sits in the grid, how it was seeded, how the engine performed, and the
 // headline metrics the paper's tables report. One Record per run makes a
@@ -44,6 +67,9 @@ type Record struct {
 
 	// Engine holds the run's execution counters.
 	Engine EngineStats `json:"engine"`
+
+	// Probe carries instrumentation metadata when the run was probed.
+	Probe *ProbeMeta `json:"probe,omitempty"`
 
 	// Headline metrics over the paper's stabilised contention window.
 	GameMbps float64 `json:"game_mbps"`

@@ -1,0 +1,95 @@
+package probe
+
+import (
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// EventKind classifies a packet lifecycle event.
+type EventKind uint8
+
+// Lifecycle event kinds: a packet enters the bottleneck queue, leaves it for
+// transmission, is dropped by the queue's policy, or clears the bottleneck
+// (post-shaper, pre-propagation — the capture point the paper's tcpdump on
+// the router egress corresponds to).
+const (
+	EvEnqueue EventKind = iota
+	EvDequeue
+	EvDrop
+	EvDeliver
+)
+
+// String returns the export spelling of the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvEnqueue:
+		return "enqueue"
+	case EvDequeue:
+		return "dequeue"
+	case EvDrop:
+		return "drop"
+	case EvDeliver:
+		return "deliver"
+	}
+	return "unknown"
+}
+
+// Event is one packet lifecycle record.
+type Event struct {
+	At   sim.Time
+	Kind EventKind
+	Flow packet.FlowID
+	ID   uint64
+	Size int
+}
+
+// EventLog is a bounded ring buffer of lifecycle events. When full, new
+// events overwrite the oldest — the trace keeps the end of the run, which is
+// where post-mortems usually look. Records are O(1) with no allocation after
+// construction, so logging stays off the simulator's critical path.
+type EventLog struct {
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// NewEventLog returns a ring holding at most capacity events.
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		panic("probe: event log capacity must be positive")
+	}
+	return &EventLog{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends ev, overwriting the oldest event when full.
+func (l *EventLog) Record(ev Event) {
+	l.total++
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, ev)
+		return
+	}
+	l.buf[l.next] = ev
+	l.next++
+	if l.next == len(l.buf) {
+		l.next = 0
+	}
+}
+
+// Events returns the retained events in chronological order. The returned
+// slice is freshly allocated.
+func (l *EventLog) Events() []Event {
+	out := make([]Event, 0, len(l.buf))
+	out = append(out, l.buf[l.next:]...)
+	out = append(out, l.buf[:l.next]...)
+	return out
+}
+
+// Len returns the number of retained events.
+func (l *EventLog) Len() int { return len(l.buf) }
+
+// Total returns the number of events ever recorded, including overwritten
+// ones.
+func (l *EventLog) Total() uint64 { return l.total }
+
+// Lost returns the number of events overwritten by ring wrap-around.
+func (l *EventLog) Lost() uint64 { return l.total - uint64(len(l.buf)) }

@@ -1,0 +1,282 @@
+// Package probe is the run-local instrumentation layer: the simulator's
+// answer to Linux tcp_probe, `ss -i` polling and `tc -s qdisc show`. It
+// snapshots per-flow congestion-control state (cwnd, ssthresh, pacing rate,
+// bytes in flight, RTT estimators, delivery rate, plus the CC-specific
+// internals exposed through tcp.Inspector), samples bottleneck queue
+// occupancy and head sojourn time on a sim-event ticker, and keeps a bounded
+// ring buffer of per-packet lifecycle events (enqueue/dequeue/drop/deliver).
+//
+// The package deliberately knows nothing about experiments: callers attach
+// senders and queues by name, start the probe, and export the captured
+// series afterwards (see export.go). When no probe is attached the hooks it
+// would use (tcp.Sender ACK observers, netem.Shaper queue taps) stay nil and
+// cost one predictable branch per packet, so disabled runs pay nothing
+// measurable.
+package probe
+
+import (
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+// DefaultInterval is the sampler tick used when Config.Interval is zero and
+// per-ACK sampling is off. 100 ms matches the `ss -i` polling cadence the
+// paper's methodology section describes for sender-side state capture.
+const DefaultInterval = 100 * time.Millisecond
+
+// Config selects what the probe records.
+type Config struct {
+	// Interval is the periodic sampling interval for CC state and queue
+	// telemetry. Zero selects DefaultInterval unless PerAck is set, in
+	// which case periodic CC sampling is replaced by ACK-driven sampling
+	// (queue telemetry still ticks at DefaultInterval).
+	Interval time.Duration
+	// PerAck snapshots CC state on every ACK the sender processes, the
+	// tcp_probe behaviour. Produces large traces; prefer Interval for
+	// sweeps.
+	PerAck bool
+	// Events is the capacity of the packet lifecycle event ring. Zero
+	// disables lifecycle logging entirely.
+	Events int
+}
+
+// tickInterval resolves the periodic sampling interval.
+func (c Config) tickInterval() time.Duration {
+	if c.Interval > 0 {
+		return c.Interval
+	}
+	return DefaultInterval
+}
+
+// CCSample is one congestion-control snapshot, the simulator's tcp_probe
+// line.
+type CCSample struct {
+	At             sim.Time
+	CwndBytes      int64
+	SsthreshBytes  int64
+	PacingRate     units.Rate
+	InflightBytes  int64
+	SRTT           time.Duration
+	RTTVar         time.Duration
+	MinRTT         time.Duration
+	DeliveryRate   units.Rate
+	DeliveredBytes int64
+	InRecovery     bool
+	// State carries the controller-specific internals (Cubic W_max/K, BBR
+	// state machine and btlbw/rtprop estimates, ...). Zero-valued when the
+	// controller does not implement tcp.Inspector.
+	State tcp.CCState
+}
+
+// FlowProbe samples one TCP sender.
+type FlowProbe struct {
+	// Name labels the flow in exports, e.g. "iperf-cubic-0".
+	Name string
+	// Alg is the congestion-control algorithm name.
+	Alg string
+	// Samples is the captured time series, in sample order.
+	Samples []CCSample
+
+	s *tcp.Sender
+}
+
+// snapshot appends one sample at time now.
+func (f *FlowProbe) snapshot(now sim.Time) {
+	s := f.s
+	cc := s.CC()
+	smp := CCSample{
+		At:             now,
+		CwndBytes:      cc.CwndBytes(),
+		PacingRate:     cc.PacingRate(),
+		InflightBytes:  s.Inflight(),
+		SRTT:           s.SRTT(),
+		RTTVar:         s.RTTVar(),
+		MinRTT:         s.MinRTT(),
+		DeliveryRate:   s.DeliveryRate(),
+		DeliveredBytes: s.Delivered(),
+		InRecovery:     s.InRecovery(),
+	}
+	if insp, ok := cc.(tcp.Inspector); ok {
+		smp.State = insp.InspectCC()
+		smp.SsthreshBytes = smp.State.SsthreshBytes
+	}
+	f.Samples = append(f.Samples, smp)
+}
+
+// QueueSample is one bottleneck-queue telemetry point.
+type QueueSample struct {
+	At      sim.Time
+	Packets int
+	Bytes   units.ByteSize
+	// Sojourn is the head packet's waiting time; valid only when
+	// HasSojourn is true (the queue was non-empty and supports sojourn
+	// accounting).
+	Sojourn    time.Duration
+	HasSojourn bool
+	// CumDrops is the number of drops observed up to this sample.
+	CumDrops int
+}
+
+// DropEvent records one packet dropped by a probed queue.
+type DropEvent struct {
+	At   sim.Time
+	Flow packet.FlowID
+	ID   uint64
+	Size int
+}
+
+// QueueProbe samples one bottleneck queue.
+type QueueProbe struct {
+	// Name labels the queue in exports, e.g. "bottleneck".
+	Name string
+	// Samples is the occupancy/sojourn time series.
+	Samples []QueueSample
+	// DropEvents lists every drop with its sim timestamp, in order.
+	DropEvents []DropEvent
+
+	q     netem.Queue
+	drops int
+}
+
+// snapshot appends one sample at time now.
+func (qp *QueueProbe) snapshot(now sim.Time) {
+	smp := QueueSample{
+		At:       now,
+		Packets:  qp.q.Len(),
+		Bytes:    qp.q.Bytes(),
+		CumDrops: qp.drops,
+	}
+	if hs, ok := qp.q.(netem.HeadSojourner); ok {
+		if d, ok := hs.HeadSojourn(now); ok {
+			smp.Sojourn = d
+			smp.HasSojourn = true
+		}
+	}
+	qp.Samples = append(qp.Samples, smp)
+}
+
+// Probe owns all instrumentation for one run.
+type Probe struct {
+	eng    *sim.Engine
+	cfg    Config
+	flows  []*FlowProbe
+	queues []*QueueProbe
+	events *EventLog
+	ticker *sim.Ticker
+}
+
+// New returns a probe for eng. Call the Attach methods before Start.
+func New(eng *sim.Engine, cfg Config) *Probe {
+	p := &Probe{eng: eng, cfg: cfg}
+	if cfg.Events > 0 {
+		p.events = NewEventLog(cfg.Events)
+	}
+	return p
+}
+
+// Config returns the probe's configuration.
+func (p *Probe) Config() Config { return p.cfg }
+
+// Flows returns the attached flow probes.
+func (p *Probe) Flows() []*FlowProbe { return p.flows }
+
+// Queues returns the attached queue probes.
+func (p *Probe) Queues() []*QueueProbe { return p.queues }
+
+// Events returns the lifecycle event log, nil when disabled.
+func (p *Probe) Events() *EventLog { return p.events }
+
+// AttachSender registers a TCP sender for CC sampling under name. With
+// Config.PerAck the sender's ACK observer is claimed; the probe is then the
+// sole observer for that sender.
+func (p *Probe) AttachSender(name string, s *tcp.Sender) *FlowProbe {
+	fp := &FlowProbe{Name: name, Alg: s.CC().Name(), s: s}
+	p.flows = append(p.flows, fp)
+	if p.cfg.PerAck {
+		s.SetAckObserver(func(tcp.AckSample) { fp.snapshot(p.eng.Now()) })
+	}
+	return fp
+}
+
+// AttachQueue registers a bottleneck queue for occupancy/sojourn sampling
+// under name. The caller remains responsible for routing the queue's drop
+// callback into qp.OnDrop (drop callbacks are single-slot, and the capture
+// layer usually owns them).
+func (p *Probe) AttachQueue(name string, q netem.Queue) *QueueProbe {
+	qp := &QueueProbe{Name: name, q: q}
+	p.queues = append(p.queues, qp)
+	return qp
+}
+
+// OnDrop records a drop on the queue probe: a drop event, the cumulative
+// counter for the occupancy series, and a ring entry when lifecycle logging
+// is on. Wire it into the queue's drop callback (chained with any other
+// consumer).
+func (p *Probe) OnDrop(qp *QueueProbe, pk *packet.Packet) {
+	now := p.eng.Now()
+	qp.drops++
+	qp.DropEvents = append(qp.DropEvents, DropEvent{At: now, Flow: pk.Flow, ID: pk.ID, Size: pk.Size})
+	p.Log(EvDrop, pk)
+}
+
+// Log records a lifecycle event when the ring is enabled; otherwise it is a
+// nil-check and return. Suitable for use inside packet taps.
+func (p *Probe) Log(kind EventKind, pk *packet.Packet) {
+	if p.events == nil {
+		return
+	}
+	p.events.Record(Event{At: p.eng.Now(), Kind: kind, Flow: pk.Flow, ID: pk.ID, Size: pk.Size})
+}
+
+// LogTap adapts Log to a packet tap for the given kind.
+func (p *Probe) LogTap(kind EventKind) func(*packet.Packet) {
+	return func(pk *packet.Packet) { p.Log(kind, pk) }
+}
+
+// Start begins periodic sampling. CC state ticks unless PerAck claimed the
+// ACK path; queue telemetry always ticks (there is no per-ACK equivalent for
+// a queue). Sampling starts immediately so every series has a t=0 point.
+func (p *Probe) Start() {
+	p.ticker = sim.NewTicker(p.eng, p.cfg.tickInterval(), func() {
+		now := p.eng.Now()
+		if !p.cfg.PerAck {
+			for _, f := range p.flows {
+				f.snapshot(now)
+			}
+		}
+		for _, q := range p.queues {
+			q.snapshot(now)
+		}
+	})
+	p.ticker.Start(true)
+}
+
+// Stop halts periodic sampling.
+func (p *Probe) Stop() {
+	if p.ticker != nil {
+		p.ticker.Stop()
+	}
+}
+
+// CCSampleCount returns the total CC samples across all flows.
+func (p *Probe) CCSampleCount() int {
+	n := 0
+	for _, f := range p.flows {
+		n += len(f.Samples)
+	}
+	return n
+}
+
+// QueueSampleCount returns the total queue samples across all queues.
+func (p *Probe) QueueSampleCount() int {
+	n := 0
+	for _, q := range p.queues {
+		n += len(q.Samples)
+	}
+	return n
+}

@@ -1,0 +1,170 @@
+package probe
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func TestEventLogRingWrap(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 10; i++ {
+		l.Record(Event{At: sim.Time(i), Kind: EvEnqueue, ID: uint64(i)})
+	}
+	if l.Total() != 10 || l.Len() != 4 || l.Lost() != 6 {
+		t.Fatalf("total=%d len=%d lost=%d", l.Total(), l.Len(), l.Lost())
+	}
+	evs := l.Events()
+	if len(evs) != 4 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	// The ring keeps the newest events in chronological order.
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.ID != want {
+			t.Errorf("event %d: id = %d, want %d", i, ev.ID, want)
+		}
+	}
+}
+
+func TestEventLogUnderfill(t *testing.T) {
+	l := NewEventLog(8)
+	for i := 0; i < 3; i++ {
+		l.Record(Event{ID: uint64(i)})
+	}
+	if l.Lost() != 0 || l.Len() != 3 {
+		t.Fatalf("lost=%d len=%d", l.Lost(), l.Len())
+	}
+	evs := l.Events()
+	for i, ev := range evs {
+		if ev.ID != uint64(i) {
+			t.Errorf("event %d: id = %d", i, ev.ID)
+		}
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		EvEnqueue: "enqueue", EvDequeue: "dequeue", EvDrop: "drop", EvDeliver: "deliver",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestQueueProbeSampling(t *testing.T) {
+	eng := sim.NewEngine(1)
+	q := netem.NewDropTail(10 * packet.MTU)
+	p := New(eng, Config{Interval: 100 * time.Millisecond})
+	qp := p.AttachQueue("bottleneck", q)
+	q.SetDropCallback(func(pk *packet.Packet) { p.OnDrop(qp, pk) })
+
+	// Two packets sit in the queue from 50 ms on; sojourn grows with time.
+	eng.Schedule(50*time.Millisecond, func() {
+		q.Enqueue(&packet.Packet{Flow: 1, ID: 1, Size: 1000}, eng.Now())
+		q.Enqueue(&packet.Packet{Flow: 1, ID: 2, Size: 1000}, eng.Now())
+	})
+	p.Start()
+	eng.Run(sim.At(time.Second))
+	p.Stop()
+
+	if len(qp.Samples) < 10 {
+		t.Fatalf("samples = %d", len(qp.Samples))
+	}
+	first := qp.Samples[0]
+	if first.Packets != 0 || first.HasSojourn {
+		t.Errorf("t=0 sample should be empty: %+v", first)
+	}
+	last := qp.Samples[len(qp.Samples)-1]
+	if last.Packets != 2 || int64(last.Bytes) != 2000 {
+		t.Errorf("last sample: %+v", last)
+	}
+	if !last.HasSojourn || last.Sojourn < 900*time.Millisecond {
+		t.Errorf("sojourn = %v (has=%v), want >= 900ms", last.Sojourn, last.HasSojourn)
+	}
+}
+
+func TestQueueProbeDropEvents(t *testing.T) {
+	eng := sim.NewEngine(1)
+	q := netem.NewDropTail(packet.MTU) // room for a single MTU
+	p := New(eng, Config{Interval: 100 * time.Millisecond, Events: 16})
+	qp := p.AttachQueue("bottleneck", q)
+	q.SetDropCallback(func(pk *packet.Packet) { p.OnDrop(qp, pk) })
+
+	q.Enqueue(&packet.Packet{Flow: 1, ID: 1, Size: 1400}, eng.Now())
+	q.Enqueue(&packet.Packet{Flow: 2, ID: 2, Size: 1400}, eng.Now()) // over limit
+	if len(qp.DropEvents) != 1 || qp.DropEvents[0].ID != 2 {
+		t.Fatalf("drop events: %+v", qp.DropEvents)
+	}
+	evs := p.Events().Events()
+	if len(evs) != 1 || evs[0].Kind != EvDrop || evs[0].Flow != 2 {
+		t.Fatalf("ring events: %+v", evs)
+	}
+}
+
+func TestShaperTapsFeedEventRing(t *testing.T) {
+	eng := sim.NewEngine(1)
+	q := netem.NewDropTail(100 * packet.MTU)
+	sink := packet.HandlerFunc(func(*packet.Packet) {})
+	// 1 kB/ms shaper with a one-MTU burst: the second packet must queue.
+	sh := netem.NewShaper(eng, units.Rate(8_000_000), packet.MTU, q, sink)
+	p := New(eng, Config{Interval: time.Second, Events: 64})
+	sh.SetQueueTap(p.LogTap(EvEnqueue), p.LogTap(EvDequeue))
+
+	sh.Handle(&packet.Packet{Flow: 1, ID: 1, Size: 1400}) // passes on tokens
+	sh.Handle(&packet.Packet{Flow: 1, ID: 2, Size: 1400}) // queued
+	eng.Run(sim.At(time.Second))
+
+	var kinds []string
+	for _, ev := range p.Events().Events() {
+		kinds = append(kinds, ev.Kind.String())
+	}
+	got := strings.Join(kinds, ",")
+	if got != "enqueue,dequeue" {
+		t.Fatalf("event kinds = %q, want enqueue,dequeue", got)
+	}
+}
+
+func TestExportCSVShape(t *testing.T) {
+	eng := sim.NewEngine(1)
+	q := netem.NewDropTail(10 * packet.MTU)
+	p := New(eng, Config{Interval: 250 * time.Millisecond})
+	p.AttachQueue("bottleneck", q)
+	p.Start()
+	eng.Run(sim.At(time.Second))
+
+	var sb strings.Builder
+	if err := p.WriteQueueCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 1+len(p.Queues()[0].Samples) {
+		t.Fatalf("lines = %d, samples = %d", len(lines), len(p.Queues()[0].Samples))
+	}
+	if !strings.HasPrefix(lines[0], "queue,t_s,packets,bytes") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "bottleneck,0.000000,0,0,") {
+		t.Fatalf("first row = %q", lines[1])
+	}
+
+	m := p.Meta()
+	if m.QueueSamples != len(p.Queues()[0].Samples) || m.IntervalMS != 250 {
+		t.Fatalf("meta: %+v", m)
+	}
+}
+
+func TestDisabledEventLogIsNil(t *testing.T) {
+	eng := sim.NewEngine(1)
+	p := New(eng, Config{})
+	if p.Events() != nil {
+		t.Fatal("events ring allocated with Events=0")
+	}
+	// Logging without a ring must be a no-op, not a panic.
+	p.Log(EvDeliver, &packet.Packet{})
+}

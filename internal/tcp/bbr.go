@@ -336,6 +336,17 @@ func (b *BBR) OnExitRecovery(now sim.Time) {
 	b.cwnd = max64(b.cwnd, b.bdpBytes(b.cwndGain))
 }
 
+// InspectCC implements Inspector: BBR exposes its path model (btlbw,
+// rtprop) and state-machine phase — the internals behind the paper's
+// finding that BBR holds inflight near 2×BDP.
+func (b *BBR) InspectCC() CCState {
+	return CCState{
+		Mode:   b.state.String(),
+		BtlBw:  b.BtlBw(),
+		RTProp: b.rtProp,
+	}
+}
+
 // CwndBytes implements CongestionControl.
 func (b *BBR) CwndBytes() int64 { return b.cwnd }
 

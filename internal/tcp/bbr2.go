@@ -281,6 +281,17 @@ func (b *BBR2) OnRTO(now sim.Time, inflight int64) {
 // OnExitRecovery implements CongestionControl.
 func (b *BBR2) OnExitRecovery(now sim.Time) {}
 
+// InspectCC implements Inspector: BBRv2 adds the loss-derived inflight_hi
+// bound to the v1 path model.
+func (b *BBR2) InspectCC() CCState {
+	return CCState{
+		Mode:            b.state.String(),
+		BtlBw:           b.BtlBw(),
+		RTProp:          b.rtProp,
+		InflightHiBytes: b.inflightHi,
+	}
+}
+
 // CwndBytes implements CongestionControl.
 func (b *BBR2) CwndBytes() int64 { return b.cwnd }
 

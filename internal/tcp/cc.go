@@ -72,6 +72,39 @@ type CongestionControl interface {
 	PacingRate() units.Rate
 }
 
+// CCState is a point-in-time snapshot of a congestion controller's internal
+// model, the simulator's analogue of Linux's tcp_probe / ss -i output. Only
+// the fields relevant to the algorithm are populated; the rest stay zero.
+// Snapshots are cheap (a handful of loads) so probes may take one per ACK.
+type CCState struct {
+	// Mode is the algorithm's phase label: "slow_start"/"avoidance" for the
+	// loss-based family, the state-machine phase (STARTUP, DRAIN, PROBE_BW,
+	// PROBE_RTT) for BBR/BBRv2.
+	Mode string
+	// SsthreshBytes is the slow-start threshold (loss-based algorithms).
+	SsthreshBytes int64
+	// WMaxSegs and KSec are Cubic's epoch anchor: the window (in segments)
+	// where loss last occurred and the cubic-function inflection time.
+	WMaxSegs float64
+	KSec     float64
+	// BtlBw and RTProp are the BBR path model: max-filtered bottleneck
+	// bandwidth and min-filtered round-trip propagation delay.
+	BtlBw  units.Rate
+	RTProp time.Duration
+	// InflightHiBytes is BBRv2's loss-derived inflight bound (0 = unset).
+	InflightHiBytes int64
+	// BaseRTT is the delay-based floor estimate (Vegas, LEDBAT).
+	BaseRTT time.Duration
+}
+
+// Inspector is the optional introspection side of a CongestionControl:
+// controllers that implement it expose their internal model for the probe
+// layer. All controllers shipped by this package implement it; external
+// ones may not, so callers must type-assert.
+type Inspector interface {
+	InspectCC() CCState
+}
+
 // Algorithm names accepted by New.
 const (
 	AlgCubic = "cubic"

@@ -195,6 +195,21 @@ func (c *Cubic) OnRTO(now sim.Time, inflight int64) {
 // OnExitRecovery implements CongestionControl.
 func (c *Cubic) OnExitRecovery(now sim.Time) {}
 
+// InspectCC implements Inspector: Cubic exposes its epoch anchor (W_max, K)
+// so traces can show the concave/convex window evolution around each loss.
+func (c *Cubic) InspectCC() CCState {
+	mode := "avoidance"
+	if c.cwnd < c.ssthresh {
+		mode = "slow_start"
+	}
+	return CCState{
+		Mode:          mode,
+		SsthreshBytes: c.ssthresh,
+		WMaxSegs:      c.wMax,
+		KSec:          c.k,
+	}
+}
+
 // CwndBytes implements CongestionControl.
 func (c *Cubic) CwndBytes() int64 { return c.cwnd }
 

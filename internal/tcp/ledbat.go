@@ -87,6 +87,11 @@ func (l *LEDBAT) OnRTO(now sim.Time, inflight int64) {
 // OnExitRecovery implements CongestionControl.
 func (l *LEDBAT) OnExitRecovery(now sim.Time) {}
 
+// InspectCC implements Inspector.
+func (l *LEDBAT) InspectCC() CCState {
+	return CCState{Mode: "scavenge", BaseRTT: l.baseRTT}
+}
+
 // CwndBytes implements CongestionControl.
 func (l *LEDBAT) CwndBytes() int64 { return l.cwnd }
 

@@ -70,6 +70,15 @@ func (r *Reno) OnRTO(now sim.Time, inflight int64) {
 // OnExitRecovery implements CongestionControl.
 func (r *Reno) OnExitRecovery(now sim.Time) {}
 
+// InspectCC implements Inspector.
+func (r *Reno) InspectCC() CCState {
+	mode := "avoidance"
+	if r.cwnd < r.ssthresh {
+		mode = "slow_start"
+	}
+	return CCState{Mode: mode, SsthreshBytes: r.ssthresh}
+}
+
 // CwndBytes implements CongestionControl.
 func (r *Reno) CwndBytes() int64 { return r.cwnd }
 

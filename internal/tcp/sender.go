@@ -108,6 +108,14 @@ type Sender struct {
 	paceNext  sim.Time
 	paceTimer *sim.Timer
 
+	// lastRate retains the most recent valid delivery-rate sample so
+	// interval-based probes can read it between ACKs.
+	lastRate units.Rate
+
+	// ackObs, when non-nil, observes every AckSample handed to the
+	// congestion controller (the probe layer's per-ACK sampling hook).
+	ackObs func(AckSample)
+
 	// Stats accumulates counters for the harness.
 	Stats Stats
 }
@@ -181,6 +189,29 @@ func (s *Sender) CC() CongestionControl { return s.cc }
 
 // SRTT returns the smoothed RTT estimate.
 func (s *Sender) SRTT() time.Duration { return s.srtt }
+
+// RTTVar returns the RTT variance estimate (RFC 6298).
+func (s *Sender) RTTVar() time.Duration { return s.rttvar }
+
+// MinRTT returns the connection's lifetime minimum RTT (-1 before any
+// sample).
+func (s *Sender) MinRTT() time.Duration { return s.minRTT }
+
+// Delivered returns the connection's total delivered bytes.
+func (s *Sender) Delivered() int64 { return s.delivered }
+
+// DeliveryRate returns the most recent valid delivery-rate sample (0 before
+// the first one).
+func (s *Sender) DeliveryRate() units.Rate { return s.lastRate }
+
+// InRecovery reports whether the sender is in loss recovery.
+func (s *Sender) InRecovery() bool { return s.inRecovery }
+
+// SetAckObserver registers fn to observe every AckSample handed to the
+// congestion controller, after the controller has processed it. One
+// observer at most; nil disables. The hook costs a nil check per ACK when
+// unset, so leaving it unwired has no measurable overhead.
+func (s *Sender) SetAckObserver(fn func(AckSample)) { s.ackObs = fn }
 
 // Inflight returns the bytes currently considered in flight.
 func (s *Sender) Inflight() int64 { return s.pipeBytes }
@@ -477,8 +508,11 @@ func (s *Sender) Handle(p *packet.Packet) {
 		}
 	}
 
+	if rateSample > 0 {
+		s.lastRate = rateSample
+	}
 	if newlyDelivered > 0 || rtt > 0 {
-		s.cc.OnAck(AckSample{
+		ack := AckSample{
 			Now:            now,
 			BytesAcked:     newlyDelivered,
 			RTT:            rtt,
@@ -491,7 +525,11 @@ func (s *Sender) Handle(p *packet.Packet) {
 			InRecovery:     s.inRecovery,
 			RoundTrips:     s.roundTrips,
 			MSS:            s.mss,
-		})
+		}
+		s.cc.OnAck(ack)
+		if s.ackObs != nil {
+			s.ackObs(ack)
+		}
 	}
 
 	// Retransmission timer management.

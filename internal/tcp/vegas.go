@@ -116,6 +116,16 @@ func (v *Vegas) OnRTO(now sim.Time, inflight int64) {
 // OnExitRecovery implements CongestionControl.
 func (v *Vegas) OnExitRecovery(now sim.Time) {}
 
+// InspectCC implements Inspector: Vegas exposes its base-RTT floor, the
+// quantity its backlog estimate is anchored to.
+func (v *Vegas) InspectCC() CCState {
+	mode := "avoidance"
+	if v.slowStart {
+		mode = "slow_start"
+	}
+	return CCState{Mode: mode, SsthreshBytes: v.ssthresh, BaseRTT: v.baseRTT}
+}
+
 // CwndBytes implements CongestionControl.
 func (v *Vegas) CwndBytes() int64 { return v.cwnd }
 

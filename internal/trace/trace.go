@@ -35,6 +35,10 @@ type Capture struct {
 	eng    *sim.Engine
 	binDur sim.Time
 	flows  map[packet.FlowID]*FlowTrace
+	// binHint is the expected final bin count (from SetHorizon); new flows
+	// preallocate their bin slices to it, so the hot taps almost never
+	// grow mid-run.
+	binHint int
 }
 
 // NewCapture creates a capture with the given bin duration (DefaultBin if
@@ -53,10 +57,28 @@ func NewCapture(eng *sim.Engine, bin time.Duration) *Capture {
 // BinDuration returns the configured bin width.
 func (c *Capture) BinDuration() time.Duration { return c.binDur.Duration() }
 
+// SetHorizon tells the capture how long the run is expected to last, so
+// per-flow bin slices can be allocated once up front instead of growing
+// bin by bin on the packet path. Runs past the horizon still work — grow
+// falls back to doubling.
+func (c *Capture) SetHorizon(d time.Duration) {
+	if d <= 0 {
+		c.binHint = 0
+		return
+	}
+	c.binHint = int(sim.At(d)/c.binDur) + 1
+}
+
 func (c *Capture) flow(id packet.FlowID) *FlowTrace {
 	f, ok := c.flows[id]
 	if !ok {
 		f = &FlowTrace{}
+		if c.binHint > 0 {
+			f.byteBins = make([]int64, 0, c.binHint)
+			f.pktBins = make([]int64, 0, c.binHint)
+			f.dropBins = make([]int64, 0, c.binHint)
+			f.dlvBins = make([]int64, 0, c.binHint)
+		}
 		c.flows[id] = f
 	}
 	return f
@@ -64,11 +86,23 @@ func (c *Capture) flow(id packet.FlowID) *FlowTrace {
 
 func (c *Capture) bin() int { return int(c.eng.Now() / c.binDur) }
 
+// grow extends s with zeros so bin is addressable. When reallocation is
+// needed (horizon unset or exceeded) capacity at least doubles, keeping the
+// packet-path cost amortised O(1) instead of O(bins) appends per packet.
 func grow(s []int64, bin int) []int64 {
-	for len(s) <= bin {
-		s = append(s, 0)
+	if bin < len(s) {
+		return s
 	}
-	return s
+	if bin < cap(s) {
+		return s[:bin+1] // zeroed by construction: len only ever grows here
+	}
+	ncap := 2 * cap(s)
+	if ncap <= bin {
+		ncap = bin + 1
+	}
+	ns := make([]int64, bin+1, ncap)
+	copy(ns, s)
+	return ns
 }
 
 // Tap records a forwarded packet; register it with Router.Tap.

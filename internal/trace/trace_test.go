@@ -107,3 +107,137 @@ func TestUnknownFlowEmpty(t *testing.T) {
 		}
 	}
 }
+
+func TestRateBetweenEdgeCases(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := NewCapture(eng, 500*time.Millisecond)
+	p := &packet.Packet{Flow: 1, Size: 62500}
+	c.Tap(p)
+	c.TapDelivered(p)
+
+	// Inverted and empty windows yield zero, not a panic or a negative rate.
+	if got := c.RateBetween(1, sim.At(time.Second), 0); got != 0 {
+		t.Errorf("inverted window rate = %v, want 0", got)
+	}
+	if got := c.RateBetween(1, sim.At(time.Second), sim.At(time.Second)); got != 0 {
+		t.Errorf("empty window rate = %v, want 0", got)
+	}
+	// A window extending past the recorded bins averages over the full
+	// requested span (missing bins count as zero traffic).
+	got := c.RateBetween(1, 0, sim.At(4*time.Second))
+	want := 62500 * 8.0 / 4 / 1e6 // Mb over 4 s
+	if got.Mbit() < want*0.99 || got.Mbit() > want*1.01 {
+		t.Errorf("partial-bins rate = %v Mb/s, want %v", got.Mbit(), want)
+	}
+	// A window entirely beyond the data is zero.
+	if got := c.RateBetween(1, sim.At(10*time.Second), sim.At(20*time.Second)); got != 0 {
+		t.Errorf("beyond-data rate = %v, want 0", got)
+	}
+}
+
+func TestLossBetweenEdgeCases(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := NewCapture(eng, 500*time.Millisecond)
+	for i := 0; i < 10; i++ {
+		c.Tap(&packet.Packet{Flow: 7, Size: 1000})
+	}
+	c.OnDrop(&packet.Packet{Flow: 7, Size: 1000})
+
+	if got := c.LossBetween(7, sim.At(time.Second), 0); got != 0 {
+		t.Errorf("inverted window loss = %v, want 0", got)
+	}
+	// Never-seen flow: no packets means loss 0, and querying must not
+	// fabricate counters for later queries.
+	if got := c.LossBetween(42, 0, sim.At(time.Second)); got != 0 {
+		t.Errorf("unseen flow loss = %v, want 0", got)
+	}
+	// Window past the data still divides by the packets actually offered.
+	if got := c.LossBetween(7, 0, sim.At(time.Hour)); got != 0.1 {
+		t.Errorf("beyond-data loss = %v, want 0.1", got)
+	}
+	// Window starting beyond the data has no packets: loss 0.
+	if got := c.LossBetween(7, sim.At(time.Minute), sim.At(time.Hour)); got != 0 {
+		t.Errorf("late window loss = %v, want 0", got)
+	}
+}
+
+func TestSetHorizonPreallocates(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := NewCapture(eng, 500*time.Millisecond)
+	c.SetHorizon(10 * time.Second) // 20 bins + 1
+	f := c.flow(1)
+	if cap(f.byteBins) < 21 {
+		t.Fatalf("byteBins cap = %d, want >= 21", cap(f.byteBins))
+	}
+	// Taps within the horizon must not reallocate.
+	base := &f.byteBins[:1][0]
+	eng.Schedule(9*time.Second+900*time.Millisecond, func() {
+		c.Tap(&packet.Packet{Flow: 1, Size: 100})
+	})
+	eng.Run(sim.At(10 * time.Second))
+	if &f.byteBins[0] != base {
+		t.Error("tap within horizon reallocated the bin slice")
+	}
+	// Past the horizon the capture keeps working.
+	eng.Schedule(25*time.Second, func() {
+		c.Tap(&packet.Packet{Flow: 1, Size: 100})
+	})
+	eng.Run(sim.At(40 * time.Second))
+	if f.Packets != 2 {
+		t.Errorf("packets = %d, want 2", f.Packets)
+	}
+	if got := f.byteBins[len(f.byteBins)-1]; got != 100 {
+		t.Errorf("last bin = %d, want 100", got)
+	}
+}
+
+func TestGrowDoubling(t *testing.T) {
+	s := grow(nil, 0)
+	if len(s) != 1 {
+		t.Fatalf("len = %d", len(s))
+	}
+	s[0] = 7
+	s = grow(s, 100)
+	if len(s) != 101 || s[0] != 7 {
+		t.Fatalf("len = %d, s[0] = %d", len(s), s[0])
+	}
+	for _, v := range s[1:] {
+		if v != 0 {
+			t.Fatal("grown region not zeroed")
+		}
+	}
+	// Growing within capacity must not reallocate.
+	c := cap(s)
+	s2 := grow(s, c-1)
+	if cap(s2) != c {
+		t.Errorf("within-cap grow reallocated: cap %d -> %d", c, cap(s2))
+	}
+}
+
+// BenchmarkBinGrowth isolates the packet-path cost of extending the bin
+// slices across a 9-minute trace (1080 bins, one count per bin): "horizon"
+// preallocates via SetHorizon and never reallocates; "fallback" relies on
+// grow's doubling. The previous element-at-a-time append walked every
+// missing bin on each advance; both variants here are amortised O(1), with
+// horizon eliminating reallocation entirely.
+func BenchmarkBinGrowth(b *testing.B) {
+	for _, pre := range []int{0, 1081} {
+		name := "fallback"
+		if pre > 0 {
+			name = "horizon"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var s []int64
+				if pre > 0 {
+					s = make([]int64, 0, pre)
+				}
+				for bin := 0; bin <= 1080; bin++ {
+					s = grow(s, bin)
+					s[bin]++
+				}
+			}
+		})
+	}
+}

@@ -4,7 +4,11 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race bench probe-demo
+.PHONY: verify build test vet race bench bench-json probe-demo
+
+# BENCH_N matches this PR's position in the stacked sequence; bump it when a
+# later change re-baselines the trajectory file.
+BENCH_N ?= 3
 
 verify: build vet test race
 
@@ -22,9 +26,13 @@ test:
 race:
 	$(GO) test -race ./internal/experiment/... ./internal/sim/... ./internal/obs/...
 
-# One regeneration per benchmark target (reduced-size campaigns).
-bench:
+# One regeneration per benchmark target (reduced-size campaigns), then the
+# fixed trajectory suite written as BENCH_$(BENCH_N).json (see README).
+bench: bench-json
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+bench-json:
+	$(GO) run ./cmd/gsbench -bench-json BENCH_$(BENCH_N).json
 
 # The EXPERIMENTS.md worked example: one probed Cubic-vs-BBR run plus the
 # terminal summaries of the exported CC and queue telemetry.

@@ -104,8 +104,13 @@ func BenchmarkLossRates(b *testing.B) {
 
 // BenchmarkSingleRun measures the cost of one full-fidelity 9-minute trace
 // (the unit of work behind every table cell) and reports simulated events
-// per run, engine dispatch throughput, and the sim/wall speedup.
+// per run, engine dispatch throughput, and the sim/wall speedup. Metrics
+// are aggregated across iterations and reported once — ReportMetric inside
+// the loop would leave only the last iteration's numbers.
 func BenchmarkSingleRun(b *testing.B) {
+	b.ReportAllocs()
+	var events float64
+	var wall, simTime float64
 	for i := 0; i < b.N; i++ {
 		res := experiment.Run(experiment.RunConfig{
 			Condition: experiment.Condition{
@@ -116,11 +121,14 @@ func BenchmarkSingleRun(b *testing.B) {
 			},
 			Seed: uint64(i + 1),
 		})
-		b.ReportMetric(float64(res.EventsProcessed), "events/run")
-		if s := res.Engine; s.WallTime > 0 {
-			b.ReportMetric(s.EventsPerSecond(), "events/sec")
-			b.ReportMetric(s.Speedup(), "sim_x_real")
-		}
+		events += float64(res.EventsProcessed)
+		wall += res.Engine.WallTime.Seconds()
+		simTime += res.Engine.SimTime.Seconds()
+	}
+	b.ReportMetric(events/float64(b.N), "events/run")
+	if wall > 0 {
+		b.ReportMetric(events/wall, "events/sec")
+		b.ReportMetric(simTime/wall, "sim_x_real")
 	}
 }
 

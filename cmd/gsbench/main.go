@@ -10,6 +10,7 @@
 //	gsbench -exp figure2 -scale 0.2      # compressed timeline
 //	gsbench -exp figure3 -aqm fq_codel   # future-work AQM variant
 //	gsbench -exp all -progress -runlog runs.jsonl
+//	gsbench -bench-json BENCH_3.json     # benchmark-trajectory suite only
 //
 // Ctrl-C cancels the in-progress sweep: in-flight runs drain, tables
 // rendered from the partial data mark missing cells with "-", and the
@@ -50,6 +51,8 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
+		benchJSON = flag.String("bench-json", "", "run the fixed benchmark-trajectory suite and write BENCH_*.json to this path, then exit")
+
 		probeOn       = flag.Bool("probe", false, "attach CC/queue instrumentation to every run")
 		probeInterval = flag.Duration("probe-interval", 100*time.Millisecond, "probe sampling interval (0 = snapshot on every ACK)")
 		events        = flag.Int("events", 0, "packet lifecycle event ring capacity per run (0 = off)")
@@ -70,6 +73,14 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 	defer writeMemProfile(*memprofile)
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "gsbench: bench-json:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()

@@ -246,7 +246,20 @@ func Run(cfg RunConfig) *RunResult {
 
 	capture := trace.NewCapture(eng, trace.DefaultBin)
 	capture.SetHorizon(cfg.Timeline.TraceEnd)
-	q.SetDropCallback(capture.OnDrop)
+
+	// One packet freelist per run: every endpoint allocates through it, the
+	// hosts recycle packets after delivery, and the bottleneck drop callback
+	// recycles the ones the queue kills. Single-goroutine and deterministic
+	// — see docs/ARCHITECTURE.md, "hot path & memory discipline".
+	pool := packet.NewPool()
+
+	// The queue invokes its drop callback for every packet it refuses or
+	// sheds, so chaining the pool release here covers enqueue-overflow and
+	// AQM dequeue drops for all three disciplines.
+	q.SetDropCallback(func(p *packet.Packet) {
+		capture.OnDrop(p)
+		pool.Put(p)
+	})
 
 	// Instrumentation: when probing, the drop callback chains into the
 	// probe's drop-event recorder and the shaper/delivery taps feed the
@@ -258,6 +271,7 @@ func Run(cfg RunConfig) *RunResult {
 		q.SetDropCallback(func(p *packet.Packet) {
 			capture.OnDrop(p)
 			prb.OnDrop(qp, p)
+			pool.Put(p)
 		})
 	}
 
@@ -296,6 +310,9 @@ func Run(cfg RunConfig) *RunResult {
 	iperfServerHost := netem.NewHost(eng, addrIperfServer, iperfUplink, &ids)
 	gameClientHost := netem.NewHost(eng, addrGameClient, upDelay, &ids)
 	iperfClientHost := netem.NewHost(eng, addrIperfClient, upDelay, &ids)
+	for _, h := range []*netem.Host{gameServerHost, iperfServerHost, gameClientHost, iperfClientHost} {
+		h.SetPool(pool)
+	}
 
 	serverSwitch.Route(addrGameServer, gameServerHost)
 	serverSwitch.Route(addrIperfServer, iperfServerHost)

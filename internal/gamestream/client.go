@@ -269,13 +269,13 @@ func (c *Client) feedbackTick() {
 		OWDAvg:       owdAvg,
 		Nack:         nack,
 	}
-	c.host.Send(&packet.Packet{
-		Flow: c.flow,
-		Kind: packet.KindFeedback,
-		Dst:  c.peer,
-		Size: FeedbackSize + 8*len(nack),
-		App:  fb,
-	})
+	p := c.host.NewPacket()
+	p.Flow = c.flow
+	p.Kind = packet.KindFeedback
+	p.Dst = c.peer
+	p.Size = FeedbackSize + 8*len(nack)
+	p.App = fb
+	c.host.Send(p)
 
 	// Reset window accumulators.
 	c.winBytes = 0

@@ -284,15 +284,14 @@ func (s *Server) drainFragQ() {
 
 func (s *Server) emit(seq int64, meta FragMeta, payload int) {
 	m := meta
-	p := &packet.Packet{
-		Flow:    s.flow,
-		Kind:    packet.KindFrame,
-		Dst:     s.dst,
-		Seq:     seq,
-		Payload: payload,
-		Size:    payload + FragmentOverhead,
-		App:     &m,
-	}
+	p := s.host.NewPacket()
+	p.Flow = s.flow
+	p.Kind = packet.KindFrame
+	p.Dst = s.dst
+	p.Seq = seq
+	p.Payload = payload
+	p.Size = payload + FragmentOverhead
+	p.App = &m
 	s.FragmentsSent++
 	s.BytesSent += int64(p.Size)
 	s.host.Send(p)

@@ -2,6 +2,11 @@
 // paper's testbed: a TCP connection (Cubic or BBR) that transfers as fast
 // as congestion control allows between a start and stop time, emulating
 // `iperf` run for the middle three minutes of each trace.
+//
+// The flow's entire data path is allocation-free in steady state: segments
+// come from the tcp.Sender's freelist and packets from the host's
+// packet.Pool, so a bulk flow adds no GC pressure beyond its (amortised)
+// goodput-bin growth.
 package iperf
 
 import (

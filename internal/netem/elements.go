@@ -26,13 +26,16 @@ type Link struct {
 	next  packet.Handler
 
 	busyUntil sim.Time
+	deliver   func(any) // prebuilt so per-packet scheduling allocates nothing
 	Stats     Stats
 }
 
 // NewLink returns a link serialising at rate with propagation delay d,
 // delivering to next. A non-positive rate serialises instantaneously.
 func NewLink(eng *sim.Engine, rate units.Rate, d time.Duration, next packet.Handler) *Link {
-	return &Link{eng: eng, rate: rate, delay: d, next: next}
+	l := &Link{eng: eng, rate: rate, delay: d, next: next}
+	l.deliver = func(x any) { l.next.Handle(x.(*packet.Packet)) }
+	return l
 }
 
 // Handle implements packet.Handler.
@@ -46,7 +49,7 @@ func (l *Link) Handle(p *packet.Packet) {
 	l.busyUntil = done
 	l.Stats.Packets++
 	l.Stats.Bytes += units.ByteSize(p.Size)
-	l.eng.ScheduleAt(done.Add(l.delay), func() { l.next.Handle(p) })
+	l.eng.ScheduleCallAt(done.Add(l.delay), l.deliver, p)
 }
 
 // Delay forwards packets after a fixed delay, preserving order — the
@@ -62,12 +65,15 @@ type Delay struct {
 	rng    *sim.RNG
 	// lastOut enforces in-order delivery under jitter.
 	lastOut sim.Time
+	deliver func(any)
 	Stats   Stats
 }
 
 // NewDelay returns a fixed-delay element delivering to next.
 func NewDelay(eng *sim.Engine, d time.Duration, next packet.Handler) *Delay {
-	return &Delay{eng: eng, d: d, next: next}
+	de := &Delay{eng: eng, d: d, next: next}
+	de.deliver = func(x any) { de.next.Handle(x.(*packet.Packet)) }
+	return de
 }
 
 // SetJitter enables uniform ± jitter around the base delay, drawn from rng.
@@ -92,7 +98,7 @@ func (d *Delay) Handle(p *packet.Packet) {
 		out = d.lastOut // preserve order
 	}
 	d.lastOut = out
-	d.eng.ScheduleAt(out, func() { d.next.Handle(p) })
+	d.eng.ScheduleCallAt(out, d.deliver, p)
 }
 
 // SetDelay changes the delay for subsequently handled packets.
@@ -112,7 +118,7 @@ type Shaper struct {
 
 	tokens     float64 // bytes
 	lastRefill sim.Time
-	drainArmed bool
+	drainTimer *sim.Timer
 	Stats      Stats
 
 	// onEnqueue/onDequeue, when non-nil, observe packets entering and
@@ -129,7 +135,7 @@ func NewShaper(eng *sim.Engine, rate units.Rate, burst units.ByteSize, q Queue, 
 	if burst < packet.MTU {
 		burst = packet.MTU
 	}
-	return &Shaper{
+	s := &Shaper{
 		eng:    eng,
 		rate:   rate,
 		burst:  burst,
@@ -137,6 +143,8 @@ func NewShaper(eng *sim.Engine, rate units.Rate, burst units.ByteSize, q Queue, 
 		tokens: float64(burst),
 		next:   next,
 	}
+	s.drainTimer = sim.NewTimer(eng, s.drain)
+	return s
 }
 
 // Queue exposes the attached queue (e.g. for occupancy probes in tests).
@@ -190,7 +198,7 @@ func (s *Shaper) emit(p *packet.Packet) {
 }
 
 func (s *Shaper) armDrain() {
-	if s.drainArmed {
+	if s.drainTimer.Armed() {
 		return
 	}
 	head := s.queue.Peek()
@@ -205,12 +213,10 @@ func (s *Shaper) armDrain() {
 			wait = time.Nanosecond
 		}
 	}
-	s.drainArmed = true
-	s.eng.Schedule(wait, s.drain)
+	s.drainTimer.Reset(wait)
 }
 
 func (s *Shaper) drain() {
-	s.drainArmed = false
 	s.refill()
 	for {
 		head := s.queue.Peek()
@@ -284,6 +290,7 @@ type Host struct {
 	flows    map[packet.FlowID]packet.Handler
 	fallback packet.Handler
 	nextID   *uint64 // shared packet ID counter
+	pool     *packet.Pool
 }
 
 // NewHost returns a host with address addr sending into out. ids is the
@@ -301,6 +308,21 @@ func NewHost(eng *sim.Engine, addr packet.Addr, out packet.Handler, ids *uint64)
 // SetOut changes the host's first hop.
 func (h *Host) SetOut(out packet.Handler) { h.out = out }
 
+// SetPool attaches a per-run packet freelist. Endpoints on the host then
+// allocate via NewPacket, and every packet the host delivers is recycled
+// after its flow handler returns — handlers must copy what they need and
+// must not retain the *Packet (or its App payload) past Handle. All hosts
+// of one engine share one pool; a nil pool (the default) means packets are
+// ordinary garbage-collected allocations.
+func (h *Host) SetPool(p *packet.Pool) { h.pool = p }
+
+// Pool returns the attached freelist, or nil.
+func (h *Host) Pool() *packet.Pool { return h.pool }
+
+// NewPacket returns a zeroed packet, reusing a recycled one when a pool is
+// attached.
+func (h *Host) NewPacket() *packet.Packet { return h.pool.Get() }
+
 // Bind registers handler to receive packets for flow.
 func (h *Host) Bind(flow packet.FlowID, handler packet.Handler) {
 	h.flows[flow] = handler
@@ -310,14 +332,15 @@ func (h *Host) Bind(flow packet.FlowID, handler packet.Handler) {
 func (h *Host) BindFallback(handler packet.Handler) { h.fallback = handler }
 
 // Handle implements packet.Handler, dispatching to the bound flow handler.
+// The host is the end of a packet's life: once the handler returns, the
+// packet is released to the pool (when one is attached).
 func (h *Host) Handle(p *packet.Packet) {
 	if hd, ok := h.flows[p.Flow]; ok {
 		hd.Handle(p)
-		return
-	}
-	if h.fallback != nil {
+	} else if h.fallback != nil {
 		h.fallback.Handle(p)
 	}
+	h.pool.Put(p)
 }
 
 // Send stamps and transmits p via the host's first hop.

@@ -92,6 +92,11 @@ type Packet struct {
 	// App carries application-specific metadata (e.g. *gamestream.FragMeta).
 	// Network elements never touch it.
 	App interface{}
+
+	// pooled marks a packet currently resting in a Pool's freelist, the
+	// guard that turns a double release into a panic instead of silent
+	// aliasing corruption.
+	pooled bool
 }
 
 // String formats a packet for debugging traces.

@@ -1,0 +1,82 @@
+package packet
+
+// Pool is a per-run freelist of Packets. The simulation core is single-
+// goroutine by construction (one engine, one event loop), so the pool is a
+// plain LIFO slice rather than a sync.Pool: no locks, no per-P caches, and
+// — critically for the testbed's determinism contract — no GC-driven
+// emptying, so reuse order is a pure function of the run and allocation
+// behaviour never perturbs timing-sensitive code paths.
+//
+// All methods are nil-receiver safe: a nil *Pool degrades to ordinary
+// garbage-collected allocation, which lets hosts and network elements run
+// unpooled (e.g. in unit tests) with zero branches at the call sites.
+//
+// A Pool must only be used from the goroutine running its engine.
+type Pool struct {
+	free []*Packet
+
+	// Counters for observability; see PoolStats.
+	gets   uint64
+	puts   uint64
+	allocs uint64
+}
+
+// PoolStats is a snapshot of a pool's traffic.
+type PoolStats struct {
+	// Gets is the number of packets handed out.
+	Gets uint64
+	// Puts is the number of packets returned.
+	Puts uint64
+	// Allocs is the number of Gets that had to allocate because the
+	// freelist was empty; Gets - Allocs packets were recycled.
+	Allocs uint64
+	// FreeLen is the current freelist depth.
+	FreeLen int
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns a zeroed packet, reusing a released one when available. On a
+// nil pool it simply allocates.
+func (pl *Pool) Get() *Packet {
+	if pl == nil {
+		return &Packet{}
+	}
+	pl.gets++
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		p.pooled = false
+		return p
+	}
+	pl.allocs++
+	return &Packet{}
+}
+
+// Put zeroes p and returns it to the freelist. The caller must be the last
+// holder: retaining p (or anything reached through p.App) after Put is a
+// use-after-release bug. Releasing the same packet twice panics, since an
+// aliased freelist entry would corrupt later runs silently. Put on a nil
+// pool or with a nil packet is a no-op.
+func (pl *Pool) Put(p *Packet) {
+	if pl == nil || p == nil {
+		return
+	}
+	if p.pooled {
+		panic("packet: double release to pool")
+	}
+	*p = Packet{pooled: true}
+	pl.puts++
+	pl.free = append(pl.free, p)
+}
+
+// Stats returns a snapshot of the pool's counters (zero value for a nil
+// pool).
+func (pl *Pool) Stats() PoolStats {
+	if pl == nil {
+		return PoolStats{}
+	}
+	return PoolStats{Gets: pl.gets, Puts: pl.puts, Allocs: pl.allocs, FreeLen: len(pl.free)}
+}

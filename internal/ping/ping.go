@@ -55,13 +55,13 @@ func (p *Pinger) Stop() { p.ticker.Stop() }
 func (p *Pinger) sendEcho() {
 	p.seq++
 	p.Sent++
-	p.host.Send(&packet.Packet{
-		Flow: p.flow,
-		Kind: packet.KindPing,
-		Dst:  p.dst,
-		Seq:  p.seq,
-		Size: Size,
-	})
+	pk := p.host.NewPacket()
+	pk.Flow = p.flow
+	pk.Kind = packet.KindPing
+	pk.Dst = p.dst
+	pk.Seq = p.seq
+	pk.Size = Size
+	p.host.Send(pk)
 }
 
 // Handle implements packet.Handler, recording echo replies.
@@ -106,12 +106,12 @@ func (r *Responder) Handle(pk *packet.Packet) {
 		return
 	}
 	r.Answered++
-	r.host.Send(&packet.Packet{
-		Flow:   r.flow,
-		Kind:   packet.KindPong,
-		Dst:    pk.Src,
-		Seq:    pk.Seq,
-		Size:   Size,
-		EchoTS: pk.SentAt,
-	})
+	reply := r.host.NewPacket()
+	reply.Flow = r.flow
+	reply.Kind = packet.KindPong
+	reply.Dst = pk.Src
+	reply.Seq = pk.Seq
+	reply.Size = Size
+	reply.EchoTS = pk.SentAt
+	r.host.Send(reply)
 }

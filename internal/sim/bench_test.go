@@ -50,6 +50,88 @@ func BenchmarkDeepHeap(b *testing.B) {
 	}
 }
 
+// BenchmarkScheduleDispatch measures the steady-state cost of one
+// schedule+dispatch cycle with a reused closure. allocs/op must stay 0:
+// the typed heap stores events by value and a reused func() incurs no
+// boxing, so the hot path never touches the allocator.
+func BenchmarkScheduleDispatch(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine(1)
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n < b.N {
+			e.Schedule(time.Microsecond, fn)
+		}
+	}
+	e.Schedule(time.Microsecond, fn)
+	b.ResetTimer()
+	e.Run(End)
+}
+
+// BenchmarkScheduleCall measures the prebuilt-callback flavor used by the
+// netem hot path (Link/Delay delivery): a stable func(any) plus a
+// pointer-shaped arg. Also must be 0 allocs/op.
+func BenchmarkScheduleCall(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine(1)
+	n := 0
+	type payload struct{ v int }
+	p := &payload{}
+	var call func(any)
+	call = func(x any) {
+		n++
+		if n < b.N {
+			e.ScheduleCall(time.Microsecond, call, x)
+		}
+	}
+	e.ScheduleCall(time.Microsecond, call, p)
+	b.ResetTimer()
+	e.Run(End)
+}
+
+// BenchmarkTimerReset measures the indexed-timer reschedule path: each
+// Reset moves the entry in place (no tombstones, no new heap node), so a
+// retransmission timer that is re-armed on every ACK costs O(log n) swaps
+// and zero allocations.
+func BenchmarkTimerReset(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine(1)
+	t := NewTimer(e, func() {})
+	// A realistic pending population so the reschedule actually sifts.
+	for i := 0; i < 1024; i++ {
+		e.Schedule(time.Duration(i+1)*time.Hour, func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Reset(time.Duration(i%100+1) * time.Millisecond)
+	}
+	b.StopTimer()
+	if e.Stats().TimerMoves == 0 && b.N > 1 {
+		b.Fatal("expected in-place timer moves")
+	}
+}
+
+// BenchmarkTickerSteadyState measures a free-running periodic ticker —
+// the encoder frame clock and feedback loop shape — which re-arms its own
+// entry each tick and must be allocation-free after Start.
+func BenchmarkTickerSteadyState(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine(1)
+	n := 0
+	tk := NewTicker(e, time.Millisecond, nil)
+	tk.fn = func() {
+		n++
+		if n >= b.N {
+			tk.Stop()
+		}
+	}
+	tk.Start(true)
+	b.ResetTimer()
+	e.Run(End)
+}
+
 func BenchmarkRNG(b *testing.B) {
 	r := NewRNG(1)
 	for i := 0; i < b.N; i++ {

@@ -6,10 +6,23 @@
 // never consults the wall clock, and events scheduled for the same instant
 // dispatch in the order they were scheduled, so two runs with identical
 // configuration produce bit-identical results.
+//
+// The event core is built for zero steady-state allocations on the hot
+// path (see docs/ARCHITECTURE.md, "hot path & memory discipline"):
+//
+//   - the queue is a concrete-typed 4-ary min-heap of event values, so
+//     pushing an event never boxes through interface{} the way
+//     container/heap does;
+//   - popped heap slots are zeroed so dispatched closures and arguments
+//     become garbage-collectable immediately;
+//   - Timer and Ticker own an indexed heap entry that Reset/Stop move or
+//     remove in place instead of abandoning tombstone events in the queue;
+//   - ScheduleCall carries a pre-built func(arg) plus a pointer-shaped
+//     argument through the event record itself, so per-packet network
+//     events need no per-event closure allocation.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -41,41 +54,47 @@ func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
 // String formats t as a duration since the start of the run.
 func (t Time) String() string { return time.Duration(t).String() }
 
+// event is one queued dispatch. Exactly one of the three dispatch forms is
+// set: fn (a one-shot closure), call+arg (a prebuilt function applied to an
+// argument, the allocation-free form used for per-packet delivery), or ent
+// (an indexed Timer/Ticker entry).
 type event struct {
-	at  Time
-	seq uint64 // tiebreaker: preserves scheduling order for simultaneous events
+	at   Time
+	seq  uint64 // tiebreaker: preserves scheduling order for simultaneous events
+	fn   func()
+	call func(any)
+	arg  any
+	ent  *entry
+}
+
+// entry is the reschedulable heap handle owned by a Timer or Ticker. The
+// heap keeps pos up to date as the entry's event moves, so Reset and Stop
+// operate on the live queue position in O(log n) instead of abandoning a
+// tombstone event per call.
+type entry struct {
 	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	pos int // current heap index; -1 when not queued
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
 // one with NewEngine.
 type Engine struct {
 	now     Time
-	seq     uint64
-	events  eventHeap
+	seq     uint64 // ordering counter; advances on every (re)schedule
+	events  []event
 	stopped bool
 	rng     *RNG
 	// processed counts dispatched events, for diagnostics and benchmarks.
 	processed uint64
+	// scheduled counts events pushed into the queue.
+	scheduled uint64
+	// cancelled counts events removed from the queue without dispatching
+	// (Timer/Ticker Stop). Before the indexed-timer design these lingered
+	// as dead tombstone events and were dispatched as no-ops.
+	cancelled uint64
+	// moved counts in-place timer reschedules; each one is a tombstone the
+	// old design would have leaked into the queue.
+	moved uint64
 	// peakPending is the high-water mark of the event heap.
 	peakPending int
 	// wall accumulates wall-clock time spent inside Run. It never feeds
@@ -90,11 +109,19 @@ type Engine struct {
 type Stats struct {
 	// EventsDispatched is the number of events popped and executed.
 	EventsDispatched uint64
-	// EventsScheduled is the number of events ever pushed (including ones
-	// still pending). The invariant EventsDispatched == EventsScheduled -
-	// uint64(Pending) holds at all times, because events only ever leave
-	// the queue by being dispatched.
+	// EventsScheduled is the number of events ever pushed into the queue.
+	// The invariant EventsDispatched == EventsScheduled - EventsCancelled -
+	// uint64(Pending) holds at all times: events leave the queue either by
+	// dispatching or by being cancelled in place.
 	EventsScheduled uint64
+	// EventsCancelled counts events removed from the queue without being
+	// dispatched (Timer.Stop / Ticker.Stop on an armed entry). The old
+	// heap left these behind as dead no-op events.
+	EventsCancelled uint64
+	// TimerMoves counts in-place reschedules of armed timers and tickers
+	// (Timer.Reset on an armed timer). Each one is a dead event the
+	// tombstone design would have queued and dispatched for nothing.
+	TimerMoves uint64
 	// Pending is the number of events still waiting in the queue.
 	Pending int
 	// PeakPending is the high-water mark of the event queue depth, a proxy
@@ -129,8 +156,10 @@ func (s Stats) EventsPerSecond() float64 {
 func (e *Engine) Stats() Stats {
 	return Stats{
 		EventsDispatched: e.processed,
-		EventsScheduled:  e.seq,
-		Pending:          e.events.Len(),
+		EventsScheduled:  e.scheduled,
+		EventsCancelled:  e.cancelled,
+		TimerMoves:       e.moved,
+		Pending:          len(e.events),
 		PeakPending:      e.peakPending,
 		SimTime:          e.now,
 		WallTime:         e.wall,
@@ -140,9 +169,7 @@ func (e *Engine) Stats() Stats {
 // NewEngine returns an engine with its clock at zero and an RNG seeded with
 // the given seed.
 func NewEngine(seed uint64) *Engine {
-	e := &Engine{rng: NewRNG(seed)}
-	heap.Init(&e.events)
-	return e
+	return &Engine{rng: NewRNG(seed)}
 }
 
 // Now returns the current virtual time.
@@ -154,6 +181,147 @@ func (e *Engine) Rand() *RNG { return e.rng }
 // Processed reports how many events have been dispatched so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
+// --- 4-ary min-heap ---
+//
+// Children of i live at 4i+1..4i+4; the parent of i is (i-1)/4. A 4-ary
+// layout halves the tree depth versus binary, trading slightly wider
+// sibling scans (which stay within one or two cache lines of event values)
+// for fewer levels of sift work per push/pop.
+
+func lessEv(a, b *event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// setpos records i as the heap position of the entry backing events[i], if
+// any — the bookkeeping that makes in-place Reset/Stop possible.
+func (e *Engine) setpos(i int) {
+	if ent := e.events[i].ent; ent != nil {
+		ent.pos = i
+	}
+}
+
+// up sifts the event at index i toward the root, moving a hole rather than
+// swapping so each displaced event is copied once.
+func (e *Engine) up(i int) {
+	ev := e.events[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !lessEv(&ev, &e.events[parent]) {
+			break
+		}
+		e.events[i] = e.events[parent]
+		e.setpos(i)
+		i = parent
+	}
+	e.events[i] = ev
+	e.setpos(i)
+}
+
+// down sifts the event at index i toward the leaves.
+func (e *Engine) down(i int) {
+	ev := e.events[i]
+	n := len(e.events)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if lessEv(&e.events[c], &e.events[min]) {
+				min = c
+			}
+		}
+		if !lessEv(&e.events[min], &ev) {
+			break
+		}
+		e.events[i] = e.events[min]
+		e.setpos(i)
+		i = min
+	}
+	e.events[i] = ev
+	e.setpos(i)
+}
+
+// push appends ev and restores heap order.
+func (e *Engine) push(ev event) {
+	e.events = append(e.events, ev)
+	i := len(e.events) - 1
+	e.setpos(i)
+	e.up(i)
+	e.scheduled++
+	if n := len(e.events); n > e.peakPending {
+		e.peakPending = n
+	}
+}
+
+// popRoot removes and returns the earliest event. The vacated tail slot is
+// zeroed so the dispatched closure, call argument, and entry pointer do not
+// pin garbage from the backing array.
+func (e *Engine) popRoot() event {
+	root := e.events[0]
+	n := len(e.events) - 1
+	last := e.events[n]
+	e.events[n] = event{}
+	e.events = e.events[:n]
+	if n > 0 {
+		e.events[0] = last
+		e.setpos(0)
+		e.down(0)
+	}
+	if root.ent != nil {
+		root.ent.pos = -1
+	}
+	return root
+}
+
+// removeAt deletes the event at index i without dispatching it, zeroing the
+// vacated slot.
+func (e *Engine) removeAt(i int) {
+	if ent := e.events[i].ent; ent != nil {
+		ent.pos = -1
+	}
+	n := len(e.events) - 1
+	if i == n {
+		e.events[n] = event{}
+		e.events = e.events[:n]
+		return
+	}
+	moved := e.events[n]
+	e.events[n] = event{}
+	e.events = e.events[:n]
+	e.events[i] = moved
+	e.setpos(i)
+	if i > 0 && lessEv(&e.events[i], &e.events[(i-1)/4]) {
+		e.up(i)
+	} else {
+		e.down(i)
+	}
+}
+
+// updateAt rekeys the event at index i and restores heap order.
+func (e *Engine) updateAt(i int, at Time, seq uint64) {
+	e.events[i].at = at
+	e.events[i].seq = seq
+	if i > 0 && lessEv(&e.events[i], &e.events[(i-1)/4]) {
+		e.up(i)
+	} else {
+		e.down(i)
+	}
+}
+
+// checkFuture panics on scheduling in the past: silently reordering time
+// would corrupt every queue model downstream.
+func (e *Engine) checkFuture(t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+}
+
 // Schedule runs fn after delay d. A negative delay is treated as zero.
 // Events at equal times run in scheduling order.
 func (e *Engine) Schedule(d time.Duration, fn func()) {
@@ -164,36 +332,85 @@ func (e *Engine) Schedule(d time.Duration, fn func()) {
 }
 
 // ScheduleAt runs fn at time t. Scheduling in the past is an error in the
-// simulation logic and panics, since silently reordering time would corrupt
-// every queue model downstream.
+// simulation logic and panics.
 func (e *Engine) ScheduleAt(t Time, fn func()) {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
-	}
+	e.checkFuture(t)
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
-	if n := e.events.Len(); n > e.peakPending {
-		e.peakPending = n
-	}
+	e.push(event{at: t, seq: e.seq, fn: fn})
 }
 
-// Stop halts the run loop after the current event finishes.
+// ScheduleCall runs fn(arg) after delay d (negative delays clamp to zero).
+// Unlike Schedule, the callback and its argument travel inside the event
+// record, so callers that reuse one prebuilt fn — per-packet delivery in
+// the network elements — schedule without allocating a closure per event.
+func (e *Engine) ScheduleCall(d time.Duration, fn func(any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	e.ScheduleCallAt(e.now.Add(d), fn, arg)
+}
+
+// ScheduleCallAt runs fn(arg) at time t. See ScheduleCall.
+func (e *Engine) ScheduleCallAt(t Time, fn func(any), arg any) {
+	e.checkFuture(t)
+	e.seq++
+	e.push(event{at: t, seq: e.seq, call: fn, arg: arg})
+}
+
+// scheduleEntry arms (or re-arms) an indexed entry for time t. An entry
+// already in the queue is rekeyed in place; a disarmed one is pushed.
+// Either way it receives a fresh sequence number, so a re-armed timer
+// orders after events already scheduled for the same instant, exactly as a
+// freshly scheduled event would.
+func (e *Engine) scheduleEntry(ent *entry, t Time) {
+	e.checkFuture(t)
+	e.seq++
+	if ent.pos >= 0 {
+		e.moved++
+		e.updateAt(ent.pos, t, e.seq)
+		return
+	}
+	e.push(event{at: t, seq: e.seq, ent: ent})
+}
+
+// cancelEntry removes an armed entry from the queue; disarmed entries are
+// a no-op.
+func (e *Engine) cancelEntry(ent *entry) {
+	if ent.pos < 0 {
+		return
+	}
+	e.cancelled++
+	e.removeAt(ent.pos)
+}
+
+// Stop halts the run loop after the current event finishes. It only affects
+// the Run call in progress: the next Run resumes from the pending queue.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Run dispatches events in time order until the queue is empty, Stop is
 // called, or the clock would pass until. Events scheduled exactly at until
 // are dispatched. It returns the final virtual time.
+//
+// Run clears any previous Stop before dispatching, so an engine stopped
+// mid-run can be resumed simply by calling Run again.
 func (e *Engine) Run(until Time) Time {
 	start := time.Now()
-	for !e.stopped && e.events.Len() > 0 {
-		next := e.events[0]
-		if next.at > until {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		if e.events[0].at > until {
 			break
 		}
-		heap.Pop(&e.events)
-		e.now = next.at
+		ev := e.popRoot()
+		e.now = ev.at
 		e.processed++
-		next.fn()
+		switch {
+		case ev.ent != nil:
+			ev.ent.fn()
+		case ev.call != nil:
+			ev.call(ev.arg)
+		default:
+			ev.fn()
+		}
 	}
 	if e.now < until && !e.stopped {
 		e.now = until
@@ -206,59 +423,62 @@ func (e *Engine) Run(until Time) Time {
 func (e *Engine) RunFor(d time.Duration) Time { return e.Run(e.now.Add(d)) }
 
 // Pending reports how many events are waiting to dispatch.
-func (e *Engine) Pending() int { return e.events.Len() }
+func (e *Engine) Pending() int { return len(e.events) }
 
 // Timer is a cancellable, reschedulable single-shot timer bound to an engine.
 // It is the building block for retransmission timeouts, delayed ACKs, and
 // periodic application ticks.
+//
+// A Timer owns one indexed heap entry: Reset moves the armed entry in place
+// and Stop removes it, so no call on a Timer ever strands a dead event in
+// the queue or allocates after construction. Timers must not be copied once
+// created.
 type Timer struct {
-	eng     *Engine
-	fn      func()
-	at      Time
-	armed   bool
-	version uint64 // invalidates in-flight events from earlier arms
+	eng *Engine
+	fn  func()
+	at  Time
+	ent entry
 }
 
 // NewTimer returns a timer that calls fn when it fires. The timer starts
 // disarmed.
 func NewTimer(eng *Engine, fn func()) *Timer {
-	return &Timer{eng: eng, fn: fn}
+	t := &Timer{eng: eng, fn: fn}
+	t.ent.pos = -1
+	t.ent.fn = func() { t.fn() }
+	return t
 }
 
 // Reset (re)arms the timer to fire after d, cancelling any earlier deadline.
 func (t *Timer) Reset(d time.Duration) {
-	t.version++
-	t.armed = true
-	t.at = t.eng.Now().Add(d)
-	v := t.version
-	t.eng.ScheduleAt(t.at, func() {
-		if t.armed && t.version == v {
-			t.armed = false
-			t.fn()
-		}
-	})
+	t.ResetAt(t.eng.now.Add(d))
+}
+
+// ResetAt (re)arms the timer to fire at the absolute time at.
+func (t *Timer) ResetAt(at Time) {
+	t.at = at
+	t.eng.scheduleEntry(&t.ent, at)
 }
 
 // Stop disarms the timer. It is safe to call on a disarmed timer.
-func (t *Timer) Stop() {
-	t.version++
-	t.armed = false
-}
+func (t *Timer) Stop() { t.eng.cancelEntry(&t.ent) }
 
 // Armed reports whether the timer is waiting to fire.
-func (t *Timer) Armed() bool { return t.armed }
+func (t *Timer) Armed() bool { return t.ent.pos >= 0 }
 
 // Deadline returns when the timer will fire; meaningful only when Armed.
 func (t *Timer) Deadline() Time { return t.at }
 
 // Ticker invokes fn every interval until stopped. The first tick fires one
-// interval after Start (or immediately if startNow).
+// interval after Start (or immediately if startNow). Like Timer, a Ticker
+// reuses one indexed heap entry for its whole life, so steady-state ticking
+// performs no allocation. Tickers must not be copied once created.
 type Ticker struct {
 	eng      *Engine
 	fn       func()
 	interval time.Duration
 	running  bool
-	version  uint64
+	ent      entry
 }
 
 // NewTicker returns a stopped ticker with the given interval and callback.
@@ -266,30 +486,34 @@ func NewTicker(eng *Engine, interval time.Duration, fn func()) *Ticker {
 	if interval <= 0 {
 		panic("sim: ticker interval must be positive")
 	}
-	return &Ticker{eng: eng, fn: fn, interval: interval}
+	t := &Ticker{eng: eng, fn: fn, interval: interval}
+	t.ent.pos = -1
+	t.ent.fn = t.tick
+	return t
+}
+
+// tick runs one tick and re-arms the entry, unless the callback stopped the
+// ticker or re-armed it itself (e.g. via Start).
+func (t *Ticker) tick() {
+	if !t.running {
+		return
+	}
+	t.fn()
+	if t.running && t.ent.pos < 0 {
+		t.eng.scheduleEntry(&t.ent, t.eng.now.Add(t.interval))
+	}
 }
 
 // Start begins ticking. If startNow, the first tick is dispatched at the
-// current time (still via the event queue, preserving ordering).
+// current time (still via the event queue, preserving ordering). Starting a
+// running ticker re-arms its pending tick.
 func (t *Ticker) Start(startNow bool) {
-	t.version++
 	t.running = true
-	v := t.version
-	delay := t.interval
+	at := t.eng.now.Add(t.interval)
 	if startNow {
-		delay = 0
+		at = t.eng.now
 	}
-	var tick func()
-	tick = func() {
-		if !t.running || t.version != v {
-			return
-		}
-		t.fn()
-		if t.running && t.version == v {
-			t.eng.Schedule(t.interval, tick)
-		}
-	}
-	t.eng.Schedule(delay, tick)
+	t.eng.scheduleEntry(&t.ent, at)
 }
 
 // SetInterval changes the tick interval; takes effect from the next arm.
@@ -305,8 +529,8 @@ func (t *Ticker) Interval() time.Duration { return t.interval }
 
 // Stop halts the ticker. Safe to call repeatedly.
 func (t *Ticker) Stop() {
-	t.version++
 	t.running = false
+	t.eng.cancelEntry(&t.ent)
 }
 
 // Running reports whether the ticker is active.

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestHeapPropertyRandomOps drives the typed 4-ary heap with random
+// interleavings of Schedule, ScheduleCall, Timer.Reset (both fresh arms and
+// in-place moves) and Timer.Stop, across several Run windows, and checks the
+// dispatch order against a reference model: pending entries sorted by
+// (at, seq), with seq mirroring the engine's ordering counter. Any heap
+// bookkeeping bug — a stale entry position after a sift, a missed zeroing, a
+// wrong tiebreak — shows up as a dispatch-order mismatch.
+func TestHeapPropertyRandomOps(t *testing.T) {
+	type ref struct {
+		at  Time
+		seq uint64
+		id  int
+	}
+	for trial := uint64(1); trial <= 25; trial++ {
+		rng := NewRNG(trial)
+		e := NewEngine(trial)
+
+		var (
+			model  []ref // reference pending set
+			got    []int // observed dispatch order
+			seq    uint64
+			nextID int
+		)
+		newID := func() int { nextID++; return nextID }
+
+		type timerState struct {
+			tm *Timer
+			id int // identity of the currently armed deadline
+		}
+		var timers []*timerState
+		for i := 0; i < 4; i++ {
+			st := &timerState{}
+			st.tm = NewTimer(e, func() { got = append(got, st.id) })
+			timers = append(timers, st)
+		}
+		removeModel := func(id int) {
+			for i := range model {
+				if model[i].id == id {
+					model = append(model[:i], model[i+1:]...)
+					return
+				}
+			}
+		}
+
+		for round := 0; round < 6; round++ {
+			horizon := 100 * time.Millisecond
+			for op := 0; op < 40; op++ {
+				at := e.Now().Add(time.Duration(int64(rng.Intn(int(horizon)))) + 1)
+				switch rng.Intn(5) {
+				case 0, 1: // plain closure
+					id := newID()
+					seq++
+					model = append(model, ref{at, seq, id})
+					e.ScheduleAt(at, func() { got = append(got, id) })
+				case 2: // prebuilt call + arg
+					id := newID()
+					seq++
+					model = append(model, ref{at, seq, id})
+					e.ScheduleCallAt(at, func(x any) { got = append(got, *x.(*int)) }, &id)
+				case 3: // timer reset: fresh arm or in-place move
+					st := timers[rng.Intn(len(timers))]
+					if st.tm.Armed() {
+						removeModel(st.id)
+					}
+					st.id = newID()
+					seq++
+					model = append(model, ref{at, seq, st.id})
+					st.tm.ResetAt(at)
+				case 4: // timer stop
+					st := timers[rng.Intn(len(timers))]
+					if st.tm.Armed() {
+						removeModel(st.id)
+					}
+					st.tm.Stop()
+				}
+			}
+
+			until := e.Now().Add(time.Duration(int64(rng.Intn(int(horizon)))))
+			if round == 5 {
+				until = End
+			}
+			var want []ref
+			var rest []ref
+			for _, r := range model {
+				if r.at <= until {
+					want = append(want, r)
+				} else {
+					rest = append(rest, r)
+				}
+			}
+			sort.Slice(want, func(i, j int) bool {
+				return want[i].at < want[j].at ||
+					(want[i].at == want[j].at && want[i].seq < want[j].seq)
+			})
+			model = rest
+
+			got = got[:0]
+			e.Run(until)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d round %d: dispatched %d events, want %d",
+					trial, round, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i].id {
+					t.Fatalf("trial %d round %d: dispatch[%d] = id %d, want id %d",
+						trial, round, i, got[i], want[i].id)
+				}
+			}
+		}
+		if e.Pending() != 0 {
+			t.Fatalf("trial %d: %d events left after Run(End)", trial, e.Pending())
+		}
+	}
+}

@@ -146,19 +146,27 @@ func (r *Receiver) insertOOO(s span) {
 func (r *Receiver) sendAck() {
 	r.pending = 0
 	r.delAck.Stop()
-	meta := &ackMeta{ece: r.ceSeen}
-	r.ceSeen = false
-	for i := 0; i < len(r.ooo) && i < maxSackBlocks; i++ {
-		meta.sack = append(meta.sack, [2]int64{r.ooo[i].start, r.ooo[i].end})
+	// A plain cumulative ACK (no SACK ranges, no ECN echo) carries no
+	// option block at all: the sender treats a missing meta exactly like an
+	// empty one, and the steady-state ACK stream allocates nothing.
+	var meta *ackMeta
+	if r.ceSeen || len(r.ooo) > 0 {
+		meta = &ackMeta{ece: r.ceSeen}
+		for i := 0; i < len(r.ooo) && i < maxSackBlocks; i++ {
+			meta.sack = append(meta.sack, [2]int64{r.ooo[i].start, r.ooo[i].end})
+		}
 	}
-	p := &packet.Packet{
-		Flow:   r.flow,
-		Kind:   packet.KindAck,
-		Dst:    r.peer,
-		Ack:    r.rcvNxt,
-		EchoTS: r.lastTS,
-		Size:   ackBaseSize + sackBlockSize*len(meta.sack),
-		App:    meta,
+	r.ceSeen = false
+	p := r.host.NewPacket()
+	p.Flow = r.flow
+	p.Kind = packet.KindAck
+	p.Dst = r.peer
+	p.Ack = r.rcvNxt
+	p.EchoTS = r.lastTS
+	p.Size = ackBaseSize
+	if meta != nil {
+		p.Size += sackBlockSize * len(meta.sack)
+		p.App = meta
 	}
 	r.host.Send(p)
 }

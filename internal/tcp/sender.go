@@ -73,9 +73,10 @@ type Sender struct {
 	limit int64
 
 	segs        []*seg
-	pipeBytes   int64 // bytes considered in flight
-	highSacked  int64 // highest sequence+len SACKed
-	retxPending int   // segments marked lost awaiting retransmit
+	segFree     []*seg // freelist of scoreboard records (per-sender, deterministic)
+	pipeBytes   int64  // bytes considered in flight
+	highSacked  int64  // highest sequence+len SACKed
+	retxPending int    // segments marked lost awaiting retransmit
 
 	// Delivery-rate estimation state (per the rate-sample algorithm used
 	// by Linux/BBR).
@@ -289,6 +290,19 @@ func (s *Sender) paceAfter(bytes int64) {
 	s.paceNext = s.paceNext.Add(interval)
 }
 
+// newSeg returns a zeroed scoreboard record, reusing a retired one when
+// available.
+func (s *Sender) newSeg() *seg {
+	if n := len(s.segFree); n > 0 {
+		sg := s.segFree[n-1]
+		s.segFree[n-1] = nil
+		s.segFree = s.segFree[:n-1]
+		*sg = seg{}
+		return sg
+	}
+	return &seg{}
+}
+
 func (s *Sender) sendNew() {
 	n := s.nextSegLen()
 	now := s.eng.Now()
@@ -296,7 +310,8 @@ func (s *Sender) sendNew() {
 		s.firstSentTime = now
 		s.deliveredTime = now
 	}
-	sg := &seg{
+	sg := s.newSeg()
+	*sg = seg{
 		seq:           s.sndNxt,
 		len:           n,
 		sentAt:        now,
@@ -334,15 +349,14 @@ func (s *Sender) retransmitOne() {
 }
 
 func (s *Sender) transmit(sg *seg) {
-	p := &packet.Packet{
-		Flow:    s.flow,
-		Kind:    packet.KindData,
-		Dst:     s.dst,
-		Seq:     sg.seq,
-		Payload: int(sg.len),
-		Size:    int(sg.len) + packet.EthIPOverhead + packet.TCPHeader + 12, // TS option
-		ECT:     s.ecn,
-	}
+	p := s.host.NewPacket()
+	p.Flow = s.flow
+	p.Kind = packet.KindData
+	p.Dst = s.dst
+	p.Seq = sg.seq
+	p.Payload = int(sg.len)
+	p.Size = int(sg.len) + packet.EthIPOverhead + packet.TCPHeader + 12 // TS option
+	p.ECT = s.ecn
 	s.Stats.BytesSent += sg.len
 	s.host.Send(p)
 	s.paceAfter(sg.len + packet.EthIPOverhead + packet.TCPHeader + 12)
@@ -382,7 +396,12 @@ func (s *Sender) Handle(p *packet.Packet) {
 	}
 
 	var newlyDelivered int64
-	var sample *seg
+	// sample is a copy of the most recently sent delivered segment's state;
+	// a copy rather than a pointer because cumulatively ACKed segments are
+	// released to the freelist below and may be reused before the rate
+	// sample is taken.
+	var sample seg
+	haveSample := false
 
 	// Cumulative ACK advance.
 	if p.Ack > s.sndUna {
@@ -400,10 +419,13 @@ func (s *Sender) Handle(p *packet.Packet) {
 				}
 				s.accountDelivered(sg, now)
 			}
-			if sample == nil || sg.delivered > sample.delivered {
-				sample = sg
+			if !haveSample || sg.delivered > sample.delivered {
+				sample = *sg
+				haveSample = true
 			}
+			s.segs[0] = nil
 			s.segs = s.segs[1:]
+			s.segFree = append(s.segFree, sg)
 		}
 		s.Stats.BytesAcked += p.Ack - s.sndUna
 		s.sndUna = p.Ack
@@ -432,8 +454,9 @@ func (s *Sender) Handle(p *packet.Packet) {
 				if end := sg.seq + sg.len; end > s.highSacked {
 					s.highSacked = end
 				}
-				if sample == nil || sg.delivered > sample.delivered {
-					sample = sg
+				if !haveSample || sg.delivered > sample.delivered {
+					sample = *sg
+					haveSample = true
 				}
 			}
 		}
@@ -486,7 +509,7 @@ func (s *Sender) Handle(p *packet.Packet) {
 	// Delivery-rate sample from the most recently sent delivered segment.
 	var rateSample units.Rate
 	rateAppLimited := false
-	if sample != nil && newlyDelivered > 0 {
+	if haveSample && newlyDelivered > 0 {
 		sendElapsed := sample.sentAt.Sub(sample.firstSentTime)
 		ackElapsed := now.Sub(sample.deliveredTime)
 		interval := sendElapsed

@@ -4,13 +4,13 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race bench bench-json probe-demo
+.PHONY: verify build test vet race bench bench-json probe-demo fuzz-smoke cover-netem impair-demo
 
 # BENCH_N matches this PR's position in the stacked sequence; bump it when a
 # later change re-baselines the trajectory file.
-BENCH_N ?= 3
+BENCH_N ?= 4
 
-verify: build vet test race
+verify: build vet test race cover-netem
 
 build:
 	$(GO) build ./...
@@ -22,9 +22,27 @@ test:
 	$(GO) test ./...
 
 # The sweep runner and the observability sinks are the only concurrent
-# code in the repository; keep them race-clean.
+# code in the repository; keep them race-clean. netem and tcp ride along:
+# they are single-threaded by design, and -race on them proves a future
+# refactor didn't quietly share an impairer or a sender across workers.
 race:
-	$(GO) test -race ./internal/experiment/... ./internal/sim/... ./internal/obs/...
+	$(GO) test -race ./internal/experiment/... ./internal/sim/... ./internal/obs/... ./internal/netem/... ./internal/tcp/...
+
+# Short coverage-guided session over the receiver-reassembly fuzz target;
+# the checked-in corpus under internal/tcp/testdata/fuzz seeds it. Raise
+# FUZZTIME for a real local campaign.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test ./internal/tcp -run '^$$' -fuzz FuzzReceiverReassembly -fuzztime $(FUZZTIME)
+
+# The impairment subsystem is the loss model under every CC validation
+# claim; hold its statement coverage at >= 80%.
+cover-netem:
+	@$(GO) test -coverprofile=netem.cover.out ./internal/netem > /dev/null
+	@$(GO) tool cover -func=netem.cover.out | awk '/^total:/ { gsub(/%/, "", $$3); \
+		if ($$3 + 0 < 80) { printf "netem coverage %.1f%% < 80%%\n", $$3; exit 1 } \
+		else printf "netem coverage %.1f%% (gate 80%%)\n", $$3 }'
+	@rm -f netem.cover.out
 
 # One regeneration per benchmark target (reduced-size campaigns), then the
 # fixed trajectory suite written as BENCH_$(BENCH_N).json (see README).
@@ -39,3 +57,12 @@ bench-json:
 probe-demo:
 	$(GO) run ./cmd/gssim -cca cubic,bbr -probe -probe-out demo > demo.trace.csv
 	$(GO) run ./cmd/gsreport -cc demo.cc.csv -queue demo.queue.csv
+
+# The EXPERIMENTS.md impairment example: Gilbert-Elliott loss plus a mid-run
+# link flap, with the loss episodes surfaced from the probe's drop log.
+impair-demo:
+	$(GO) run ./cmd/gssim -loss "ge:p=0.01,r=0.25" -jitter 2ms \
+		-schedule "240s down; 242s up" -probe -probe-out impair \
+		-runlog impair.jsonl > impair.trace.csv
+	$(GO) run ./cmd/gsreport -drops impair.drops.csv
+	$(GO) run ./cmd/gsreport -runlog impair.jsonl

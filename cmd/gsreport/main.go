@@ -43,6 +43,8 @@ func main() {
 	runlog := flag.String("runlog", "", "aggregate a JSONL run log instead of a trace CSV")
 	ccPath := flag.String("cc", "", "summarise a probe cc.csv export (cwnd-vs-time per flow)")
 	queuePath := flag.String("queue", "", "summarise a probe queue.csv export (depth-vs-time per queue)")
+	dropsPath := flag.String("drops", "", "summarise a probe drops.csv export as loss episodes")
+	dropsGap := flag.Duration("drops-gap", 100*time.Millisecond, "gap that separates two loss episodes in -drops mode")
 	flag.Parse()
 
 	if *runlog != "" {
@@ -52,7 +54,7 @@ func main() {
 		}
 		return
 	}
-	if *ccPath != "" || *queuePath != "" {
+	if *ccPath != "" || *queuePath != "" || *dropsPath != "" {
 		if *ccPath != "" {
 			if err := reportCC(*ccPath); err != nil {
 				fmt.Fprintln(os.Stderr, "gsreport:", err)
@@ -61,6 +63,12 @@ func main() {
 		}
 		if *queuePath != "" {
 			if err := reportQueue(*queuePath); err != nil {
+				fmt.Fprintln(os.Stderr, "gsreport:", err)
+				os.Exit(1)
+			}
+		}
+		if *dropsPath != "" {
+			if err := reportDrops(*dropsPath, *dropsGap); err != nil {
 				fmt.Fprintln(os.Stderr, "gsreport:", err)
 				os.Exit(1)
 			}
@@ -147,10 +155,15 @@ func reportRunLog(path string) error {
 		game, tcp, fair, rtt, fps stats.Accumulator
 		events                    uint64
 		wall                      float64
+		lossDrops, flapDrops      int
+		flaps                     int
+		downS                     float64
+		impaired                  int
 	}
 	byCond := map[string]*agg{}
 	var totalEvents uint64
 	var totalWall float64
+	anyImpaired := false
 	for _, r := range recs {
 		a := byCond[r.Cond]
 		if a == nil {
@@ -167,6 +180,14 @@ func reportRunLog(path string) error {
 		a.wall += r.Engine.WallSeconds
 		totalEvents += r.Engine.Events
 		totalWall += r.Engine.WallSeconds
+		if r.Impair != nil {
+			anyImpaired = true
+			a.impaired++
+			a.lossDrops += r.Impair.LossDrops
+			a.flapDrops += r.Impair.FlapDrops
+			a.flaps += r.Impair.Flaps
+			a.downS += r.Impair.DownSeconds
+		}
 	}
 
 	var conds []string
@@ -182,6 +203,19 @@ func reportRunLog(path string) error {
 		a := byCond[c]
 		fmt.Printf("%-28s %5d %10.1f %10.1f %+9.2f %8.1f %7.1f\n",
 			c, a.n, a.game.Mean(), a.tcp.Mean(), a.fair.Mean(), a.rtt.Mean(), a.fps.Mean())
+	}
+	if anyImpaired {
+		fmt.Printf("\nimpairments (totals across runs):\n")
+		fmt.Printf("%-28s %5s %10s %10s %6s %8s\n",
+			"condition", "runs", "loss drops", "flap drops", "flaps", "down s")
+		for _, c := range conds {
+			a := byCond[c]
+			if a.impaired == 0 {
+				continue
+			}
+			fmt.Printf("%-28s %5d %10d %10d %6d %8.1f\n",
+				c, a.impaired, a.lossDrops, a.flapDrops, a.flaps, a.downS)
+		}
 	}
 	if totalWall > 0 {
 		fmt.Printf("engine: %d events in %.1fs wall across runs = %.3g events/s\n",

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/stats"
 )
@@ -226,6 +227,78 @@ func reportQueue(path string) error {
 				so.Mean, maxOf(qa.sojournMS), len(qa.sojournMS))
 		}
 		fmt.Printf("  drops:    %.0f\n", qa.drops)
+	}
+	return nil
+}
+
+// reportDrops summarises a probe drops.csv as loss episodes: consecutive
+// drops on the same queue closer than gap are one episode (a GE bad-state
+// burst or a link-flap window), reported with their span, drop count, and
+// bytes lost. Singleton episodes are summarised in aggregate so Bernoulli
+// noise does not swamp the genuine bursts.
+func reportDrops(path string, gap time.Duration) error {
+	p, err := readProbeCSV(path)
+	if err != nil {
+		return err
+	}
+	if _, ok := p.col["queue"]; !ok {
+		return fmt.Errorf("%s: not a drops probe export (no queue column)", path)
+	}
+	type episode struct {
+		from, to     float64
+		drops, bytes int
+	}
+	type qAgg struct {
+		episodes []episode
+		drops    int
+		bytes    int
+	}
+	queues := map[string]*qAgg{}
+	var order []string
+	gapS := gap.Seconds()
+	for _, row := range p.rows {
+		name := p.field(row, "queue")
+		qa := queues[name]
+		if qa == nil {
+			qa = &qAgg{}
+			queues[name] = qa
+			order = append(order, name)
+		}
+		t := p.num(row, "t_s")
+		size := int(p.num(row, "size"))
+		qa.drops++
+		qa.bytes += size
+		if n := len(qa.episodes); n > 0 && t-qa.episodes[n-1].to <= gapS {
+			ep := &qa.episodes[n-1]
+			ep.to = t
+			ep.drops++
+			ep.bytes += size
+		} else {
+			qa.episodes = append(qa.episodes, episode{from: t, to: t, drops: 1, bytes: size})
+		}
+	}
+	fmt.Printf("drops probe: %s (%d drops, %d queues, episode gap %v)\n", path, len(p.rows), len(queues), gap)
+	for _, name := range order {
+		qa := queues[name]
+		singles, singleDrops := 0, 0
+		var bursts []episode
+		for _, ep := range qa.episodes {
+			if ep.drops == 1 {
+				singles++
+				singleDrops += ep.drops
+			} else {
+				bursts = append(bursts, ep)
+			}
+		}
+		fmt.Printf("\nqueue %s: %d drops (%.1f kB) in %d episodes\n",
+			name, qa.drops, float64(qa.bytes)/1000, len(qa.episodes))
+		for _, ep := range bursts {
+			fmt.Printf("  burst %8.3fs - %8.3fs: %4d drops, %7.1f kB\n",
+				ep.from, ep.to, ep.drops, float64(ep.bytes)/1000)
+		}
+		if singles > 0 {
+			fmt.Printf("  plus %d isolated single drops\n", singles)
+		}
 	}
 	return nil
 }

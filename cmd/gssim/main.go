@@ -63,8 +63,32 @@ func main() {
 		probeInterval = flag.Duration("probe-interval", 100*time.Millisecond, "probe sampling interval (0 = snapshot on every ACK)")
 		events        = flag.Int("events", 0, "packet lifecycle event ring capacity (0 = off)")
 		probeOut      = flag.String("probe-out", "probe", "probe export location: basename prefix for a single run, directory for -sweep")
+
+		loss     = flag.String("loss", "", `downlink loss: "2%", "0.02", or "ge:p=0.01,r=0.25[,good=0,bad=1]"`)
+		jitter   = flag.Duration("jitter", 0, "downlink delay jitter (uniform 0..j per packet)")
+		reorder  = flag.Bool("reorder", false, "allow jitter to reorder packets instead of clamping")
+		dup      = flag.String("dup", "", `downlink duplicate probability: "1%" or "0.01"`)
+		schedule = flag.String("schedule", "", `mid-run retuning program, e.g. "60s rate=10mbit; 120s down; 121s up"`)
 	)
 	flag.Parse()
+
+	var impair core.Impairment
+	if err := core.ParseLoss(*loss, &impair); err != nil {
+		fatal(err)
+	}
+	impair.Jitter = *jitter
+	impair.Reorder = *reorder
+	if *dup != "" {
+		p, err := core.ParseProb(*dup)
+		if err != nil {
+			fatal(fmt.Errorf("-dup: %w", err))
+		}
+		impair.Duplicate = p
+	}
+	sched, err := core.ParseSchedule(*schedule)
+	if err != nil {
+		fatal(err)
+	}
 
 	var probeCfg *core.ProbeConfig
 	if *probeOn {
@@ -99,15 +123,15 @@ func main() {
 	}
 
 	if *sweep {
-		runSweep(*iters, *scale, *workers, *aqm, *progress, runLog, probeCfg, *probeOut)
+		runSweep(*iters, *scale, *workers, *aqm, *progress, runLog, probeCfg, *probeOut, impair, sched)
 		return
 	}
-	runSingle(*system, *cca, *capacity, *queue, *aqm, *seed, *scale, *pcapPath, *progress, runLog, probeCfg, *probeOut)
+	runSingle(*system, *cca, *capacity, *queue, *aqm, *seed, *scale, *pcapPath, *progress, runLog, probeCfg, *probeOut, impair, sched)
 }
 
 // runSweep executes the paper's campaign with live observability and clean
 // SIGINT cancellation, printing one summary line per condition at the end.
-func runSweep(iters int, scale float64, workers int, aqm string, progress bool, runLog *obs.JSONL, probeCfg *core.ProbeConfig, probeDir string) {
+func runSweep(iters int, scale float64, workers int, aqm string, progress bool, runLog *obs.JSONL, probeCfg *core.ProbeConfig, probeDir string, impair core.Impairment, sched []core.ScheduleStep) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -116,6 +140,10 @@ func runSweep(iters int, scale float64, workers int, aqm string, progress bool, 
 		TimeScale:  scale,
 		Workers:    workers,
 		AQM:        aqm,
+		Schedule:   sched,
+	}
+	if impair.Enabled() {
+		opts.Impairments = []core.Impairment{impair}
 	}
 	if probeCfg != nil {
 		opts.Probe = probeCfg
@@ -154,7 +182,7 @@ func runSweep(iters int, scale float64, workers int, aqm string, progress bool, 
 // runSingle executes one condition and prints its time series as CSV. The
 // -cca flag accepts a comma-separated list (e.g. "cubic,bbr") to put
 // several bulk flows on the bottleneck at once.
-func runSingle(system, cca string, capacity, queue float64, aqm string, seed uint64, scale float64, pcapPath string, progress bool, runLog *obs.JSONL, probeCfg *core.ProbeConfig, probeOut string) {
+func runSingle(system, cca string, capacity, queue float64, aqm string, seed uint64, scale float64, pcapPath string, progress bool, runLog *obs.JSONL, probeCfg *core.ProbeConfig, probeOut string, impair core.Impairment, sched []core.ScheduleStep) {
 	ccaVal := cca
 	if ccaVal == "none" {
 		ccaVal = core.None
@@ -168,6 +196,8 @@ func runSingle(system, cca string, capacity, queue float64, aqm string, seed uin
 		Seed:      seed,
 		TimeScale: scale,
 		Probe:     probeCfg,
+		Impair:    impair,
+		Schedule:  sched,
 	}
 	if ccas := strings.Split(ccaVal, ","); len(ccas) > 1 {
 		cfg.CCA = ccas[0] // condition label; the competitor list drives the run
@@ -242,6 +272,12 @@ func runSingle(system, cca string, capacity, queue float64, aqm string, seed uin
 		[][]float64{tcol, res.GameMbps, res.TCPMbps, rttCol, fpsCol, res.GameLossBins},
 	))
 
+	if impair.Enabled() || len(sched) > 0 {
+		is := res.Impair
+		fmt.Fprintf(os.Stderr,
+			"impair %s: %d packets, %d loss drops, %d flap drops, %d dup, %d reordered, %d flaps (%.1fs down)\n",
+			impair, is.Packets, is.LossDrops, is.FlapDrops, is.Duplicates, is.Reordered, is.Flaps, is.Down.Seconds())
+	}
 	rr := res.ResponseRecovery()
 	fmt.Fprintf(os.Stderr,
 		"run %s: original %.1f Mb/s, contended %.1f Mb/s, fairness %+.2f, response %.0fs, recovery %.0fs, rtt %.1f ms, fps %.1f\n",

@@ -30,6 +30,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/gamestream"
 	"repro/internal/metrics"
+	"repro/internal/netem"
 	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/probe"
@@ -42,6 +43,28 @@ import (
 // of probe.Config): CC state sampling cadence and the lifecycle event ring
 // capacity.
 type ProbeConfig = probe.Config
+
+// Impairment configures netem-style path impairments on the bottleneck:
+// Bernoulli or Gilbert-Elliott loss, delay jitter with optional reordering,
+// and duplicate injection (alias of netem.Impairment).
+type Impairment = netem.Impairment
+
+// ScheduleStep is one mid-run retuning action — a shaper rate step, a delay
+// change, a loss-rate change, or a link flap (alias of
+// experiment.ScheduleStep). Parse a compact spec with ParseSchedule.
+type ScheduleStep = experiment.ScheduleStep
+
+// ParseLoss parses a loss spec ("2%", "0.02", "ge:p=0.01,r=0.25") into the
+// loss fields of an Impairment.
+func ParseLoss(spec string, im *Impairment) error { return experiment.ParseLoss(spec, im) }
+
+// ParseProb parses a probability given as a percentage ("1%") or a plain
+// fraction ("0.01").
+func ParseProb(s string) (float64, error) { return experiment.ParseProb(s) }
+
+// ParseSchedule parses a semicolon-separated retuning program such as
+// "60s rate=10mbit; 120s down; 121s up" into schedule steps.
+func ParseSchedule(spec string) ([]ScheduleStep, error) { return experiment.ParseSchedule(spec) }
 
 // Game-streaming systems under test.
 const (
@@ -102,6 +125,12 @@ type Config struct {
 	// Probe, when non-nil, attaches CC/queue/lifecycle instrumentation;
 	// the capture comes back on Result.Probe.
 	Probe *probe.Config
+	// Impair applies netem-style path impairments (loss, jitter, reorder,
+	// duplication) on the bottleneck downlink.
+	Impair Impairment
+	// Schedule retunes the path mid-run (rate steps, delay changes, loss
+	// changes, link flaps).
+	Schedule []ScheduleStep
 }
 
 // Result is the outcome of one run. It embeds the experiment-level result
@@ -127,12 +156,14 @@ func Run(cfg Config) Result {
 			Capacity:  cfg.Capacity,
 			QueueMult: cfg.Queue,
 			AQM:       cfg.AQM,
+			Impair:    cfg.Impair,
 		},
 		Timeline:    tl,
 		Seed:        cfg.Seed,
 		OnPacket:    cfg.OnPacket,
 		Competitors: comps,
 		Probe:       cfg.Probe,
+		Schedule:    cfg.Schedule,
 	})
 	return Result{rr}
 }
@@ -198,6 +229,11 @@ type SweepOptions struct {
 	// non-empty, receives per-run CSV/JSONL exports.
 	Probe    *probe.Config
 	ProbeDir string
+	// Impairments, when non-empty, becomes an extra sweep axis: every grid
+	// cell runs once per impairment profile.
+	Impairments []Impairment
+	// Schedule applies the same mid-run retuning program to every run.
+	Schedule []ScheduleStep
 }
 
 // Sweep runs a campaign over the paper's grid (or the narrowed grid in
@@ -218,6 +254,8 @@ func SweepContext(ctx context.Context, opts SweepOptions) *experiment.SweepResul
 	cfg.RunLog = opts.RunLog
 	cfg.Probe = opts.Probe
 	cfg.ProbeDir = opts.ProbeDir
+	cfg.Impairments = opts.Impairments
+	cfg.Schedule = opts.Schedule
 	if opts.TimeScale > 0 && opts.TimeScale != 1 {
 		cfg.Timeline = cfg.Timeline.Scale(opts.TimeScale)
 	}

@@ -21,6 +21,20 @@ func (r *RunResult) Record(iter int) obs.Record {
 		rtt /= float64(len(xs))
 	}
 	es := r.Engine
+	var impair *obs.ImpairMeta
+	if r.Cfg.Impair.Enabled() || len(r.Cfg.Schedule) > 0 {
+		impair = &obs.ImpairMeta{
+			Spec:        r.Cfg.Impair.String(),
+			Schedule:    ScheduleString(r.Cfg.Schedule),
+			Packets:     r.Impair.Packets,
+			LossDrops:   r.Impair.LossDrops,
+			FlapDrops:   r.Impair.FlapDrops,
+			Duplicates:  r.Impair.Duplicates,
+			Reordered:   r.Impair.Reordered,
+			Flaps:       r.Impair.Flaps,
+			DownSeconds: r.Impair.Down.Seconds(),
+		}
+	}
 	return obs.Record{
 		Cond:         r.Cfg.Condition.String(),
 		System:       string(r.Cfg.System),
@@ -30,6 +44,7 @@ func (r *RunResult) Record(iter int) obs.Record {
 		AQM:          r.Cfg.AQM,
 		Seed:         r.Cfg.Seed,
 		Iteration:    iter,
+		Impair:       impair,
 		Engine: obs.EngineStats{
 			Events:          es.EventsDispatched,
 			Scheduled:       es.EventsScheduled,

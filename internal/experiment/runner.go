@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/gamestream"
 	"repro/internal/metrics"
+	"repro/internal/netem"
 	"repro/internal/obs"
 	"repro/internal/probe"
 	"repro/internal/stats"
@@ -30,6 +31,14 @@ type SweepConfig struct {
 	Capacities []units.Rate
 	QueueMults []float64
 	AQM        string
+	// Impairments is an extra grid axis of path impairment profiles; empty
+	// means the single clean path of the paper's grid. Because an enabled
+	// impairment extends Condition.String(), each profile gets its own
+	// deterministic per-run seeds.
+	Impairments []netem.Impairment
+	// Schedule, when non-empty, applies the same mid-run retuning steps to
+	// every run of the sweep.
+	Schedule   []ScheduleStep
 	Iterations int
 	Timeline   metrics.Timeline
 	BaseRTT    time.Duration
@@ -162,16 +171,22 @@ func RunSweep(ctx context.Context, cfg SweepConfig) *SweepResult {
 		cond Condition
 		iter int
 	}
+	imps := cfg.Impairments
+	if len(imps) == 0 {
+		imps = []netem.Impairment{{}}
+	}
 	var jobs []job
 	for it := 0; it < cfg.Iterations; it++ {
-		for _, cca := range cfg.CCAs {
-			for _, capy := range cfg.Capacities {
-				for _, qm := range cfg.QueueMults {
-					for _, sys := range cfg.Systems {
-						jobs = append(jobs, job{
-							cond: Condition{System: sys, CCA: cca, Capacity: capy, QueueMult: qm, AQM: cfg.AQM},
-							iter: it,
-						})
+		for _, imp := range imps {
+			for _, cca := range cfg.CCAs {
+				for _, capy := range cfg.Capacities {
+					for _, qm := range cfg.QueueMults {
+						for _, sys := range cfg.Systems {
+							jobs = append(jobs, job{
+								cond: Condition{System: sys, CCA: cca, Capacity: capy, QueueMult: qm, AQM: cfg.AQM, Impair: imp},
+								iter: it,
+							})
+						}
 					}
 				}
 			}
@@ -214,6 +229,7 @@ func RunSweep(ctx context.Context, cfg SweepConfig) *SweepResult {
 					BaseRTT:   cfg.BaseRTT,
 					Burst:     cfg.Burst,
 					Probe:     cfg.Probe,
+					Schedule:  cfg.Schedule,
 				}
 				res := Run(rc)
 				var pmeta *obs.ProbeMeta

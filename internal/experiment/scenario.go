@@ -48,15 +48,27 @@ type Condition struct {
 	Capacity  units.Rate
 	QueueMult float64 // bottleneck queue in multiples of the BDP
 	AQM       string  // bottleneck discipline; default drop-tail
+	// Impair adds stochastic path impairments at the bottleneck (loss,
+	// jitter/reordering, duplication). The zero value is the clean path of
+	// the paper's testbed; only scalar fields live here so Condition stays
+	// usable as a map key.
+	Impair netem.Impairment
 }
 
-// String renders the condition compactly, e.g. "stadia/cubic/B25/q2.0".
+// String renders the condition compactly, e.g. "stadia/cubic/B25/q2.0x".
+// Impairments append their own compact suffix ("…/loss2%+jit3ms") only when
+// enabled, so clean-path condition strings — and the run seeds derived from
+// them — are unchanged from the unimpaired grid.
 func (c Condition) String() string {
 	cca := c.CCA
 	if cca == "" {
 		cca = "solo"
 	}
-	return fmt.Sprintf("%s/%s/B%.0f/q%.1fx", c.System, cca, c.Capacity.Mbit(), c.QueueMult)
+	s := fmt.Sprintf("%s/%s/B%.0f/q%.1fx", c.System, cca, c.Capacity.Mbit(), c.QueueMult)
+	if c.Impair.Enabled() {
+		s += "/" + c.Impair.String()
+	}
+	return s
 }
 
 // Competitor describes one cross-traffic source sharing the bottleneck
@@ -111,6 +123,10 @@ type RunConfig struct {
 	// a packet lifecycle event ring. The populated probe comes back on
 	// RunResult.Probe.
 	Probe *probe.Config
+	// Schedule retunes bottleneck elements mid-run (rate steps, delay and
+	// loss changes, link flaps) at fixed trace offsets. Steps execute via
+	// sim timers, so scheduled runs stay deterministic per seed.
+	Schedule []ScheduleStep
 }
 
 // Defaults fills zero fields with the paper's parameters.
@@ -180,6 +196,10 @@ type RunResult struct {
 	// otherwise. It is not persisted by SaveSweep (export it to CSV/JSONL
 	// instead).
 	Probe *probe.Probe
+
+	// Impair holds the impairer's end-of-run counters when the run was
+	// impaired (static impairment or schedule); zero otherwise.
+	Impair netem.ImpairStats
 }
 
 // GameSeries returns the game bitrate as a metrics.Series.
@@ -287,7 +307,29 @@ func Run(cfg RunConfig) *RunResult {
 			inner.Handle(p)
 		})
 	}
-	shaper := netem.NewShaper(eng, cfg.Capacity, cfg.Burst, q, deliveredTap)
+	// Impairments sit between the shaper and the delivered tap: a packet the
+	// impairer kills was offered to the bottleneck (counted by the router
+	// tap) but never delivered, so it shows up as loss in the capture — the
+	// same accounting as a queue drop. The impairer (and its RNG fork) exist
+	// only when something is configured, so clean-path runs keep their event
+	// and random streams bit-for-bit unchanged.
+	var impairer *netem.Impairer
+	shaperOut := deliveredTap
+	if cfg.Impair.Enabled() || len(cfg.Schedule) > 0 {
+		impairer = netem.NewImpairer(eng, cfg.Impair, eng.Rand().Fork(), deliveredTap)
+		impairer.SetPool(pool)
+		if prb != nil {
+			ip := prb.AttachDropSource("impairer")
+			impairer.SetDropCallback(func(p *packet.Packet) {
+				capture.OnDrop(p)
+				prb.OnDrop(ip, p)
+			})
+		} else {
+			impairer.SetDropCallback(capture.OnDrop)
+		}
+		shaperOut = impairer
+	}
+	shaper := netem.NewShaper(eng, cfg.Capacity, cfg.Burst, q, shaperOut)
 	if prb != nil {
 		shaper.SetQueueTap(prb.LogTap(probe.EvEnqueue), prb.LogTap(probe.EvDequeue))
 	}
@@ -384,6 +426,29 @@ func Run(cfg RunConfig) *RunResult {
 	pinger := ping.NewPinger(gameClientHost, flowPing, addrGameServer, cfg.PingInterval)
 	ping.NewResponder(gameServerHost, flowPing)
 
+	// Mid-run condition changes: each step is one sim event retuning its
+	// element in place, so a scheduled run is still a pure function of cfg.
+	for _, st := range cfg.Schedule {
+		st := st
+		at := sim.At(st.At)
+		switch st.Kind {
+		case ScheduleRate:
+			eng.ScheduleAt(at, func() { shaper.SetRate(st.Rate) })
+		case ScheduleDelay:
+			eng.ScheduleAt(at, func() { downDelay.SetDelay(st.Delay) })
+		case ScheduleLoss:
+			eng.ScheduleAt(at, func() { impairer.SetLossRate(st.LossRate) })
+		case ScheduleJitter:
+			eng.ScheduleAt(at, func() { impairer.SetJitter(st.Jitter) })
+		case ScheduleDown:
+			eng.ScheduleAt(at, func() { impairer.SetDown(true) })
+		case ScheduleUp:
+			eng.ScheduleAt(at, func() { impairer.SetDown(false) })
+		default:
+			panic("experiment: unknown schedule kind " + st.Kind)
+		}
+	}
+
 	// --- Procedure ---
 	if prb != nil {
 		prb.Start()
@@ -425,6 +490,9 @@ func Run(cfg RunConfig) *RunResult {
 	res.TCPLossBins = lossBins(capture, flowIperf, nbins)
 	res.CompetitorTraces = compTraces
 	res.Probe = prb
+	if impairer != nil {
+		res.Impair = impairer.Snapshot()
+	}
 	if bulk != nil {
 		res.TCPRetransmits = bulk.Sender.Stats.Retransmits
 	}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/gamestream"
 	"repro/internal/metrics"
+	"repro/internal/netem"
 	"repro/internal/obs"
 	"repro/internal/probe"
 	"repro/internal/report"
@@ -42,6 +43,11 @@ type Options struct {
 	// when also non-empty, receives the per-run CSV/JSONL exports.
 	Probe    *probe.Config
 	ProbeDir string
+	// Impairments, when non-empty, adds a path-impairment axis to every
+	// sweep the campaign runs; Schedule applies one mid-run retuning
+	// program to every run.
+	Impairments []netem.Impairment
+	Schedule    []experiment.ScheduleStep
 }
 
 func (o Options) defaults() Options {
@@ -105,6 +111,8 @@ func (c *Campaign) sweep(cfg experiment.SweepConfig) *experiment.SweepResult {
 	cfg.RunLog = c.Opts.RunLog
 	cfg.Probe = c.Opts.Probe
 	cfg.ProbeDir = c.Opts.ProbeDir
+	cfg.Impairments = c.Opts.Impairments
+	cfg.Schedule = c.Opts.Schedule
 	sw := experiment.RunSweep(c.ctx, cfg)
 	if sw.Interrupted {
 		c.interrupted = true

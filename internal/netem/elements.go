@@ -153,6 +153,20 @@ func (s *Shaper) Queue() Queue { return s.queue }
 // Rate returns the configured shaping rate.
 func (s *Shaper) Rate() units.Rate { return s.rate }
 
+// SetRate changes the shaping rate mid-run — `tc qdisc change ... tbf rate R`.
+// Tokens already accrued at the old rate are kept (capped at the burst), and
+// a pending drain is re-armed so a queued head packet waits the right time
+// under the new rate. Non-positive rates are ignored.
+func (s *Shaper) SetRate(r units.Rate) {
+	if r <= 0 {
+		return
+	}
+	s.refill() // account the elapsed interval at the old rate first
+	s.rate = r
+	s.drainTimer.Stop()
+	s.armDrain()
+}
+
 // SetQueueTap registers observers for packets entering and leaving the
 // attached queue. Either may be nil; unset taps cost one nil check per
 // packet.

@@ -1,0 +1,442 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// feed pushes n packets through imp at the given spacing and runs the engine
+// to completion.
+func feed(eng *sim.Engine, imp *Impairer, n int, spacing time.Duration) {
+	for i := 0; i < n; i++ {
+		p := mkpkt(1000, 1)
+		p.Seq = int64(i)
+		eng.Schedule(time.Duration(i)*spacing, func() { imp.Handle(p) })
+	}
+	eng.Run(sim.End)
+}
+
+func TestImpairerBernoulliLossRate(t *testing.T) {
+	eng := sim.NewEngine(3)
+	sink := &collector{eng: eng}
+	imp := NewImpairer(eng, Impairment{LossModel: LossBernoulli, LossRate: 0.05}, eng.Rand().Fork(), sink)
+	dropped := 0
+	imp.SetDropCallback(func(*packet.Packet) { dropped++ })
+
+	const n = 20000
+	feed(eng, imp, n, 10*time.Microsecond)
+
+	if len(sink.pkts)+dropped != n {
+		t.Errorf("conservation: %d delivered + %d dropped != %d offered", len(sink.pkts), dropped, n)
+	}
+	if imp.Stats.LossDrops != dropped {
+		t.Errorf("Stats.LossDrops = %d, callback saw %d", imp.Stats.LossDrops, dropped)
+	}
+	frac := float64(dropped) / n
+	if frac < 0.04 || frac > 0.06 {
+		t.Errorf("Bernoulli loss fraction %.4f, want ~0.05", frac)
+	}
+	// A loss-only impairer must forward synchronously: no extra events.
+	for i, p := range sink.pkts {
+		if i > 0 && p.Seq <= sink.pkts[i-1].Seq {
+			t.Fatal("loss-only impairer reordered packets")
+		}
+	}
+}
+
+// TestImpairerGEBurstiness: at the same average loss rate, Gilbert-Elliott
+// losses arrive in bursts — the mean run of consecutive drops tracks 1/r,
+// where a Bernoulli process would sit near 1.
+func TestImpairerGEBurstiness(t *testing.T) {
+	eng := sim.NewEngine(11)
+	sink := &collector{eng: eng}
+	// p/(p+r) ~ 3.8% average loss, mean burst length 1/r = 4.
+	imp := NewImpairer(eng, Impairment{LossModel: LossGE, GEGoodBad: 0.01, GEBadGood: 0.25}, eng.Rand().Fork(), sink)
+	lost := map[int64]bool{}
+	imp.SetDropCallback(func(p *packet.Packet) { lost[p.Seq] = true })
+
+	const n = 50000
+	feed(eng, imp, n, 10*time.Microsecond)
+
+	if len(lost) == 0 {
+		t.Fatal("GE model dropped nothing")
+	}
+	frac := float64(len(lost)) / n
+	if frac < 0.02 || frac > 0.06 {
+		t.Errorf("GE loss fraction %.4f, want ~0.038", frac)
+	}
+	bursts, runLen, cur := 0, 0, 0
+	for i := int64(0); i < n; i++ {
+		if lost[i] {
+			cur++
+		} else if cur > 0 {
+			bursts++
+			runLen += cur
+			cur = 0
+		}
+	}
+	mean := float64(runLen) / float64(bursts)
+	if mean < 2.5 {
+		t.Errorf("mean GE loss burst %.2f packets, want bursty (~4); Bernoulli would be ~1", mean)
+	}
+}
+
+// TestImpairerGEDefaultsToClassicGilbert: a GE spec without per-state loss
+// probabilities gets the lossless-Good/lossy-Bad defaults instead of
+// silently dropping nothing.
+func TestImpairerGEDefaultsToClassicGilbert(t *testing.T) {
+	eng := sim.NewEngine(1)
+	imp := NewImpairer(eng, Impairment{LossModel: LossGE, GEGoodBad: 0.5, GEBadGood: 0.5}, eng.Rand().Fork(), &collector{eng: eng})
+	if imp.Config().GELossBad != 1 {
+		t.Fatalf("GELossBad defaulted to %v, want 1", imp.Config().GELossBad)
+	}
+	feed(eng, imp, 1000, time.Microsecond)
+	if imp.Stats.LossDrops == 0 {
+		t.Error("classic Gilbert default dropped nothing at p=r=0.5")
+	}
+}
+
+func TestImpairerJitterPreservesOrderByDefault(t *testing.T) {
+	eng := sim.NewEngine(9)
+	sink := &collector{eng: eng}
+	imp := NewImpairer(eng, Impairment{Jitter: 5 * time.Millisecond}, eng.Rand().Fork(), sink)
+	feed(eng, imp, 500, 200*time.Microsecond)
+	if len(sink.pkts) != 500 {
+		t.Fatalf("delivered %d, want 500", len(sink.pkts))
+	}
+	for i, p := range sink.pkts {
+		if p.Seq != int64(i) {
+			t.Fatalf("reordering at %d without Reorder", i)
+		}
+	}
+	if imp.Stats.Reordered != 0 {
+		t.Errorf("Reordered = %d on an order-preserving impairer", imp.Stats.Reordered)
+	}
+}
+
+func TestImpairerReorders(t *testing.T) {
+	eng := sim.NewEngine(9)
+	sink := &collector{eng: eng}
+	imp := NewImpairer(eng, Impairment{Jitter: 5 * time.Millisecond, Reorder: true}, eng.Rand().Fork(), sink)
+	feed(eng, imp, 500, 200*time.Microsecond)
+	if len(sink.pkts) != 500 {
+		t.Fatalf("delivered %d, want 500", len(sink.pkts))
+	}
+	swaps := 0
+	for i := 1; i < len(sink.pkts); i++ {
+		if sink.pkts[i].Seq < sink.pkts[i-1].Seq {
+			swaps++
+		}
+	}
+	if swaps == 0 {
+		t.Error("Reorder produced an in-order stream at 25x jitter/spacing")
+	}
+	if imp.Stats.Reordered == 0 {
+		t.Error("Stats.Reordered stayed zero despite observed reordering")
+	}
+}
+
+func TestImpairerDuplicates(t *testing.T) {
+	eng := sim.NewEngine(4)
+	sink := &collector{eng: eng}
+	pool := packet.NewPool()
+	imp := NewImpairer(eng, Impairment{Duplicate: 0.1}, eng.Rand().Fork(), sink)
+	imp.SetPool(pool)
+	const n = 5000
+	feed(eng, imp, n, 10*time.Microsecond)
+	if got := len(sink.pkts) - n; got != imp.Stats.Duplicates {
+		t.Errorf("extra deliveries %d != Stats.Duplicates %d", got, imp.Stats.Duplicates)
+	}
+	frac := float64(imp.Stats.Duplicates) / n
+	if frac < 0.07 || frac > 0.13 {
+		t.Errorf("duplicate fraction %.4f, want ~0.1", frac)
+	}
+	// A duplicate is a full copy: same seq/size, delivered adjacent to the
+	// original (no jitter configured).
+	seen := map[int64]int{}
+	for _, p := range sink.pkts {
+		seen[p.Seq]++
+	}
+	for seq, c := range seen {
+		if c > 2 {
+			t.Fatalf("seq %d delivered %d times with single duplication", seq, c)
+		}
+	}
+}
+
+func TestImpairerFlap(t *testing.T) {
+	eng := sim.NewEngine(2)
+	sink := &collector{eng: eng}
+	imp := NewImpairer(eng, Impairment{}, eng.Rand().Fork(), sink)
+	pool := packet.NewPool()
+	imp.SetPool(pool)
+	var droppedAt []sim.Time
+	imp.SetDropCallback(func(*packet.Packet) { droppedAt = append(droppedAt, eng.Now()) })
+
+	down, up := 100*time.Millisecond, 300*time.Millisecond
+	eng.Schedule(down, func() { imp.SetDown(true) })
+	eng.Schedule(down, func() { imp.SetDown(true) }) // repeated call: no-op
+	eng.Schedule(up, func() { imp.SetDown(false) })
+
+	// One packet per millisecond for 500 ms; pool-allocated so drops recycle.
+	for i := 0; i < 500; i++ {
+		at := time.Duration(i) * time.Millisecond
+		eng.Schedule(at, func() {
+			p := pool.Get()
+			p.Size = 1000
+			p.Flow = 1
+			imp.Handle(p)
+		})
+	}
+	eng.Run(sim.End)
+
+	if imp.Stats.Flaps != 1 {
+		t.Errorf("Flaps = %d, want 1", imp.Stats.Flaps)
+	}
+	if imp.Stats.Down != up-down {
+		t.Errorf("Down = %v, want %v", imp.Stats.Down, up-down)
+	}
+	if imp.Stats.FlapDrops != len(droppedAt) || imp.Stats.FlapDrops == 0 {
+		t.Fatalf("FlapDrops = %d, callback saw %d", imp.Stats.FlapDrops, len(droppedAt))
+	}
+	for _, at := range droppedAt {
+		if at < sim.At(down) || at >= sim.At(up) {
+			t.Fatalf("drop at %v outside the down window [%v,%v)", at, down, up)
+		}
+	}
+	// Every flap drop went back to the freelist.
+	if st := pool.Stats(); st.Puts != uint64(imp.Stats.FlapDrops) {
+		t.Errorf("pool puts %d != flap drops %d", st.Puts, imp.Stats.FlapDrops)
+	}
+	if imp.Down() {
+		t.Error("link still down after up step")
+	}
+}
+
+// TestImpairerSnapshotOpenEpisode: Snapshot accounts a down episode still
+// open at the end of the run; the raw Stats field does not.
+func TestImpairerSnapshotOpenEpisode(t *testing.T) {
+	eng := sim.NewEngine(2)
+	imp := NewImpairer(eng, Impairment{}, eng.Rand().Fork(), &collector{eng: eng})
+	eng.Schedule(100*time.Millisecond, func() { imp.SetDown(true) })
+	eng.Run(sim.At(250 * time.Millisecond))
+	if imp.Stats.Down != 0 {
+		t.Errorf("raw Down = %v before the episode closed", imp.Stats.Down)
+	}
+	if got := imp.Snapshot().Down; got != 150*time.Millisecond {
+		t.Errorf("Snapshot Down = %v, want 150ms", got)
+	}
+}
+
+func TestImpairerRetune(t *testing.T) {
+	eng := sim.NewEngine(8)
+	sink := &collector{eng: eng}
+	imp := NewImpairer(eng, Impairment{}, eng.Rand().Fork(), sink)
+	eng.Schedule(50*time.Millisecond, func() { imp.SetLossRate(1) })
+	eng.Schedule(100*time.Millisecond, func() { imp.SetLossRate(0) })
+	eng.Schedule(150*time.Millisecond, func() { imp.SetJitter(2 * time.Millisecond) })
+	feed(eng, imp, 200, time.Millisecond)
+	// 50 packets fell in the loss=100% window.
+	if imp.Stats.LossDrops != 50 {
+		t.Errorf("LossDrops = %d, want 50 from the retuned window", imp.Stats.LossDrops)
+	}
+	if imp.Config().Jitter != 2*time.Millisecond {
+		t.Errorf("Jitter retune not applied: %v", imp.Config().Jitter)
+	}
+	if len(sink.pkts) != 150 {
+		t.Errorf("delivered %d, want 150", len(sink.pkts))
+	}
+}
+
+// TestImpairerDeterminism: the same seed reproduces the exact drop pattern;
+// a different seed changes it.
+func TestImpairerDeterminism(t *testing.T) {
+	pattern := func(seed uint64) []int64 {
+		eng := sim.NewEngine(seed)
+		imp := NewImpairer(eng, Impairment{
+			LossModel: LossGE, GEGoodBad: 0.02, GEBadGood: 0.3,
+			Jitter: time.Millisecond, Reorder: true, Duplicate: 0.02,
+		}, eng.Rand().Fork(), &collector{eng: eng})
+		var lost []int64
+		imp.SetDropCallback(func(p *packet.Packet) { lost = append(lost, p.Seq) })
+		feed(eng, imp, 5000, 100*time.Microsecond)
+		return lost
+	}
+	a, b, c := pattern(42), pattern(42), pattern(43)
+	if len(a) == 0 {
+		t.Fatal("no drops to compare")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different drop counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at drop %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical drop patterns")
+	}
+}
+
+func TestShaperSetRate(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sink := &collector{eng: eng}
+	q := NewDropTail(200000)
+	sh := NewShaper(eng, units.Mbps(10), 2*packet.MTU, q, sink)
+	// Saturate: 20 Mb/s offered for 10 s.
+	var tick *sim.Ticker
+	n := 0
+	tick = sim.NewTicker(eng, 400*time.Microsecond, func() {
+		sh.Handle(mkpkt(1000, 1))
+		n++
+		if n >= 25000 {
+			tick.Stop()
+		}
+	})
+	tick.Start(true)
+	eng.Schedule(5*time.Second, func() { sh.SetRate(units.Mbps(2)) })
+	eng.Schedule(5*time.Second, func() { sh.SetRate(0) }) // ignored
+	eng.Run(sim.At(10 * time.Second))
+
+	var first, second units.ByteSize
+	for i, p := range sink.pkts {
+		if sink.times[i] < sim.At(5*time.Second) {
+			first += units.ByteSize(p.Size)
+		} else {
+			second += units.ByteSize(p.Size)
+		}
+	}
+	r1 := units.RateFromBytes(first, 5*time.Second).Mbit()
+	r2 := units.RateFromBytes(second, 5*time.Second).Mbit()
+	if r1 < 9.5 || r1 > 10.2 {
+		t.Errorf("pre-step rate %.2f Mb/s, want ~10", r1)
+	}
+	if r2 < 1.8 || r2 > 2.2 {
+		t.Errorf("post-step rate %.2f Mb/s, want ~2", r2)
+	}
+	if sh.Rate() != units.Mbps(2) {
+		t.Errorf("Rate() = %v after step", sh.Rate())
+	}
+}
+
+func TestImpairmentStringAndEnabled(t *testing.T) {
+	cases := []struct {
+		im      Impairment
+		want    string
+		enabled bool
+	}{
+		{Impairment{}, "none", false},
+		{Impairment{LossModel: LossBernoulli, LossRate: 0.02}, "loss2%", true},
+		{Impairment{LossModel: LossGE, GEGoodBad: 0.01, GEBadGood: 0.25}, "geP0.01R0.25", true},
+		{Impairment{LossModel: LossGE, GEGoodBad: 0.01, GEBadGood: 0.25, GELossGood: 0.001, GELossBad: 0.9},
+			"geP0.01R0.25g0.001b0.9", true},
+		{Impairment{Jitter: 3 * time.Millisecond}, "jit3ms", true},
+		{Impairment{Jitter: 3 * time.Millisecond, Reorder: true}, "jit3ms~", true},
+		{Impairment{Duplicate: 0.01}, "dup1%", true},
+		{Impairment{LossModel: LossBernoulli, LossRate: 0.02, Jitter: time.Millisecond, Duplicate: 0.01},
+			"loss2%+jit1ms+dup1%", true},
+	}
+	for _, c := range cases {
+		if got := c.im.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+		if got := c.im.Enabled(); got != c.enabled {
+			t.Errorf("%q Enabled() = %v, want %v", c.want, got, c.enabled)
+		}
+	}
+}
+
+// TestShaperCoDelTapsAndSojourn drives a CoDel-backed shaper through
+// overload with queue taps attached: enqueue/dequeue taps fire for every
+// queued packet, the head sojourn is observable, and delay steps retarget
+// subsequent traffic — the combination the impairment schedule retunes.
+func TestShaperCoDelTapsAndSojourn(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sink := &collector{eng: eng}
+	q := NewCoDel(50000)
+	d := NewDelay(eng, 10*time.Millisecond, sink)
+	sh := NewShaper(eng, units.Mbps(5), 2*packet.MTU, q, d)
+	enq, deq := 0, 0
+	sh.SetQueueTap(func(*packet.Packet) { enq++ }, func(*packet.Packet) { deq++ })
+	sawSojourn := false
+	probe := sim.NewTicker(eng, 10*time.Millisecond, func() {
+		if q.Len() > 0 {
+			if _, ok := q.HeadSojourn(eng.Now()); ok {
+				sawSojourn = true
+			}
+			if q.Peek() == nil || q.Bytes() == 0 {
+				t.Error("non-empty CoDel with nil head or zero bytes")
+			}
+		}
+	})
+	probe.Start(false)
+	eng.Schedule(time.Second, func() { d.SetDelay(30 * time.Millisecond) })
+	var tick *sim.Ticker
+	n := 0
+	tick = sim.NewTicker(eng, 500*time.Microsecond, func() { // 16 Mb/s offered
+		sh.Handle(mkpkt(1000, 1))
+		n++
+		if n >= 4000 {
+			tick.Stop()
+		}
+	})
+	tick.Start(true)
+	eng.Run(sim.At(3 * time.Second))
+	if enq == 0 || deq == 0 {
+		t.Fatalf("queue taps never fired: enq=%d deq=%d", enq, deq)
+	}
+	if !sawSojourn {
+		t.Error("head sojourn never observed on a standing CoDel queue")
+	}
+	if len(sink.times) == 0 {
+		t.Fatal("nothing delivered")
+	}
+	// After the delay step the gap between shaper emit (paced at 1.6 ms per
+	// 1000 B) and delivery grows by 20 ms; just assert late deliveries exist
+	// well past the old 10 ms horizon of the last offered packet.
+	last := sink.times[len(sink.times)-1]
+	if last < sim.At(2*time.Second+30*time.Millisecond) {
+		t.Errorf("last delivery %v shows the 30ms delay step never applied", last)
+	}
+}
+
+// TestImpairerDropPoolDiscipline: every loss-model drop returns its packet
+// to the pool, and duplicates draw from it.
+func TestImpairerDropPoolDiscipline(t *testing.T) {
+	eng := sim.NewEngine(6)
+	pool := packet.NewPool()
+	// Sink recycles like a Host does, so the pool sees every packet back.
+	sink := packet.HandlerFunc(func(p *packet.Packet) { pool.Put(p) })
+	imp := NewImpairer(eng, Impairment{LossModel: LossBernoulli, LossRate: 0.5, Duplicate: 0.2}, eng.Rand().Fork(), sink)
+	imp.SetPool(pool)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		eng.Schedule(time.Duration(i)*time.Microsecond, func() {
+			p := pool.Get()
+			p.Size = 1000
+			imp.Handle(p)
+		})
+	}
+	eng.Run(sim.End)
+	st := pool.Stats()
+	if st.Gets != st.Puts {
+		t.Errorf("pool gets %d != puts %d: packets leaked or double-released", st.Gets, st.Puts)
+	}
+	if int(st.Gets) != n+imp.Stats.Duplicates {
+		t.Errorf("gets %d, want offered %d + duplicates %d", st.Gets, n, imp.Stats.Duplicates)
+	}
+}

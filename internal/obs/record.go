@@ -45,6 +45,30 @@ type ProbeMeta struct {
 	EventsJSONL string `json:"events_jsonl,omitempty"`
 }
 
+// ImpairMeta summarises the path impairments applied to a run: the static
+// profile, and what the impairer actually did — drops by cause, duplicate
+// and reorder counts, and link-flap accounting.
+type ImpairMeta struct {
+	// Spec is the compact impairment string ("loss2%+jit3ms", "none" for a
+	// schedule-only run).
+	Spec string `json:"spec"`
+	// Schedule is the mid-run retuning program in ParseSchedule syntax,
+	// empty when the run had none.
+	Schedule string `json:"schedule,omitempty"`
+	// Packets counts packets entering the impairer.
+	Packets int `json:"packets"`
+	// LossDrops and FlapDrops split impairer drops by cause.
+	LossDrops int `json:"loss_drops"`
+	FlapDrops int `json:"flap_drops,omitempty"`
+	// Duplicates and Reordered count injected copies and overtakes.
+	Duplicates int `json:"duplicates,omitempty"`
+	Reordered  int `json:"reordered,omitempty"`
+	// Flaps is the number of down transitions; DownSeconds the cumulative
+	// time the link spent down.
+	Flaps       int     `json:"flaps,omitempty"`
+	DownSeconds float64 `json:"down_s,omitempty"`
+}
+
 // Record is the structured log line one experiment run emits: where the run
 // sits in the grid, how it was seeded, how the engine performed, and the
 // headline metrics the paper's tables report. One Record per run makes a
@@ -70,6 +94,10 @@ type Record struct {
 
 	// Probe carries instrumentation metadata when the run was probed.
 	Probe *ProbeMeta `json:"probe,omitempty"`
+
+	// Impair carries impairment metadata when the run had a static
+	// impairment profile or a retuning schedule.
+	Impair *ImpairMeta `json:"impair,omitempty"`
 
 	// Headline metrics over the paper's stabilised contention window.
 	GameMbps float64 `json:"game_mbps"`

@@ -72,6 +72,17 @@ func (pl *Pool) Put(p *Packet) {
 	pl.free = append(pl.free, p)
 }
 
+// Clone returns a copy of p drawn from the pool (or allocated on a nil
+// pool), for duplicate injection. The copy shares p.App — fine for handlers
+// that only read metadata during Handle, which is all the pool contract
+// permits anyway.
+func (pl *Pool) Clone(p *Packet) *Packet {
+	c := pl.Get()
+	*c = *p
+	c.pooled = false
+	return c
+}
+
 // Stats returns a snapshot of the pool's counters (zero value for a nil
 // pool).
 func (pl *Pool) Stats() PoolStats {

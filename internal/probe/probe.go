@@ -213,6 +213,16 @@ func (p *Probe) AttachQueue(name string, q netem.Queue) *QueueProbe {
 	return qp
 }
 
+// AttachDropSource registers a drop-only probe under name, for elements
+// that kill packets without queueing them (e.g. a netem-style impairer).
+// There is no occupancy to poll, so the ticker skips it, but drops routed
+// into OnDrop land in the drop-event series and exports like any queue's.
+func (p *Probe) AttachDropSource(name string) *QueueProbe {
+	qp := &QueueProbe{Name: name}
+	p.queues = append(p.queues, qp)
+	return qp
+}
+
 // OnDrop records a drop on the queue probe: a drop event, the cumulative
 // counter for the occupancy series, and a ring entry when lifecycle logging
 // is on. Wire it into the queue's drop callback (chained with any other
@@ -250,6 +260,9 @@ func (p *Probe) Start() {
 			}
 		}
 		for _, q := range p.queues {
+			if q.q == nil {
+				continue // drop-only source: nothing to poll
+			}
 			q.snapshot(now)
 		}
 	})

@@ -1,0 +1,107 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// fuzzMaxSeq bounds the sequence space the fuzzer can address, keeping the
+// sent-byte coverage map small. 16-bit seq plus the largest payload.
+const fuzzMaxSeq = 1<<16 + 2048
+
+// FuzzReceiverReassembly feeds the receiver arbitrary segment streams —
+// out of order, overlapping, duplicated, gapped — and checks the stream
+// reassembly invariants after every segment. Each 3-byte chunk of input is
+// one segment: a 16-bit little-endian sequence number and a payload length
+// byte (1..2041 bytes in steps of 8).
+func FuzzReceiverReassembly(f *testing.F) {
+	// In-order pair.
+	f.Add([]byte{0x00, 0x00, 0xb4, 0xa1, 0x05, 0xb4})
+	// Gap then fill (hole at 0 closed by the second segment).
+	f.Add([]byte{0xa1, 0x05, 0xb4, 0x00, 0x00, 0xb4})
+	// Overlapping ranges.
+	f.Add([]byte{0x00, 0x00, 0xb4, 0x00, 0x01, 0xb4, 0x80, 0x00, 0xb4})
+	// Pure duplicates.
+	f.Add([]byte{0x00, 0x00, 0x10, 0x00, 0x00, 0x10, 0x00, 0x00, 0x10})
+	// Many tiny interleaved islands.
+	f.Add([]byte{
+		0x10, 0x00, 0x01, 0x30, 0x00, 0x01, 0x20, 0x00, 0x01,
+		0x00, 0x00, 0xff, 0x40, 0x00, 0x01, 0x00, 0x01, 0xff,
+	})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		eng := sim.NewEngine(1)
+		var ids uint64
+		// ACKs leave through a discarding first hop; the fuzz target is the
+		// reassembly path, not the network.
+		host := netem.NewHost(eng, 2, packet.HandlerFunc(func(p *packet.Packet) {}), &ids)
+		r := NewReceiver(host, 1, 1)
+
+		var delivered int64
+		r.OnDeliver = func(n int64) { delivered += n }
+
+		sent := make([]bool, fuzzMaxSeq)
+		covered := int64(0) // frontier up to which sent[] has been verified
+		var lastRcv int64
+		for i := 0; i+3 <= len(data); i += 3 {
+			seq := int64(data[i]) | int64(data[i+1])<<8
+			payload := 1 + int(data[i+2])*8
+			p := &packet.Packet{
+				Kind:    packet.KindData,
+				Flow:    1,
+				Seq:     seq,
+				Payload: payload,
+				Size:    payload + packet.EthIPOverhead + packet.TCPHeader,
+				SentAt:  eng.Now(),
+			}
+			for b := seq; b < seq+int64(payload); b++ {
+				sent[b] = true
+			}
+			r.Handle(p)
+
+			// Invariant: the frontier only moves forward.
+			if r.rcvNxt < lastRcv {
+				t.Fatalf("frontier moved backwards: %d -> %d", lastRcv, r.rcvNxt)
+			}
+			lastRcv = r.rcvNxt
+			// Invariant: in-order goodput equals the frontier exactly (the
+			// stream starts at 0), both in the counter and via OnDeliver.
+			if r.BytesReceived != r.rcvNxt || delivered != r.rcvNxt {
+				t.Fatalf("BytesReceived %d / delivered %d != frontier %d",
+					r.BytesReceived, delivered, r.rcvNxt)
+			}
+			// Invariant: no fabricated bytes — everything below the
+			// frontier was actually sent at least once.
+			for ; covered < r.rcvNxt; covered++ {
+				if !sent[covered] {
+					t.Fatalf("frontier %d covers byte %d that was never sent", r.rcvNxt, covered)
+				}
+			}
+			// Invariant: the out-of-order list is sorted, disjoint,
+			// non-empty per span, and strictly beyond the frontier.
+			prevEnd := r.rcvNxt
+			for j, sp := range r.ooo {
+				if sp.start >= sp.end {
+					t.Fatalf("ooo[%d] empty span [%d,%d)", j, sp.start, sp.end)
+				}
+				// Strictly beyond prevEnd: adjacent spans must have merged,
+				// and a span at or below the frontier must have been
+				// absorbed into it.
+				if sp.start <= prevEnd {
+					t.Fatalf("ooo[%d] [%d,%d) not disjoint/sorted after %d", j, sp.start, sp.end, prevEnd)
+				}
+				prevEnd = sp.end
+			}
+		}
+		// Drain the delayed-ACK timer; it must not disturb the stream state.
+		before := r.rcvNxt
+		eng.Run(sim.At(time.Second))
+		if r.rcvNxt != before || r.BytesReceived != before {
+			t.Fatalf("timer drain changed stream state: %d -> %d", before, r.rcvNxt)
+		}
+	})
+}

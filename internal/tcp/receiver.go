@@ -79,7 +79,12 @@ func (r *Receiver) Handle(p *packet.Packet) {
 		r.DupSegments++
 		r.sendAck()
 		return
-	case seq == r.rcvNxt:
+	case seq <= r.rcvNxt:
+		// In order — or straddling the frontier (a retransmission whose
+		// prefix was already delivered): only the bytes from rcvNxt on are
+		// new, and advance counts exactly those. Buffering the whole range
+		// as out-of-order instead would advertise SACK blocks below the
+		// cumulative ACK (forbidden by RFC 2018).
 		hadHole := len(r.ooo) > 0
 		r.advance(end)
 		if hadHole {

@@ -4,36 +4,42 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race bench bench-json probe-demo fuzz-smoke cover-netem impair-demo
+.PHONY: verify build test vet race bench bench-json probe-demo fuzz-smoke cover-netem cover-runcache impair-demo
 
 # BENCH_N matches this PR's position in the stacked sequence; bump it when a
 # later change re-baselines the trajectory file.
-BENCH_N ?= 4
+BENCH_N ?= 5
 
-verify: build vet test race cover-netem
+verify: build vet test race cover-netem cover-runcache
 
 build:
 	$(GO) build ./...
 
-vet:
-	$(GO) vet ./...
-
 test:
 	$(GO) test ./...
 
-# The sweep runner and the observability sinks are the only concurrent
-# code in the repository; keep them race-clean. netem and tcp ride along:
-# they are single-threaded by design, and -race on them proves a future
-# refactor didn't quietly share an impairer or a sender across workers.
-race:
-	$(GO) test -race ./internal/experiment/... ./internal/sim/... ./internal/obs/... ./internal/netem/... ./internal/tcp/...
+vet:
+	$(GO) vet ./...
 
-# Short coverage-guided session over the receiver-reassembly fuzz target;
-# the checked-in corpus under internal/tcp/testdata/fuzz seeds it. Raise
-# FUZZTIME for a real local campaign.
+# The sweep runner, the observability sinks, and the run cache are the only
+# concurrent code in the repository; keep them race-clean. netem and tcp
+# ride along: they are single-threaded by design, and -race on them proves
+# a future refactor didn't quietly share an impairer or a sender across
+# workers.
+race:
+	$(GO) test -race ./internal/experiment/... ./internal/sim/... ./internal/obs/... ./internal/netem/... ./internal/tcp/... ./internal/runcache/...
+
+# Short coverage-guided sessions: the receiver-reassembly target plus the
+# three experiment-flag parsers (schedule/loss/probability). Corpora are
+# checked in under internal/*/testdata/fuzz. Raise FUZZTIME (and
+# PARSEFUZZTIME for the cheap string parsers) for a real local campaign.
 FUZZTIME ?= 30s
+PARSEFUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test ./internal/tcp -run '^$$' -fuzz FuzzReceiverReassembly -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/experiment -run '^$$' -fuzz FuzzParseSchedule -fuzztime $(PARSEFUZZTIME)
+	$(GO) test ./internal/experiment -run '^$$' -fuzz FuzzParseLoss -fuzztime $(PARSEFUZZTIME)
+	$(GO) test ./internal/experiment -run '^$$' -fuzz FuzzParseProb -fuzztime $(PARSEFUZZTIME)
 
 # The impairment subsystem is the loss model under every CC validation
 # claim; hold its statement coverage at >= 80%.
@@ -43,6 +49,15 @@ cover-netem:
 		if ($$3 + 0 < 80) { printf "netem coverage %.1f%% < 80%%\n", $$3; exit 1 } \
 		else printf "netem coverage %.1f%% (gate 80%%)\n", $$3 }'
 	@rm -f netem.cover.out
+
+# The run cache substitutes stored bytes for executions; a silent bug there
+# corrupts every downstream table. Hold its statement coverage at >= 80%.
+cover-runcache:
+	@$(GO) test -coverprofile=runcache.cover.out ./internal/runcache > /dev/null
+	@$(GO) tool cover -func=runcache.cover.out | awk '/^total:/ { gsub(/%/, "", $$3); \
+		if ($$3 + 0 < 80) { printf "runcache coverage %.1f%% < 80%%\n", $$3; exit 1 } \
+		else printf "runcache coverage %.1f%% (gate 80%%)\n", $$3 }'
+	@rm -f runcache.cover.out
 
 # One regeneration per benchmark target (reduced-size campaigns), then the
 # fixed trajectory suite written as BENCH_$(BENCH_N).json (see README).

@@ -10,11 +10,14 @@
 //	gsbench -exp figure2 -scale 0.2      # compressed timeline
 //	gsbench -exp figure3 -aqm fq_codel   # future-work AQM variant
 //	gsbench -exp all -progress -runlog runs.jsonl
+//	gsbench -exp all -cache runs.cache   # incremental: re-runs replay hits
 //	gsbench -bench-json BENCH_3.json     # benchmark-trajectory suite only
 //
 // Ctrl-C cancels the in-progress sweep: in-flight runs drain, tables
 // rendered from the partial data mark missing cells with "-", and the
-// remaining experiments are skipped.
+// remaining experiments are skipped. With -cache, completed runs are
+// already stored, so re-invoking the same command executes only the
+// missing ones.
 package main
 
 import (
@@ -35,6 +38,7 @@ import (
 	"repro/internal/netem"
 	"repro/internal/obs"
 	"repro/internal/probe"
+	"repro/internal/runcache"
 )
 
 func main() {
@@ -46,6 +50,9 @@ func main() {
 		aqm     = flag.String("aqm", experiment.AQMDropTail, "bottleneck queue discipline: droptail|codel|fq_codel")
 		saveDir = flag.String("save", "", "save materialised sweeps into this directory")
 		loadDir = flag.String("load", "", "load previously saved sweeps from this directory")
+
+		cacheDir   = flag.String("cache", "", "content-addressed run cache directory (created if missing); repeated campaigns replay hits instead of re-running")
+		cacheStats = flag.Bool("cache-stats", false, "print run-cache hit/miss/store counters to stderr on exit")
 
 		progress   = flag.Bool("progress", false, "print live sweep progress to stderr")
 		runlog     = flag.String("runlog", "", "write one JSONL record per completed run to this file (truncates)")
@@ -105,6 +112,15 @@ func main() {
 		AQM:         *aqm,
 		Impairments: impairments,
 		Schedule:    sched,
+	}
+	var cache *runcache.Cache
+	if *cacheDir != "" {
+		var err error
+		if cache, err = runcache.Open(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "gsbench:", err)
+			os.Exit(1)
+		}
+		opts.Cache = cache
 	}
 	if *probeOn {
 		opts.Probe = &probe.Config{Interval: *probeInterval, Events: *events}
@@ -208,6 +224,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "gsbench: save:", err)
 			os.Exit(1)
 		}
+	}
+	if *cacheStats && cache != nil {
+		fmt.Fprintf(os.Stderr, "gsbench: cache %s: %s\n", cache.Dir(), cache.Stats())
 	}
 	fmt.Fprintf(os.Stderr, "gsbench: done in %v (iters=%d scale=%g workers=%d aqm=%s)\n",
 		time.Since(start), *iters, *scale, *workers, *aqm)

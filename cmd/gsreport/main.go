@@ -159,10 +159,12 @@ func reportRunLog(path string) error {
 		flaps                     int
 		downS                     float64
 		impaired                  int
+		cached                    int
 	}
 	byCond := map[string]*agg{}
 	var totalEvents uint64
 	var totalWall float64
+	totalCached := 0
 	anyImpaired := false
 	for _, r := range recs {
 		a := byCond[r.Cond]
@@ -180,6 +182,10 @@ func reportRunLog(path string) error {
 		a.wall += r.Engine.WallSeconds
 		totalEvents += r.Engine.Events
 		totalWall += r.Engine.WallSeconds
+		if r.Cached {
+			a.cached++
+			totalCached++
+		}
 		if r.Impair != nil {
 			anyImpaired = true
 			a.impaired++
@@ -197,6 +203,10 @@ func reportRunLog(path string) error {
 	sort.Strings(conds)
 
 	fmt.Printf("run log: %s (%d runs, %d conditions)\n", path, len(recs), len(conds))
+	if totalCached > 0 {
+		fmt.Printf("cache: %d of %d runs served from the run cache (%.1f%%)\n",
+			totalCached, len(recs), 100*float64(totalCached)/float64(len(recs)))
+	}
 	fmt.Printf("%-28s %5s %10s %10s %9s %8s %7s\n",
 		"condition", "runs", "game Mb/s", "tcp Mb/s", "fairness", "rtt ms", "fps")
 	for _, c := range conds {

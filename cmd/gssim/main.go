@@ -9,6 +9,7 @@
 //
 //	gssim -system stadia -cca cubic -capacity 25 -queue 2 > trace.csv
 //	gssim -sweep -progress -runlog runs.jsonl -iters 15
+//	gssim -sweep -cache runs.cache -cache-stats   # resumable/incremental
 //	gssim -sweep -iters 1 -scale 0.2 -cpuprofile cpu.out
 //
 // A sweep interrupted with Ctrl-C drains its in-flight runs, reports the
@@ -53,6 +54,9 @@ func main() {
 		sweep   = flag.Bool("sweep", false, "run the paper's full sweep grid instead of a single condition")
 		iters   = flag.Int("iters", 15, "sweep iterations per condition")
 		workers = flag.Int("workers", 0, "sweep parallelism (0 = one worker per CPU)")
+
+		cacheDir   = flag.String("cache", "", "content-addressed run cache directory (created if missing)")
+		cacheStats = flag.Bool("cache-stats", false, "print run-cache hit/miss/store counters to stderr on exit")
 
 		progress   = flag.Bool("progress", false, "print live progress to stderr")
 		runlog     = flag.String("runlog", "", "write one JSONL record per completed run to this file (truncates)")
@@ -122,16 +126,29 @@ func main() {
 		defer f.Close()
 	}
 
+	var cache *core.RunCache
+	if *cacheDir != "" {
+		cache, err = core.OpenCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if *cacheStats {
+				fmt.Fprintf(os.Stderr, "gssim: cache %s: %s\n", cache.Dir(), cache.Stats())
+			}
+		}()
+	}
+
 	if *sweep {
-		runSweep(*iters, *scale, *workers, *aqm, *progress, runLog, probeCfg, *probeOut, impair, sched)
+		runSweep(*iters, *scale, *workers, *aqm, *progress, runLog, probeCfg, *probeOut, impair, sched, cache)
 		return
 	}
-	runSingle(*system, *cca, *capacity, *queue, *aqm, *seed, *scale, *pcapPath, *progress, runLog, probeCfg, *probeOut, impair, sched)
+	runSingle(*system, *cca, *capacity, *queue, *aqm, *seed, *scale, *pcapPath, *progress, runLog, probeCfg, *probeOut, impair, sched, cache)
 }
 
 // runSweep executes the paper's campaign with live observability and clean
 // SIGINT cancellation, printing one summary line per condition at the end.
-func runSweep(iters int, scale float64, workers int, aqm string, progress bool, runLog *obs.JSONL, probeCfg *core.ProbeConfig, probeDir string, impair core.Impairment, sched []core.ScheduleStep) {
+func runSweep(iters int, scale float64, workers int, aqm string, progress bool, runLog *obs.JSONL, probeCfg *core.ProbeConfig, probeDir string, impair core.Impairment, sched []core.ScheduleStep, cache *core.RunCache) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -141,6 +158,7 @@ func runSweep(iters int, scale float64, workers int, aqm string, progress bool, 
 		Workers:    workers,
 		AQM:        aqm,
 		Schedule:   sched,
+		Cache:      cache,
 	}
 	if impair.Enabled() {
 		opts.Impairments = []core.Impairment{impair}
@@ -174,6 +192,9 @@ func runSweep(iters int, scale float64, workers int, aqm string, progress bool, 
 	}
 	fmt.Fprintf(os.Stderr, "gssim: sweep %s: %d runs across %d conditions in %v\n",
 		state, total, len(sw.Conditions), time.Since(start).Round(time.Second))
+	if cache != nil {
+		fmt.Fprintf(os.Stderr, "gssim: sweep cache: %s\n", sw.Cache)
+	}
 	if runLog != nil {
 		fmt.Fprintf(os.Stderr, "gssim: %d JSONL records written\n", runLog.Count())
 	}
@@ -182,7 +203,7 @@ func runSweep(iters int, scale float64, workers int, aqm string, progress bool, 
 // runSingle executes one condition and prints its time series as CSV. The
 // -cca flag accepts a comma-separated list (e.g. "cubic,bbr") to put
 // several bulk flows on the bottleneck at once.
-func runSingle(system, cca string, capacity, queue float64, aqm string, seed uint64, scale float64, pcapPath string, progress bool, runLog *obs.JSONL, probeCfg *core.ProbeConfig, probeOut string, impair core.Impairment, sched []core.ScheduleStep) {
+func runSingle(system, cca string, capacity, queue float64, aqm string, seed uint64, scale float64, pcapPath string, progress bool, runLog *obs.JSONL, probeCfg *core.ProbeConfig, probeOut string, impair core.Impairment, sched []core.ScheduleStep, cache *core.RunCache) {
 	ccaVal := cca
 	if ccaVal == "none" {
 		ccaVal = core.None
@@ -198,6 +219,7 @@ func runSingle(system, cca string, capacity, queue float64, aqm string, seed uin
 		Probe:     probeCfg,
 		Impair:    impair,
 		Schedule:  sched,
+		Cache:     cache,
 	}
 	if ccas := strings.Split(ccaVal, ","); len(ccas) > 1 {
 		cfg.CCA = ccas[0] // condition label; the competitor list drives the run
@@ -243,9 +265,13 @@ func runSingle(system, cca string, capacity, queue float64, aqm string, seed uin
 	if runLog != nil {
 		rec := res.Record(0)
 		rec.Probe = pmeta
+		rec.Cached = res.Cached
 		if err := runLog.Log(rec); err != nil {
 			fmt.Fprintln(os.Stderr, "gssim:", err)
 		}
+	}
+	if res.Cached {
+		fmt.Fprintln(os.Stderr, "gssim: run served from cache")
 	}
 
 	n := len(res.GameMbps)

@@ -6,12 +6,16 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"repro/internal/core"
 )
 
 func main() {
+	scale := flag.Float64("scale", 0.4, "timeline compression")
+	flag.Parse()
+
 	fmt.Println("Stadia vs TCP Cubic, 25 Mb/s, 7x BDP buffer — queue discipline comparison")
 	fmt.Printf("%-10s  %10s  %12s  %12s  %8s\n", "qdisc", "RTT (ms)", "game (Mb/s)", "tcp (Mb/s)", "f/s")
 	for _, aqm := range []string{core.DropTail, core.CoDel, core.FQCoDel} {
@@ -22,7 +26,7 @@ func main() {
 			Queue:     7,
 			AQM:       aqm,
 			Seed:      3,
-			TimeScale: 0.4,
+			TimeScale: *scale,
 		})
 		from, to := res.Cfg.Timeline.FairnessWindow()
 		fmt.Printf("%-10s  %10.1f  %12.1f  %12.1f  %8.1f\n",

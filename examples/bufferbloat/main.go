@@ -5,12 +5,16 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"repro/internal/core"
 )
 
 func main() {
+	scale := flag.Float64("scale", 0.4, "timeline compression")
+	flag.Parse()
+
 	fmt.Println("GeForce Now on a 25 Mb/s bottleneck, queue sweep (compressed timeline)")
 	fmt.Printf("%-8s  %-22s  %-22s\n", "queue", "vs TCP Cubic", "vs TCP BBR")
 	fmt.Printf("%-8s  %-10s %-11s  %-10s %-11s\n", "", "RTT (ms)", "game (Mb/s)", "RTT (ms)", "game (Mb/s)")
@@ -24,7 +28,7 @@ func main() {
 				Capacity:  core.Mbps(25),
 				Queue:     q,
 				Seed:      7,
-				TimeScale: 0.4, // 3.6-minute trace: enough for steady state
+				TimeScale: *scale, // default 3.6-minute trace: enough for steady state
 			})
 			from, to := res.Cfg.Timeline.FairnessWindow()
 			row += fmt.Sprintf("  %-10.1f %-11.1f", res.MeanRTT(),

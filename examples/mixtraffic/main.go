@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"repro/internal/experiment"
@@ -14,6 +15,9 @@ import (
 )
 
 func main() {
+	scale := flag.Float64("scale", 0.4, "timeline compression")
+	flag.Parse()
+
 	mixes := []struct {
 		name  string
 		comps []experiment.Competitor
@@ -33,7 +37,7 @@ func main() {
 
 	fmt.Println("Stadia on a 25 Mb/s home link (2x BDP queue) vs household traffic")
 	fmt.Printf("%-26s  %12s  %13s  %9s  %6s\n", "competing traffic", "game (Mb/s)", "cross (Mb/s)", "RTT (ms)", "f/s")
-	tl := metrics.PaperTimeline.Scale(0.4)
+	tl := metrics.PaperTimeline.Scale(*scale)
 	for _, mix := range mixes {
 		r := experiment.Run(experiment.RunConfig{
 			Condition: experiment.Condition{

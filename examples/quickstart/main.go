@@ -4,19 +4,24 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"repro/internal/core"
 )
 
 func main() {
+	scale := flag.Float64("scale", 1.0, "timeline compression (1.0 = full 9-minute trace)")
+	flag.Parse()
+
 	fmt.Println("Running: Stadia vs TCP Cubic, 25 Mb/s, 2x BDP queue (9-minute trace)...")
 	res := core.Run(core.Config{
-		System:   core.Stadia,
-		CCA:      core.Cubic,
-		Capacity: core.Mbps(25),
-		Queue:    2,
-		Seed:     1,
+		System:    core.Stadia,
+		CCA:       core.Cubic,
+		Capacity:  core.Mbps(25),
+		Queue:     2,
+		Seed:      1,
+		TimeScale: *scale,
 	})
 
 	rr := res.ResponseRecovery()

@@ -1,0 +1,51 @@
+// Package examples holds runnable demonstration programs; this harness
+// builds and executes each one on a heavily compressed timeline so
+// `go test ./examples/...` proves every example still compiles, runs to
+// completion, and prints its report.
+package examples
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke runs skipped in -short mode")
+	}
+
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bindir := t.TempDir()
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(bindir, name)
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+name)
+			build.Dir = ".." // module root, so package paths resolve
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+
+			// Every example takes -scale; 0.05 compresses the 9-minute
+			// trace to ~27 s of simulated time per run.
+			out, err := exec.Command(bin, "-scale", "0.05").CombinedOutput()
+			if err != nil {
+				t.Fatalf("run: %v\n%s", err, out)
+			}
+			if len(strings.TrimSpace(string(out))) == 0 {
+				t.Fatal("example produced no output")
+			}
+			t.Logf("%s: %d bytes of output", name, len(out))
+		})
+	}
+}

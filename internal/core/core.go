@@ -34,6 +34,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/probe"
+	"repro/internal/runcache"
 	"repro/internal/sim"
 	"repro/internal/tcp"
 	"repro/internal/units"
@@ -65,6 +66,18 @@ func ParseProb(s string) (float64, error) { return experiment.ParseProb(s) }
 // ParseSchedule parses a semicolon-separated retuning program such as
 // "60s rate=10mbit; 120s down; 121s up" into schedule steps.
 func ParseSchedule(spec string) ([]ScheduleStep, error) { return experiment.ParseSchedule(spec) }
+
+// RunCache is the content-addressed run-result store (alias of
+// runcache.Cache): results are keyed by a canonical hash of the run
+// configuration, seed, and module version, so a hit is byte-identical to
+// re-executing the run.
+type RunCache = runcache.Cache
+
+// CacheStats is a run cache's counter snapshot (alias of runcache.Stats).
+type CacheStats = runcache.Stats
+
+// OpenCache opens a run cache rooted at dir, creating it if needed.
+func OpenCache(dir string) (*RunCache, error) { return runcache.Open(dir) }
 
 // Game-streaming systems under test.
 const (
@@ -131,12 +144,20 @@ type Config struct {
 	// Schedule retunes the path mid-run (rate steps, delay changes, loss
 	// changes, link flaps).
 	Schedule []ScheduleStep
+	// Cache, when non-nil, serves the run from the content-addressed run
+	// cache when its result is already stored, and stores it otherwise.
+	// Probed/tapped runs bypass the cache. Result.Cached reports which
+	// path was taken.
+	Cache *runcache.Cache
 }
 
 // Result is the outcome of one run. It embeds the experiment-level result
 // and adds convenience accessors for the paper's headline measures.
 type Result struct {
 	*experiment.RunResult
+	// Cached reports whether the result was served from Config.Cache
+	// instead of being executed.
+	Cached bool
 }
 
 // Run executes a single experiment run.
@@ -149,7 +170,7 @@ func Run(cfg Config) Result {
 	for _, cca := range cfg.Competitors {
 		comps = append(comps, experiment.Competitor{Kind: experiment.CompIperf, CCA: cca})
 	}
-	rr := experiment.Run(experiment.RunConfig{
+	rr, hit := experiment.RunCached(cfg.Cache, experiment.RunConfig{
 		Condition: experiment.Condition{
 			System:    cfg.System,
 			CCA:       cfg.CCA,
@@ -165,7 +186,7 @@ func Run(cfg Config) Result {
 		Probe:       cfg.Probe,
 		Schedule:    cfg.Schedule,
 	})
-	return Result{rr}
+	return Result{RunResult: rr, Cached: hit}
 }
 
 // FairnessRatio returns the paper's normalised bitrate difference over the
@@ -234,6 +255,10 @@ type SweepOptions struct {
 	Impairments []Impairment
 	// Schedule applies the same mid-run retuning program to every run.
 	Schedule []ScheduleStep
+	// Cache, when non-nil, serves already-stored runs from disk and
+	// stores fresh ones, making repeated or interrupted-then-resumed
+	// sweeps incremental (see internal/runcache).
+	Cache *runcache.Cache
 }
 
 // Sweep runs a campaign over the paper's grid (or the narrowed grid in
@@ -256,6 +281,7 @@ func SweepContext(ctx context.Context, opts SweepOptions) *experiment.SweepResul
 	cfg.ProbeDir = opts.ProbeDir
 	cfg.Impairments = opts.Impairments
 	cfg.Schedule = opts.Schedule
+	cfg.Cache = opts.Cache
 	if opts.TimeScale > 0 && opts.TimeScale != 1 {
 		cfg.Timeline = cfg.Timeline.Scale(opts.TimeScale)
 	}

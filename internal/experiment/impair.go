@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -64,7 +65,8 @@ func parseProb(s string) (float64, error) {
 	if pct {
 		v /= 100
 	}
-	if v < 0 || v > 1 {
+	// NaN slips past both range checks below; reject it explicitly.
+	if math.IsNaN(v) || v < 0 || v > 1 {
 		return 0, fmt.Errorf("probability %q outside [0,1]", s)
 	}
 	return v, nil
@@ -74,26 +76,20 @@ func parseProb(s string) (float64, error) {
 // Mb/s ("10").
 func parseRate(s string) (units.Rate, error) {
 	ls := strings.ToLower(s)
+	toRate := units.Mbps
+	num := ls
 	switch {
 	case strings.HasSuffix(ls, "mbit"):
-		v, err := strconv.ParseFloat(strings.TrimSuffix(ls, "mbit"), 64)
-		if err != nil {
-			return 0, fmt.Errorf("bad rate %q", s)
-		}
-		return units.Mbps(v), nil
+		num = strings.TrimSuffix(ls, "mbit")
 	case strings.HasSuffix(ls, "kbit"):
-		v, err := strconv.ParseFloat(strings.TrimSuffix(ls, "kbit"), 64)
-		if err != nil {
-			return 0, fmt.Errorf("bad rate %q", s)
-		}
-		return units.Kbps(v), nil
-	default:
-		v, err := strconv.ParseFloat(ls, 64)
-		if err != nil {
-			return 0, fmt.Errorf("bad rate %q", s)
-		}
-		return units.Mbps(v), nil
+		num = strings.TrimSuffix(ls, "kbit")
+		toRate = units.Kbps
 	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0, fmt.Errorf("bad rate %q", s)
+	}
+	return toRate(v), nil
 }
 
 // ParseLoss fills the loss-model fields of an Impairment from a -loss flag

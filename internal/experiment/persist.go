@@ -59,11 +59,12 @@ func SaveSweep(path string, s *SweepResult) error {
 		Cfg        SweepConfig
 		Conditions int
 	}
-	// The observability sinks are live objects, not data; strip them so
-	// the header stays encodable and self-contained.
+	// The observability sinks and the run cache are live objects, not
+	// data; strip them so the header stays encodable and self-contained.
 	cfg := s.Cfg
 	cfg.Progress = nil
 	cfg.RunLog = nil
+	cfg.Cache = nil
 	if err := enc.Encode(header{Cfg: cfg, Conditions: len(s.Conditions)}); err != nil {
 		return fmt.Errorf("experiment: save sweep header: %w", err)
 	}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/netem"
 	"repro/internal/obs"
 	"repro/internal/probe"
+	"repro/internal/runcache"
 	"repro/internal/stats"
 	"repro/internal/units"
 )
@@ -60,6 +61,12 @@ type SweepConfig struct {
 	// probe exports per run, named <cond>__seed<seed>.{cc,queue,drops}.csv
 	// (plus .events.jsonl when the ring is on).
 	ProbeDir string
+	// Cache, when non-nil, serves each run from the content-addressed run
+	// cache when its result is already stored and stores it otherwise, so
+	// a repeated or resumed sweep only executes the missing runs. Probed
+	// sweeps bypass the cache (see RunConfig.Cacheable). It is never
+	// persisted by SaveSweep.
+	Cache *runcache.Cache
 }
 
 // PaperSweep returns the paper's full grid: 3 systems × {cubic, bbr} ×
@@ -140,6 +147,10 @@ type SweepResult struct {
 	// every run completed; the Conditions then hold only the runs that
 	// finished.
 	Interrupted bool
+	// Cache holds this sweep's slice of the run-cache counters (hits,
+	// misses, stores, bypasses) when the sweep ran with one; zero
+	// otherwise.
+	Cache runcache.Stats
 }
 
 // Find returns the result for a condition, or nil.
@@ -197,6 +208,10 @@ func RunSweep(ctx context.Context, cfg SweepConfig) *SweepResult {
 		cfg.Progress.SweepStart(total)
 	}
 	start := time.Now()
+	var cacheBefore runcache.Stats
+	if cfg.Cache != nil {
+		cacheBefore = cfg.Cache.Stats()
+	}
 
 	// Feed jobs through a channel so cancellation simply stops the feed;
 	// workers drain whatever is in flight and exit.
@@ -231,7 +246,7 @@ func RunSweep(ctx context.Context, cfg SweepConfig) *SweepResult {
 					Probe:     cfg.Probe,
 					Schedule:  cfg.Schedule,
 				}
-				res := Run(rc)
+				res, hit := RunCached(cfg.Cache, rc)
 				var pmeta *obs.ProbeMeta
 				if res.Probe != nil {
 					m := res.Probe.Meta()
@@ -249,6 +264,7 @@ func RunSweep(ctx context.Context, cfg SweepConfig) *SweepResult {
 					// to surface (a broken log must not kill a campaign).
 					rec := res.Record(j.iter)
 					rec.Probe = pmeta
+					rec.Cached = hit
 					_ = cfg.RunLog.Log(rec)
 				}
 				mu.Lock()
@@ -274,6 +290,9 @@ func RunSweep(ctx context.Context, cfg SweepConfig) *SweepResult {
 	wg.Wait()
 
 	out := &SweepResult{Cfg: cfg, Interrupted: done < total}
+	if cfg.Cache != nil {
+		out.Cache = cfg.Cache.Stats().Sub(cacheBefore)
+	}
 	for cond, runs := range results {
 		sort.Slice(runs, func(i, j int) bool { return runs[i].Cfg.Seed < runs[j].Cfg.Seed })
 		out.Conditions = append(out.Conditions, &ConditionResult{Cond: cond, Runs: runs})

@@ -1,0 +1,140 @@
+package figures
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/gamestream"
+	"repro/internal/units"
+)
+
+// TestPaperConformance pins the paper's qualitative findings (the "shape"
+// acceptance criterion of EXPERIMENTS.md) with a time-scaled Table-2-style
+// campaign at 25 Mb/s. It asserts direction, not magnitude:
+//
+//  1. The competing Cubic flow takes more bandwidth from the stream than
+//     the competing BBR flow does (§4.1) — for Stadia and GeForce Now.
+//     Luna is excluded: both the paper and this reproduction find BBR
+//     beating Luna (EXPERIMENTS.md "Known deviations" #1 documents the
+//     one queue size where the reproduction's Luna-vs-BBR cell differs).
+//  2. BBR inflates the bottleneck RTT less than Cubic (§4.3): per system
+//     at 2×BDP where the standing queue is unambiguous, and averaged
+//     across systems at 1×BDP.
+//  3. The game bitrate recovers after the competing flow departs (§4.2):
+//     the post-departure mean returns to at least half the pre-arrival
+//     mean in every cell.
+//
+// Runs are pure functions of their position-derived seeds, so the
+// campaign — and therefore this test — is fully deterministic.
+func TestPaperConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-conformance battery skipped in -short mode")
+	}
+
+	const (
+		scale = 0.15
+		iters = 3
+	)
+	b25 := units.Mbps(25)
+
+	cfg := experiment.PaperSweep()
+	cfg.Iterations = iters
+	cfg.Timeline = cfg.Timeline.Scale(scale)
+	cfg.Capacities = []units.Rate{b25}
+	cfg.QueueMults = []float64{1, 2}
+	sw := experiment.RunSweep(context.Background(), cfg)
+	if sw.Interrupted {
+		t.Fatal("sweep reported Interrupted without cancellation")
+	}
+
+	cell := func(sys gamestream.System, cca string, qmult float64) *experiment.ConditionResult {
+		t.Helper()
+		c := sw.Find(experiment.Condition{System: sys, CCA: cca, Capacity: b25, QueueMult: qmult})
+		if c == nil || len(c.Runs) != iters {
+			t.Fatalf("missing condition %s/%s/q%g", sys, cca, qmult)
+		}
+		return c
+	}
+
+	// tcpMean is the competing flow's throughput over the stabilised
+	// contention window — the paper's measure of how much the bulk flow
+	// took from the stream.
+	tcpMean := func(c *experiment.ConditionResult) float64 {
+		from, to := c.ContentionWindow()
+		return c.TCPRate(from, to).Mean
+	}
+	rttMean := func(c *experiment.ConditionResult) float64 {
+		from, to := c.ContentionWindow()
+		return c.RTTStats(from, to).Mean
+	}
+
+	t.Run("CubicTakesMoreThanBBR", func(t *testing.T) {
+		for _, sys := range []gamestream.System{gamestream.Stadia, gamestream.GeForce} {
+			cu := tcpMean(cell(sys, "cubic", 2))
+			bb := tcpMean(cell(sys, "bbr", 2))
+			t.Logf("%s q2: tcp cubic %.1f Mb/s, tcp bbr %.1f Mb/s", sys, cu, bb)
+			if cu <= bb {
+				t.Errorf("%s at 2xBDP: Cubic took %.1f Mb/s <= BBR's %.1f Mb/s; paper finds Cubic takes more", sys, cu, bb)
+			}
+		}
+		// Luna: the paper itself finds BBR beats Luna at every queue
+		// size, so the Cubic>BBR claim does not apply; log for the record.
+		t.Logf("luna q2 (excluded, BBR beats Luna per paper): tcp cubic %.1f, tcp bbr %.1f",
+			tcpMean(cell(gamestream.Luna, "cubic", 2)), tcpMean(cell(gamestream.Luna, "bbr", 2)))
+	})
+
+	t.Run("BBRInflatesRTTLess", func(t *testing.T) {
+		// At 2xBDP the drop-tail standing queue separates the CCAs
+		// cleanly: Cubic fills the buffer, BBR bounds inflight to ~2xBDP.
+		for _, sys := range gamestream.Systems {
+			cu := rttMean(cell(sys, "cubic", 2))
+			bb := rttMean(cell(sys, "bbr", 2))
+			t.Logf("%s q2: rtt cubic %.1f ms, rtt bbr %.1f ms", sys, cu, bb)
+			if cu <= bb {
+				t.Errorf("%s at 2xBDP: RTT vs Cubic %.1f ms <= RTT vs BBR %.1f ms; paper finds Cubic inflates more", sys, cu, bb)
+			}
+		}
+		// At 1xBDP the shallow buffer caps how far either CCA can push
+		// the queue, so per-system gaps are small; the paper's Table 4
+		// direction still holds on the across-system average.
+		var cuSum, bbSum float64
+		for _, sys := range gamestream.Systems {
+			cuSum += rttMean(cell(sys, "cubic", 1))
+			bbSum += rttMean(cell(sys, "bbr", 1))
+		}
+		t.Logf("q1 across-system mean: rtt cubic %.1f ms, rtt bbr %.1f ms", cuSum/3, bbSum/3)
+		if cuSum <= bbSum {
+			t.Errorf("at 1xBDP: mean RTT vs Cubic %.1f ms <= vs BBR %.1f ms across systems", cuSum/3, bbSum/3)
+		}
+	})
+
+	t.Run("BitrateRecoversAfterDeparture", func(t *testing.T) {
+		tl := cfg.Timeline
+		// Pre-arrival steady window and post-departure window, leaving
+		// the same transient fraction gsreport uses after the departure.
+		preFrom, preTo := tl.FlowStart*6/10, tl.FlowStart
+		postFrom, postTo := tl.FlowStop+(tl.FlowStop-tl.FlowStart)/5, tl.TraceEnd
+		for _, sys := range gamestream.Systems {
+			for _, cca := range []string{"cubic", "bbr"} {
+				c := cell(sys, cca, 2)
+				pre := c.GameRate(preFrom, preTo).Mean
+				post := c.GameRate(postFrom, postTo).Mean
+				t.Logf("%s/%s q2: pre %.1f Mb/s, post %.1f Mb/s (ratio %.2f)", sys, cca, pre, post, post/pre)
+				if pre <= 0 {
+					t.Fatalf("%s/%s: no pre-arrival bitrate", sys, cca)
+				}
+				if post < 0.5*pre {
+					t.Errorf("%s/%s at 2xBDP: post-departure bitrate %.1f Mb/s < half of pre-arrival %.1f Mb/s; stream did not recover", sys, cca, post, pre)
+				}
+				// The competing flow must actually have bitten during
+				// contention, or "recovery" is vacuous.
+				from, to := c.ContentionWindow()
+				mid := c.GameRate(from, to).Mean
+				if mid >= pre {
+					t.Errorf("%s/%s at 2xBDP: contended bitrate %.1f Mb/s >= pre-arrival %.1f Mb/s; competitor had no effect", sys, cca, mid, pre)
+				}
+			}
+		}
+	})
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/probe"
 	"repro/internal/report"
+	"repro/internal/runcache"
 	"repro/internal/stats"
 	"repro/internal/units"
 )
@@ -48,6 +49,11 @@ type Options struct {
 	// program to every run.
 	Impairments []netem.Impairment
 	Schedule    []experiment.ScheduleStep
+	// Cache, when non-nil, is shared by every sweep the campaign runs:
+	// runs whose results are already stored are served from disk, so a
+	// repeated campaign is pure cache replay and an interrupted one
+	// resumes where it stopped. See internal/runcache.
+	Cache *runcache.Cache
 }
 
 func (o Options) defaults() Options {
@@ -101,6 +107,16 @@ func (c *Campaign) SetContext(ctx context.Context) {
 // before completing.
 func (c *Campaign) Interrupted() bool { return c.interrupted }
 
+// CacheStats snapshots the run cache's counters across everything this
+// campaign (and any other user of the same cache object) did; the zero
+// value when the campaign runs uncached.
+func (c *Campaign) CacheStats() runcache.Stats {
+	if c.Opts.Cache == nil {
+		return runcache.Stats{}
+	}
+	return c.Opts.Cache.Stats()
+}
+
 // sweep applies the campaign-wide options and runs cfg.
 func (c *Campaign) sweep(cfg experiment.SweepConfig) *experiment.SweepResult {
 	cfg.Iterations = c.Opts.Iterations
@@ -113,6 +129,7 @@ func (c *Campaign) sweep(cfg experiment.SweepConfig) *experiment.SweepResult {
 	cfg.ProbeDir = c.Opts.ProbeDir
 	cfg.Impairments = c.Opts.Impairments
 	cfg.Schedule = c.Opts.Schedule
+	cfg.Cache = c.Opts.Cache
 	sw := experiment.RunSweep(c.ctx, cfg)
 	if sw.Interrupted {
 		c.interrupted = true

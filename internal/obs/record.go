@@ -88,6 +88,11 @@ type Record struct {
 	// grid cell.
 	Seed      uint64 `json:"seed"`
 	Iteration int    `json:"iter"`
+	// Cached marks a run served from the content-addressed run cache
+	// instead of being executed; its metrics (and the stored engine
+	// counters) are byte-identical to the original execution's, but its
+	// wall-clock cost was a file read.
+	Cached bool `json:"cached,omitempty"`
 
 	// Engine holds the run's execution counters.
 	Engine EngineStats `json:"engine"`

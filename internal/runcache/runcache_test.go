@@ -1,0 +1,327 @@
+package runcache
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") succeeded; want error")
+	}
+}
+
+func TestOpenCreatesDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "a", "b", "cache")
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Dir() != dir {
+		t.Fatalf("Dir() = %q, want %q", c.Dir(), dir)
+	}
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		t.Fatalf("cache directory not created: %v", err)
+	}
+}
+
+func TestOpenFailsOnUnwritablePath(t *testing.T) {
+	// A regular file where a directory is needed makes MkdirAll fail.
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(filepath.Join(file, "cache")); err == nil {
+		t.Fatal("Open under a regular file succeeded; want error")
+	}
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewKey().Add("run", "42").Key()
+	payload := []byte("the run result")
+
+	if _, ok := c.Get(k); ok {
+		t.Fatal("Get before Put reported a hit")
+	}
+	if err := c.Put(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(k)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get after Put = %q, %v; want %q, true", got, ok, payload)
+	}
+
+	s := c.Stats()
+	want := Stats{Hits: 1, Misses: 1, Stored: 1,
+		BytesRead: uint64(len(payload)), BytesWritten: uint64(len(payload))}
+	if s != want {
+		t.Fatalf("Stats = %+v, want %+v", s, want)
+	}
+}
+
+func TestEntrySurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	k := NewKey().Add("persisted").Key()
+	c1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Put(k, []byte("blob")); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c2.Get(k); !ok || string(got) != "blob" {
+		t.Fatalf("entry did not survive reopen: %q, %v", got, ok)
+	}
+	if n, err := c2.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v; want 1", n, err)
+	}
+}
+
+func TestPutOverwritesExisting(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewKey().Add("k").Key()
+	if err := c.Put(k, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(k, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.Get(k); string(got) != "second" {
+		t.Fatalf("Get = %q after overwrite, want %q", got, "second")
+	}
+	if n, _ := c.Len(); n != 1 {
+		t.Fatalf("Len = %d after overwrite, want 1", n)
+	}
+}
+
+func TestDiscardRemovesEntryAndReclassifies(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewKey().Add("corrupt").Key()
+	if err := c.Put(k, []byte("torn entry")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(k); !ok {
+		t.Fatal("expected a hit before Discard")
+	}
+
+	c.Discard(k)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("entry still present after Discard")
+	}
+	s := c.Stats()
+	// The Get hit was reclassified: 0 hits, 2 misses (reclassified +
+	// post-discard probe), 1 error.
+	if s.Hits != 0 || s.Misses != 2 || s.Errors != 1 {
+		t.Fatalf("Stats after Discard = %+v; want 0 hits, 2 misses, 1 error", s)
+	}
+
+	// Discard without a preceding hit must not underflow the counter.
+	c.Discard(NewKey().Add("never stored").Key())
+	if s := c.Stats(); s.Hits != 0 {
+		t.Fatalf("Hits underflowed to %d", s.Hits)
+	}
+}
+
+func TestBypassCounts(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Bypass()
+	c.Bypass()
+	if s := c.Stats(); s.Bypassed != 2 || s.Lookups() != 0 {
+		t.Fatalf("Stats = %+v; want 2 bypassed, 0 lookups", s)
+	}
+}
+
+func TestPutErrorCounts(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewKey().Add("x").Key()
+	// Occupy the shard directory's name with a regular file so the
+	// shard MkdirAll inside Put fails.
+	shard := filepath.Dir(c.path(k))
+	if err := os.WriteFile(shard, []byte("in the way"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(k, []byte("data")); err == nil {
+		t.Fatal("Put into blocked shard succeeded; want error")
+	}
+	if s := c.Stats(); s.Errors != 1 || s.Stored != 0 {
+		t.Fatalf("Stats = %+v; want 1 error, 0 stored", s)
+	}
+}
+
+func TestShardedLayout(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewKey().Add("layout").Key()
+	if err := c.Put(k, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	hx := k.String()
+	want := filepath.Join(c.Dir(), hx[:2], hx+".blob")
+	if _, err := os.Stat(want); err != nil {
+		t.Fatalf("entry not at sharded path %s: %v", want, err)
+	}
+	if len(hx) != 64 {
+		t.Fatalf("Key.String() length = %d, want 64 hex chars", len(hx))
+	}
+}
+
+func TestLenCountsOnlyBlobs(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := c.Put(NewKey().Addf("entry %d", i).Key(), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A stray temp file (e.g. left by a kill between write and rename)
+	// must not count as an entry.
+	if err := os.WriteFile(filepath.Join(dir, "put-stray.tmp"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c.Len(); err != nil || n != 5 {
+		t.Fatalf("Len = %d, %v; want 5", n, err)
+	}
+}
+
+func TestKeyBuilderNoConcatenationCollisions(t *testing.T) {
+	// Length prefixes make part boundaries part of the identity.
+	a := NewKey().Add("ab", "c").Key()
+	b := NewKey().Add("a", "bc").Key()
+	if a == b {
+		t.Fatal("Add(\"ab\",\"c\") collided with Add(\"a\",\"bc\")")
+	}
+	// Order matters.
+	if NewKey().Add("x", "y").Key() == NewKey().Add("y", "x").Key() {
+		t.Fatal("part order did not change the key")
+	}
+	// Addf and Add of the same rendered string agree.
+	if NewKey().Addf("n=%d", 7).Key() != NewKey().Add("n=7").Key() {
+		t.Fatal("Addf diverged from Add of the same string")
+	}
+	// Same parts, same key (determinism).
+	if NewKey().Add("ab", "c").Key() != a {
+		t.Fatal("identical derivations produced different keys")
+	}
+}
+
+func TestStatsSubAndHitRate(t *testing.T) {
+	before := Stats{Hits: 2, Misses: 1, Stored: 1, BytesRead: 10, BytesWritten: 20}
+	after := Stats{Hits: 5, Misses: 2, Stored: 2, Bypassed: 1, Errors: 1, BytesRead: 40, BytesWritten: 50}
+	d := after.Sub(before)
+	want := Stats{Hits: 3, Misses: 1, Stored: 1, Bypassed: 1, Errors: 1, BytesRead: 30, BytesWritten: 30}
+	if d != want {
+		t.Fatalf("Sub = %+v, want %+v", d, want)
+	}
+	if d.Lookups() != 4 {
+		t.Fatalf("Lookups = %d, want 4", d.Lookups())
+	}
+	if got := d.HitRate(); got != 75 {
+		t.Fatalf("HitRate = %g, want 75", got)
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Fatal("HitRate of zero stats should be 0")
+	}
+	wantStr := "4 lookups, 3 hits (hit rate 75.0%), 1 stored, 1 bypassed"
+	if d.String() != wantStr {
+		t.Fatalf("String = %q, want %q", d.String(), wantStr)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, entries = 8, 32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < entries; i++ {
+				k := NewKey().Addf("entry %d", i).Key()
+				payload := []byte(fmt.Sprintf("payload %d", i))
+				if data, ok := c.Get(k); ok {
+					if !bytes.Equal(data, payload) {
+						t.Errorf("worker %d read torn entry %d: %q", w, i, data)
+					}
+					continue
+				}
+				if err := c.Put(k, payload); err != nil {
+					t.Errorf("worker %d put %d: %v", w, i, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if n, err := c.Len(); err != nil || n != entries {
+		t.Fatalf("Len = %d, %v; want %d", n, err, entries)
+	}
+	s := c.Stats()
+	if s.Lookups() != workers*entries {
+		t.Fatalf("Lookups = %d, want %d", s.Lookups(), workers*entries)
+	}
+	if s.Errors != 0 {
+		t.Fatalf("Errors = %d, want 0", s.Errors)
+	}
+}
+
+func TestCacheHandleGobTransparent(t *testing.T) {
+	// Configs carrying a *Cache handle must pass through gob: the handle
+	// field contributes nothing and decodes as nil/zero.
+	type carrier struct {
+		Name  string
+		Cache *Cache
+	}
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(carrier{Name: "x", Cache: c}); err != nil {
+		t.Fatalf("encode with live handle: %v", err)
+	}
+	var got carrier
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Name != "x" {
+		t.Fatalf("payload fields lost: %+v", got)
+	}
+	if got.Cache != nil && got.Cache.Dir() != "" {
+		t.Fatalf("handle round-tripped state: %+v", got.Cache)
+	}
+}

@@ -4,11 +4,11 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race bench bench-json probe-demo fuzz-smoke cover-netem cover-runcache impair-demo
+.PHONY: verify build test vet race bench bench-json probe-demo fuzz-smoke cover-netem cover-runcache impair-demo docs-check
 
 # BENCH_N matches this PR's position in the stacked sequence; bump it when a
 # later change re-baselines the trajectory file.
-BENCH_N ?= 5
+BENCH_N ?= 6
 
 verify: build vet test race cover-netem cover-runcache
 
@@ -66,6 +66,11 @@ bench: bench-json
 
 bench-json:
 	$(GO) run ./cmd/gsbench -bench-json BENCH_$(BENCH_N).json
+
+# Documentation gate: every markdown link and backticked file reference in
+# the root and docs/ markdown must resolve to a real file.
+docs-check:
+	$(GO) test -run TestDocsLinksResolve -count=1 .
 
 # The EXPERIMENTS.md worked example: one probed Cubic-vs-BBR run plus the
 # terminal summaries of the exported CC and queue telemetry.

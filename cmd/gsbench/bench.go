@@ -68,6 +68,11 @@ var benchCases = []struct {
 		Condition: experiment.Condition{System: gamestream.Stadia, CCA: "cubic", Capacity: units.Mbps(25), QueueMult: 7, AQM: experiment.AQMCoDel},
 		Seed:      1,
 	}},
+	{"many_flows_200", experiment.RunConfig{
+		Condition:  experiment.Condition{System: gamestream.Stadia, Capacity: units.Mbps(25), QueueMult: 2},
+		Population: experiment.FlowPopulation{Flows: 200},
+		Seed:       1,
+	}},
 }
 
 // measure runs fn once and returns wall time plus the goroutine-local

@@ -43,7 +43,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|figure2|figure3|figure4|table3|table4|table5|loss|harm|mix|aqmcmp|ablation|responserecovery|qoe|summary|all")
+		exp     = flag.String("exp", "all", "experiment: table1|figure2|figure3|figure4|table3|table4|table5|loss|harm|mix|flowcount|aqmcmp|ablation|responserecovery|qoe|summary|all")
 		iters   = flag.Int("iters", 15, "iterations per condition (paper: 15)")
 		scale   = flag.Float64("scale", 1.0, "timeline compression factor (1.0 = full 9-minute traces)")
 		workers = flag.Int("workers", experiment.DefaultWorkers(), "parallel runs")
@@ -186,6 +186,8 @@ func main() {
 			fmt.Println(c.HarmTable())
 		case "mix":
 			fmt.Println(c.MixTable())
+		case "flowcount":
+			fmt.Println(c.FlowCountTable())
 		case "aqmcmp":
 			fmt.Println(c.AQMTable())
 		case "ablation":

@@ -160,12 +160,17 @@ func reportRunLog(path string) error {
 		downS                     float64
 		impaired                  int
 		cached                    int
+		populated                 int
+		flowSpec                  string
+		jain, tputP50, rttInfl    stats.Accumulator
+		starved                   int
 	}
 	byCond := map[string]*agg{}
 	var totalEvents uint64
 	var totalWall float64
 	totalCached := 0
 	anyImpaired := false
+	anyFlows := false
 	for _, r := range recs {
 		a := byCond[r.Cond]
 		if a == nil {
@@ -193,6 +198,15 @@ func reportRunLog(path string) error {
 			a.flapDrops += r.Impair.FlapDrops
 			a.flaps += r.Impair.Flaps
 			a.downS += r.Impair.DownSeconds
+		}
+		if r.Flows != nil {
+			anyFlows = true
+			a.populated++
+			a.flowSpec = r.Flows.Spec
+			a.jain.Add(r.Flows.Jain)
+			a.tputP50.Add(r.Flows.TputP50)
+			a.rttInfl.Add(r.Flows.RTTInflP50)
+			a.starved += r.Flows.Starved
 		}
 	}
 
@@ -225,6 +239,19 @@ func reportRunLog(path string) error {
 			}
 			fmt.Printf("%-28s %5d %10d %10d %6d %8.1f\n",
 				c, a.impaired, a.lossDrops, a.flapDrops, a.flaps, a.downS)
+		}
+	}
+	if anyFlows {
+		fmt.Printf("\nflow populations (means across runs; starved is a total):\n")
+		fmt.Printf("%-28s %5s %-32s %6s %9s %9s %8s\n",
+			"condition", "runs", "population", "jain", "tput p50", "rtt infl", "starved")
+		for _, c := range conds {
+			a := byCond[c]
+			if a.populated == 0 {
+				continue
+			}
+			fmt.Printf("%-28s %5d %-32s %6.3f %9.2f %9.2f %8d\n",
+				c, a.populated, a.flowSpec, a.jain.Mean(), a.tputP50.Mean(), a.rttInfl.Mean(), a.starved)
 		}
 	}
 	if totalWall > 0 {

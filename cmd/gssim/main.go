@@ -8,6 +8,7 @@
 // Usage:
 //
 //	gssim -system stadia -cca cubic -capacity 25 -queue 2 > trace.csv
+//	gssim -flows 20 -flow-mix "iperf:cubic,dash" -runlog runs.jsonl
 //	gssim -sweep -progress -runlog runs.jsonl -iters 15
 //	gssim -sweep -cache runs.cache -cache-stats   # resumable/incremental
 //	gssim -sweep -iters 1 -scale 0.2 -cpuprofile cpu.out
@@ -68,6 +69,12 @@ func main() {
 		events        = flag.Int("events", 0, "packet lifecycle event ring capacity (0 = off)")
 		probeOut      = flag.String("probe-out", "probe", "probe export location: basename prefix for a single run, directory for -sweep")
 
+		flows   = flag.Int("flows", 0, "competing flow slots sharing the bottleneck (0 = classic 1-vs-1)")
+		streams = flag.Int("streams", 0, "additional concurrent game streams beyond the primary")
+		flowMix = flag.String("flow-mix", "", `population traffic mix, cycled across slots: "iperf:cubic,dash,videocall"`)
+		flowOn  = flag.Duration("flow-on", 0, "mean ON duration per flow arrival (Pareto; 0 = window/6)")
+		flowOff = flag.Duration("flow-off", 0, "mean OFF gap between a flow's sessions (exponential; 0 = on/2)")
+
 		loss     = flag.String("loss", "", `downlink loss: "2%", "0.02", or "ge:p=0.01,r=0.25[,good=0,bad=1]"`)
 		jitter   = flag.Duration("jitter", 0, "downlink delay jitter (uniform 0..j per packet)")
 		reorder  = flag.Bool("reorder", false, "allow jitter to reorder packets instead of clamping")
@@ -93,6 +100,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	mix, err := core.ParseMix(*flowMix)
+	if err != nil {
+		fatal(err)
+	}
+	pop := core.FlowPopulation{Flows: *flows, Streams: *streams, Mix: mix, MeanOn: *flowOn, MeanOff: *flowOff}
 
 	var probeCfg *core.ProbeConfig
 	if *probeOn {
@@ -140,15 +153,15 @@ func main() {
 	}
 
 	if *sweep {
-		runSweep(*iters, *scale, *workers, *aqm, *progress, runLog, probeCfg, *probeOut, impair, sched, cache)
+		runSweep(*iters, *scale, *workers, *aqm, *progress, runLog, probeCfg, *probeOut, impair, sched, pop, cache)
 		return
 	}
-	runSingle(*system, *cca, *capacity, *queue, *aqm, *seed, *scale, *pcapPath, *progress, runLog, probeCfg, *probeOut, impair, sched, cache)
+	runSingle(*system, *cca, *capacity, *queue, *aqm, *seed, *scale, *pcapPath, *progress, runLog, probeCfg, *probeOut, impair, sched, pop, cache)
 }
 
 // runSweep executes the paper's campaign with live observability and clean
 // SIGINT cancellation, printing one summary line per condition at the end.
-func runSweep(iters int, scale float64, workers int, aqm string, progress bool, runLog *obs.JSONL, probeCfg *core.ProbeConfig, probeDir string, impair core.Impairment, sched []core.ScheduleStep, cache *core.RunCache) {
+func runSweep(iters int, scale float64, workers int, aqm string, progress bool, runLog *obs.JSONL, probeCfg *core.ProbeConfig, probeDir string, impair core.Impairment, sched []core.ScheduleStep, pop core.FlowPopulation, cache *core.RunCache) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -158,6 +171,7 @@ func runSweep(iters int, scale float64, workers int, aqm string, progress bool, 
 		Workers:    workers,
 		AQM:        aqm,
 		Schedule:   sched,
+		Population: pop,
 		Cache:      cache,
 	}
 	if impair.Enabled() {
@@ -203,23 +217,24 @@ func runSweep(iters int, scale float64, workers int, aqm string, progress bool, 
 // runSingle executes one condition and prints its time series as CSV. The
 // -cca flag accepts a comma-separated list (e.g. "cubic,bbr") to put
 // several bulk flows on the bottleneck at once.
-func runSingle(system, cca string, capacity, queue float64, aqm string, seed uint64, scale float64, pcapPath string, progress bool, runLog *obs.JSONL, probeCfg *core.ProbeConfig, probeOut string, impair core.Impairment, sched []core.ScheduleStep, cache *core.RunCache) {
+func runSingle(system, cca string, capacity, queue float64, aqm string, seed uint64, scale float64, pcapPath string, progress bool, runLog *obs.JSONL, probeCfg *core.ProbeConfig, probeOut string, impair core.Impairment, sched []core.ScheduleStep, pop core.FlowPopulation, cache *core.RunCache) {
 	ccaVal := cca
 	if ccaVal == "none" {
 		ccaVal = core.None
 	}
 	cfg := core.Config{
-		System:    gamestream.System(system),
-		CCA:       ccaVal,
-		Capacity:  core.Mbps(capacity),
-		Queue:     queue,
-		AQM:       aqm,
-		Seed:      seed,
-		TimeScale: scale,
-		Probe:     probeCfg,
-		Impair:    impair,
-		Schedule:  sched,
-		Cache:     cache,
+		System:     gamestream.System(system),
+		CCA:        ccaVal,
+		Capacity:   core.Mbps(capacity),
+		Queue:      queue,
+		AQM:        aqm,
+		Seed:       seed,
+		TimeScale:  scale,
+		Probe:      probeCfg,
+		Impair:     impair,
+		Schedule:   sched,
+		Population: pop,
+		Cache:      cache,
 	}
 	if ccas := strings.Split(ccaVal, ","); len(ccas) > 1 {
 		cfg.CCA = ccas[0] // condition label; the competitor list drives the run
@@ -298,6 +313,13 @@ func runSingle(system, cca string, capacity, queue float64, aqm string, seed uin
 		[][]float64{tcol, res.GameMbps, res.TCPMbps, rttCol, fpsCol, res.GameLossBins},
 	))
 
+	if pop.Flows > 0 || pop.Streams > 0 {
+		fs := res.FlowSummary
+		fmt.Fprintf(os.Stderr,
+			"flows %s: %d active, jain %.3f, tput p10/p50/p90 %.2f/%.2f/%.2f Mb/s, rtt-infl p50 %.2fx, %d starved\n",
+			res.Cfg.Population, fs.Active, fs.Jain,
+			fs.TputP10Mbps, fs.TputP50Mbps, fs.TputP90Mbps, fs.RTTInflP50, fs.Starved)
+	}
 	if impair.Enabled() || len(sched) > 0 {
 		is := res.Impair
 		fmt.Fprintf(os.Stderr,

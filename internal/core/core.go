@@ -55,6 +55,11 @@ type Impairment = netem.Impairment
 // experiment.ScheduleStep). Parse a compact spec with ParseSchedule.
 type ScheduleStep = experiment.ScheduleStep
 
+// FlowPopulation describes an N-flow bottleneck population: extra game
+// streams plus on/off competing flows with heavy-tailed session times (alias
+// of experiment.FlowPopulation). See docs/SCENARIOS.md.
+type FlowPopulation = experiment.FlowPopulation
+
 // ParseLoss parses a loss spec ("2%", "0.02", "ge:p=0.01,r=0.25") into the
 // loss fields of an Impairment.
 func ParseLoss(spec string, im *Impairment) error { return experiment.ParseLoss(spec, im) }
@@ -66,6 +71,11 @@ func ParseProb(s string) (float64, error) { return experiment.ParseProb(s) }
 // ParseSchedule parses a semicolon-separated retuning program such as
 // "60s rate=10mbit; 120s down; 121s up" into schedule steps.
 func ParseSchedule(spec string) ([]ScheduleStep, error) { return experiment.ParseSchedule(spec) }
+
+// ParseMix parses a comma-separated population mix spec such as
+// "iperf:cubic,iperf:bbr,dash,videocall" into competitor entries for
+// FlowPopulation.Mix.
+func ParseMix(spec string) ([]experiment.Competitor, error) { return experiment.ParseMix(spec) }
 
 // RunCache is the content-addressed run-result store (alias of
 // runcache.Cache): results are keyed by a canonical hash of the run
@@ -144,6 +154,11 @@ type Config struct {
 	// Schedule retunes the path mid-run (rate steps, delay changes, loss
 	// changes, link flaps).
 	Schedule []ScheduleStep
+	// Population, when enabled, shares the bottleneck with an N-flow
+	// population: extra game streams plus on/off competing flows with
+	// heavy-tailed session times. Result.FlowSummary then carries the
+	// cross-flow fairness metrics.
+	Population FlowPopulation
 	// Cache, when non-nil, serves the run from the content-addressed run
 	// cache when its result is already stored, and stores it otherwise.
 	// Probed/tapped runs bypass the cache. Result.Cached reports which
@@ -185,6 +200,7 @@ func Run(cfg Config) Result {
 		Competitors: comps,
 		Probe:       cfg.Probe,
 		Schedule:    cfg.Schedule,
+		Population:  cfg.Population,
 	})
 	return Result{RunResult: rr, Cached: hit}
 }
@@ -255,6 +271,9 @@ type SweepOptions struct {
 	Impairments []Impairment
 	// Schedule applies the same mid-run retuning program to every run.
 	Schedule []ScheduleStep
+	// Population attaches the same N-flow population to every run of the
+	// campaign.
+	Population FlowPopulation
 	// Cache, when non-nil, serves already-stored runs from disk and
 	// stores fresh ones, making repeated or interrupted-then-resumed
 	// sweeps incremental (see internal/runcache).
@@ -281,6 +300,7 @@ func SweepContext(ctx context.Context, opts SweepOptions) *experiment.SweepResul
 	cfg.ProbeDir = opts.ProbeDir
 	cfg.Impairments = opts.Impairments
 	cfg.Schedule = opts.Schedule
+	cfg.Population = opts.Population
 	cfg.Cache = opts.Cache
 	if opts.TimeScale > 0 && opts.TimeScale != 1 {
 		cfg.Timeline = cfg.Timeline.Scale(opts.TimeScale)

@@ -16,7 +16,7 @@ import (
 // (a profile recalibration, a new default, a persistence format change):
 // every old entry then misses and is recomputed. See docs/ARCHITECTURE.md,
 // "Run cache: the key contract".
-const cacheSchema = "run-v1"
+const cacheSchema = "run-v2"
 
 // cacheVersion is the module-version component of every cache key: the
 // schema generation plus the main module's version and VCS revision when
@@ -80,6 +80,16 @@ func CacheKey(cfg RunConfig) (key runcache.Key, ok bool) {
 	b.Addf("competitors=%d", len(cfg.Competitors))
 	for _, comp := range cfg.Competitors {
 		b.Add(comp.Kind, comp.CCA)
+	}
+	// Flow population. Written unconditionally (the zero value included),
+	// so a cached 1-vs-1 result can never be served for an N-flow run.
+	pop := cfg.Population
+	b.Addf("population=%d/%d/%d/%d/%g",
+		pop.Flows, pop.Streams,
+		pop.MeanOn.Nanoseconds(), pop.MeanOff.Nanoseconds(), pop.Shape)
+	b.Addf("popmix=%d", len(pop.Mix))
+	for _, m := range pop.Mix {
+		b.Add(m.Kind, m.CCA)
 	}
 	b.Addf("schedule=%d", len(cfg.Schedule))
 	for _, st := range cfg.Schedule {

@@ -61,6 +61,16 @@ func TestCacheKeyStabilityAndSensitivity(t *testing.T) {
 		"ping":       func(c *RunConfig) { c.PingInterval = time.Second },
 		"impair":     func(c *RunConfig) { c.Impair.LossRate = 0.01; c.Impair.LossModel = "bernoulli" },
 		"competitor": func(c *RunConfig) { c.Competitors = []Competitor{{Kind: CompIperf, CCA: "bbr"}} },
+		// Population fields: a cached 1-vs-1 result must never be served
+		// for an N-flow run, and every shape knob must move the key.
+		"pop-flows":    func(c *RunConfig) { c.Population.Flows = 20 },
+		"pop-streams":  func(c *RunConfig) { c.Population.Streams = 2 },
+		"pop-mean-on":  func(c *RunConfig) { c.Population = FlowPopulation{Flows: 20, MeanOn: 10 * time.Second} },
+		"pop-mean-off": func(c *RunConfig) { c.Population = FlowPopulation{Flows: 20, MeanOff: 5 * time.Second} },
+		"pop-shape":    func(c *RunConfig) { c.Population = FlowPopulation{Flows: 20, Shape: 2.5} },
+		"pop-mix": func(c *RunConfig) {
+			c.Population = FlowPopulation{Flows: 20, Mix: []Competitor{{Kind: CompDash, CCA: "cubic"}}}
+		},
 		"schedule": func(c *RunConfig) {
 			s, err := ParseSchedule("10s rate=10mbit")
 			if err != nil {

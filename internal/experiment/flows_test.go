@@ -1,0 +1,317 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gamestream"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/units"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := ParseMix(" iperf:bbr, dash ,videocall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Competitor{
+		{Kind: CompIperf, CCA: "bbr"},
+		{Kind: CompDash, CCA: "cubic"},
+		{Kind: CompVideoCall},
+	}
+	if len(mix) != len(want) {
+		t.Fatalf("got %d entries, want %d", len(mix), len(want))
+	}
+	for i := range want {
+		if mix[i] != want[i] {
+			t.Errorf("entry %d: got %+v, want %+v", i, mix[i], want[i])
+		}
+	}
+	if m, err := ParseMix("  "); err != nil || m != nil {
+		t.Errorf("blank spec: got %v, %v; want nil, nil", m, err)
+	}
+	for _, bad := range []string{"torrent", "videocall:cubic", "iperf,"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted an invalid spec", bad)
+		}
+	}
+}
+
+func TestFlowPopulationString(t *testing.T) {
+	if s := (FlowPopulation{}).String(); s != "none" {
+		t.Errorf("zero population renders %q, want none", s)
+	}
+	p := FlowPopulation{
+		Flows: 32, Streams: 2,
+		Mix:    []Competitor{{Kind: CompIperf, CCA: "cubic"}, {Kind: CompVideoCall}},
+		MeanOn: 30 * time.Second, MeanOff: 15 * time.Second, Shape: 1.5,
+	}
+	want := "flows=32(iperf:cubic,videocall)/streams=2/on=30s/off=15s/a=1.5"
+	if s := p.String(); s != want {
+		t.Errorf("String() = %q, want %q", s, want)
+	}
+}
+
+// TestJainIndexHandComputed pins the fairness index the flow summary is
+// built on against hand-computed cases: (Σx)² / (n·Σx²).
+func TestJainIndexHandComputed(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{[]float64{1, 1, 1, 1}, 1},        // equal shares
+		{[]float64{1, 0, 0, 0}, 0.25},     // total starvation: 1/n
+		{[]float64{2, 4}, 0.9},            // 36 / (2·20)
+		{[]float64{5}, 1},                 // single flow is trivially fair
+		{[]float64{1, 2, 3}, 36.0 / 42.0}, // 36 / (3·14)
+	}
+	for _, c := range cases {
+		if got := metrics.JainIndex(c.xs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("JainIndex(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+// popRun is the small populated run the behaviour tests execute.
+func popRun(flows, streams int, seed uint64) *RunResult {
+	return Run(RunConfig{
+		Condition: Condition{
+			System: gamestream.Stadia, CCA: "cubic", Capacity: units.Mbps(25), QueueMult: 2,
+		},
+		Population: FlowPopulation{Flows: flows, Streams: streams},
+		Timeline:   metrics.PaperTimeline.Scale(0.05),
+		Seed:       seed,
+	})
+}
+
+// TestPopulationProducesActivity checks the scheduler actually delivers
+// traffic: slots arrive at least once, active time accumulates inside the
+// contention window, and the summary includes the game streams.
+func TestPopulationProducesActivity(t *testing.T) {
+	r := popRun(8, 1, 42)
+	if len(r.Flows) != 9 { // 1 extra stream + 8 slots
+		t.Fatalf("got %d flow stats, want 9", len(r.Flows))
+	}
+	span := (r.Cfg.Timeline.FlowStop - r.Cfg.Timeline.FlowStart).Seconds()
+	arrivals, active := 0, 0.0
+	for _, fs := range r.Flows {
+		if fs.Kind == "stream" {
+			if fs.MeanMbps <= 0 {
+				t.Errorf("extra stream %d delivered nothing", fs.Flow)
+			}
+			continue
+		}
+		arrivals += fs.Arrivals
+		active += fs.ActiveSec
+		if fs.ActiveSec > span+1e-9 {
+			t.Errorf("flow %d active %.1fs exceeds the %.1fs window", fs.Flow, fs.ActiveSec, span)
+		}
+	}
+	if arrivals < 8 {
+		t.Errorf("only %d arrivals across 8 slots; scheduler barely ran", arrivals)
+	}
+	if active == 0 {
+		t.Error("no slot accumulated active time")
+	}
+	sum := r.FlowSummary
+	if sum.Streams != 2 || sum.Flows != 8 {
+		t.Errorf("summary config echo wrong: %+v", sum)
+	}
+	if sum.Active < 2 {
+		t.Errorf("summary includes %d flows, want at least the two game streams", sum.Active)
+	}
+	if sum.Jain <= 0 || sum.Jain > 1 {
+		t.Errorf("Jain index %v out of (0, 1]", sum.Jain)
+	}
+	if sum.TputP90Mbps < sum.TputP50Mbps || sum.TputP50Mbps < sum.TputP10Mbps {
+		t.Errorf("throughput quantiles not ordered: %+v", sum)
+	}
+	// With unequal shares (Jain well below 1) the quantiles must actually
+	// spread — guards against passing a percentage where Percentile wants
+	// a 0..1 fraction, which silently returns the max for every quantile.
+	if sum.Jain < 0.9 && !(sum.TputP10Mbps < sum.TputP90Mbps) {
+		t.Errorf("unequal shares (jain %.3f) but p10 == p90 == %v", sum.Jain, sum.TputP90Mbps)
+	}
+}
+
+// TestPopulationDeterministicSchedule checks the arrival/departure sequence
+// is a pure function of the seed: same seed → identical per-flow stats,
+// different seed → a different schedule.
+func TestPopulationDeterministicSchedule(t *testing.T) {
+	a, b := popRun(8, 1, 42), popRun(8, 1, 42)
+	if a.EventsProcessed != b.EventsProcessed {
+		t.Errorf("events diverged: %d vs %d", a.EventsProcessed, b.EventsProcessed)
+	}
+	for i := range a.Flows {
+		if a.Flows[i] != b.Flows[i] {
+			t.Errorf("flow %d stats diverged: %+v vs %+v", i, a.Flows[i], b.Flows[i])
+		}
+	}
+	if a.FlowSummary != b.FlowSummary {
+		t.Errorf("summaries diverged: %+v vs %+v", a.FlowSummary, b.FlowSummary)
+	}
+	c := popRun(8, 1, 43)
+	same := true
+	for i := range a.Flows {
+		if a.Flows[i] != c.Flows[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical per-flow stats")
+	}
+}
+
+// TestPopulationCleanRunUnchanged is the no-regression guard for the
+// population RNG fork: enabling a population must not perturb the random
+// streams of a clean run with the same seed.
+func TestPopulationCleanRunUnchanged(t *testing.T) {
+	clean1 := popRun(0, 0, 42)
+	_ = popRun(8, 1, 42) // interleave a populated run; it must not matter
+	clean2 := popRun(0, 0, 42)
+	if clean1.EventsProcessed != clean2.EventsProcessed {
+		t.Fatalf("clean runs diverged: %d vs %d events", clean1.EventsProcessed, clean2.EventsProcessed)
+	}
+	for i := range clean1.GameMbps {
+		if clean1.GameMbps[i] != clean2.GameMbps[i] {
+			t.Fatalf("bin %d: %v vs %v", i, clean1.GameMbps[i], clean2.GameMbps[i])
+		}
+	}
+	if clean1.Flows != nil || clean1.FlowSummary != (FlowSummary{}) {
+		t.Error("clean run carries population results")
+	}
+}
+
+// canonicalLog parses JSONL records, zeroes the wall-clock fields (the only
+// legitimately machine-dependent values), re-marshals, and sorts the lines
+// so worker completion order does not matter; everything else must match
+// byte for byte.
+func canonicalLog(t *testing.T, b []byte) string {
+	t.Helper()
+	var lines []string
+	for _, line := range bytes.Split(bytes.TrimSpace(b), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var rec obs.Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("bad runlog line %q: %v", line, err)
+		}
+		rec.Engine.WallSeconds = 0
+		rec.Engine.Speedup = 0
+		rec.Engine.EventsPerSecond = 0
+		out, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, string(out))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// lockedBuffer is a RunLog sink safe for concurrent workers.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+// TestPopulationSweepDeterministicAcrossWorkers is the acceptance check for
+// the flow-population scheduler: a populated sweep's runlog records are
+// byte-identical across 1, 4 and 8 workers (compared order-independently),
+// and the per-run flow summaries agree run for run.
+func TestPopulationSweepDeterministicAcrossWorkers(t *testing.T) {
+	sweepWith := func(workers int) (*SweepResult, string) {
+		var sink lockedBuffer
+		res := RunSweep(context.Background(), SweepConfig{
+			Systems:    []gamestream.System{gamestream.Stadia, gamestream.Luna},
+			CCAs:       []string{"cubic"},
+			Capacities: []units.Rate{units.Mbps(25)},
+			QueueMults: []float64{2},
+			Iterations: 2,
+			Timeline:   metrics.PaperTimeline.Scale(0.05),
+			BaseSeed:   7,
+			Workers:    workers,
+			Population: FlowPopulation{Flows: 6, Streams: 1},
+			RunLog:     obs.NewJSONL(&sink),
+		})
+		return res, canonicalLog(t, sink.buf.Bytes())
+	}
+	refRes, refLog := sweepWith(1)
+	if refLog == "" {
+		t.Fatal("1-worker sweep produced an empty runlog")
+	}
+	for _, workers := range []int{4, 8} {
+		res, log := sweepWith(workers)
+		if log != refLog {
+			t.Errorf("runlog with %d workers differs from 1-worker runlog", workers)
+		}
+		for _, ca := range refRes.Conditions {
+			cb := res.Find(ca.Cond)
+			if cb == nil || len(ca.Runs) != len(cb.Runs) {
+				t.Fatalf("%s: runs missing with %d workers", ca.Cond, workers)
+			}
+			for i := range ca.Runs {
+				if ca.Runs[i].FlowSummary != cb.Runs[i].FlowSummary {
+					t.Errorf("%s run %d: flow summary diverged with %d workers", ca.Cond, i, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestManyFlowsSteadyStateAllocs is the allocation-discipline acceptance
+// check: with 200 flow slots, doubling the simulated time (and therefore
+// roughly doubling the packet count) must not grow heap allocations
+// proportionally — steady state is allocation-free, so the delta between a
+// short and a long run stays a tiny fraction of the event delta.
+func TestManyFlowsSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("200-flow smoke run is a few seconds")
+	}
+	run := func(scale float64) (allocs uint64, events uint64) {
+		cfg := RunConfig{
+			Condition: Condition{
+				System: gamestream.Stadia, CCA: "cubic", Capacity: units.Mbps(25), QueueMult: 2,
+			},
+			Population: FlowPopulation{Flows: 200},
+			Timeline:   metrics.PaperTimeline.Scale(scale),
+			Seed:       1,
+		}
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		r := Run(cfg)
+		runtime.ReadMemStats(&after)
+		return after.Mallocs - before.Mallocs, r.EventsProcessed
+	}
+	// Warm up once so lazily initialised globals (profiles, tables) are out
+	// of the measured numbers.
+	run(0.02)
+	shortAllocs, shortEvents := run(0.03)
+	longAllocs, longEvents := run(0.06)
+	if longEvents < shortEvents*3/2 {
+		t.Fatalf("long run barely longer: %d vs %d events", longEvents, shortEvents)
+	}
+	extraAllocs := int64(longAllocs) - int64(shortAllocs)
+	extraEvents := int64(longEvents) - int64(shortEvents)
+	if extraAllocs > extraEvents/100 {
+		t.Errorf("steady state allocates: %d extra allocs over %d extra events (short %d, long %d)",
+			extraAllocs, extraEvents, shortAllocs, longAllocs)
+	}
+}

@@ -31,6 +31,8 @@ type persistedRun struct {
 	TCPRetransmits   int
 	EventsProcessed  uint64
 	Engine           sim.Stats
+	Flows            []FlowStats
+	FlowSummary      FlowSummary
 }
 
 type persistedSample struct {
@@ -151,6 +153,8 @@ func toPersisted(r *RunResult) persistedRun {
 		TCPRetransmits:   r.TCPRetransmits,
 		EventsProcessed:  r.EventsProcessed,
 		Engine:           r.Engine,
+		Flows:            r.Flows,
+		FlowSummary:      r.FlowSummary,
 	}
 	for _, s := range r.RTT {
 		p.RTT = append(p.RTT, persistedSample{At: int64(s.At), RTT: int64(s.RTT)})
@@ -175,6 +179,8 @@ func fromPersisted(p *persistedRun) *RunResult {
 		TCPRetransmits:   p.TCPRetransmits,
 		EventsProcessed:  p.EventsProcessed,
 		Engine:           p.Engine,
+		Flows:            p.Flows,
+		FlowSummary:      p.FlowSummary,
 	}
 	for _, s := range p.RTT {
 		r.RTT = append(r.RTT, pingSample(s.At, s.RTT))

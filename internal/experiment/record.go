@@ -35,6 +35,23 @@ func (r *RunResult) Record(iter int) obs.Record {
 			DownSeconds: r.Impair.Down.Seconds(),
 		}
 	}
+	var flows *obs.FlowsMeta
+	if r.Cfg.Population.Enabled() {
+		fsum := r.FlowSummary
+		flows = &obs.FlowsMeta{
+			Spec:       r.Cfg.Population.String(),
+			Flows:      fsum.Flows,
+			Streams:    fsum.Streams,
+			Active:     fsum.Active,
+			Jain:       fsum.Jain,
+			TputP10:    fsum.TputP10Mbps,
+			TputP50:    fsum.TputP50Mbps,
+			TputP90:    fsum.TputP90Mbps,
+			RTTInflP50: fsum.RTTInflP50,
+			RTTInflP90: fsum.RTTInflP90,
+			Starved:    fsum.Starved,
+		}
+	}
 	return obs.Record{
 		Cond:         r.Cfg.Condition.String(),
 		System:       string(r.Cfg.System),
@@ -45,6 +62,7 @@ func (r *RunResult) Record(iter int) obs.Record {
 		Seed:         r.Cfg.Seed,
 		Iteration:    iter,
 		Impair:       impair,
+		Flows:        flows,
 		Engine: obs.EngineStats{
 			Events:          es.EventsDispatched,
 			Scheduled:       es.EventsScheduled,

@@ -39,7 +39,13 @@ type SweepConfig struct {
 	Impairments []netem.Impairment
 	// Schedule, when non-empty, applies the same mid-run retuning steps to
 	// every run of the sweep.
-	Schedule   []ScheduleStep
+	Schedule []ScheduleStep
+	// Population, when enabled, attaches the same N-flow population (extra
+	// game streams plus on/off competing flows) to every run of the sweep.
+	// It does not extend Condition.String(), so a populated sweep reuses the
+	// clean sweep's per-run seeds — deliberately: paired comparisons against
+	// the 1-vs-1 baseline then differ only in the population.
+	Population FlowPopulation
 	Iterations int
 	Timeline   metrics.Timeline
 	BaseRTT    time.Duration
@@ -238,13 +244,14 @@ func RunSweep(ctx context.Context, cfg SweepConfig) *SweepResult {
 			for j := range jobCh {
 				runStart := time.Now()
 				rc := RunConfig{
-					Condition: j.cond,
-					Timeline:  cfg.Timeline,
-					Seed:      runSeed(cfg.BaseSeed, j.iter, j.cond),
-					BaseRTT:   cfg.BaseRTT,
-					Burst:     cfg.Burst,
-					Probe:     cfg.Probe,
-					Schedule:  cfg.Schedule,
+					Condition:  j.cond,
+					Timeline:   cfg.Timeline,
+					Seed:       runSeed(cfg.BaseSeed, j.iter, j.cond),
+					BaseRTT:    cfg.BaseRTT,
+					Burst:      cfg.Burst,
+					Probe:      cfg.Probe,
+					Schedule:   cfg.Schedule,
+					Population: cfg.Population,
 				}
 				res, hit := RunCached(cfg.Cache, rc)
 				var pmeta *obs.ProbeMeta

@@ -104,6 +104,11 @@ type RunConfig struct {
 	// Competitors, when non-empty, replaces the single Condition.CCA
 	// iperf flow with an arbitrary mix of cross-traffic sources.
 	Competitors []Competitor
+	// Population adds an N-flow population on top of the base scenario:
+	// ON/OFF flow slots with heavy-tailed schedules plus optional extra
+	// game streams. The zero value leaves the topology unchanged (see
+	// docs/SCENARIOS.md).
+	Population FlowPopulation
 	// Profile, when non-nil, overrides the stock profile for the game
 	// system — the hook for ablation studies on controller mechanisms.
 	Profile *gamestream.Profile
@@ -200,6 +205,14 @@ type RunResult struct {
 	// Impair holds the impairer's end-of-run counters when the run was
 	// impaired (static impairment or schedule); zero otherwise.
 	Impair netem.ImpairStats
+
+	// Flows holds per-member summaries for flow-population runs (extra
+	// game streams first, then slots); nil when no population was
+	// configured.
+	Flows []FlowStats
+	// FlowSummary aggregates cross-flow fairness and starvation metrics
+	// over the fairness window; zero when no population was configured.
+	FlowSummary FlowSummary
 }
 
 // GameSeries returns the game bitrate as a metrics.Series.
@@ -423,6 +436,19 @@ func Run(cfg RunConfig) *RunResult {
 		}
 	}
 
+	// N-flow population: slots and extra streams attach to the same four
+	// hosts. The RNG fork happens only when a population is configured, so
+	// clean runs keep their random streams byte-identical.
+	var pop *population
+	if cfg.Population.Enabled() {
+		pop = buildPopulation(eng, cfg, popHosts{
+			gameServer:  gameServerHost,
+			gameClient:  gameClientHost,
+			iperfServer: iperfServerHost,
+			iperfClient: iperfClientHost,
+		}, prb, eng.Rand().Fork())
+	}
+
 	pinger := ping.NewPinger(gameClientHost, flowPing, addrGameServer, cfg.PingInterval)
 	ping.NewResponder(gameServerHost, flowPing)
 
@@ -495,6 +521,12 @@ func Run(cfg RunConfig) *RunResult {
 	}
 	if bulk != nil {
 		res.TCPRetransmits = bulk.Sender.Stats.Retransmits
+	}
+	if pop != nil {
+		pop.finish(end)
+		res.Flows = pop.stats(capture, end)
+		from, to := cfg.Timeline.FairnessWindow()
+		res.FlowSummary = pop.summarize(capture, cfg, sim.At(from), sim.At(to))
 	}
 	return res
 }

@@ -1,0 +1,14 @@
+// Package figures assembles experiment campaigns into the paper's tables
+// and figures: each Table*/Figure* function runs (or reuses) the sweep it
+// needs and renders the same rows/series the paper reports. The cmd/gsbench
+// binary and the repository's benchmark harness are thin wrappers around
+// this package.
+//
+// Beyond the paper's own artefacts, the package carries the repository's
+// extension campaigns: AQM ablations (AQMTable), congestion-control
+// mixture grids (MixTable), and the stream-bitrate-vs-competing-flow-count
+// curve (FlowCountTable) that backs the worked N-flow example in
+// docs/SCENARIOS.md — the axis the paper's 1-vs-1 testbed could not
+// explore. Every campaign draws its per-run seeds from a fixed base, so
+// regenerating any table is deterministic down to the byte.
+package figures

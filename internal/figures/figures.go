@@ -1,8 +1,3 @@
-// Package figures assembles experiment campaigns into the paper's tables
-// and figures: each Table*/Figure* function runs (or reuses) the sweep it
-// needs and renders the same rows/series the paper reports. The cmd/gsbench
-// binary and the repository's benchmark harness are thin wrappers around
-// this package.
 package figures
 
 import (

@@ -1,0 +1,65 @@
+package figures
+
+import (
+	"fmt"
+
+	"repro/internal/experiment"
+	"repro/internal/gamestream"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// FlowCounts is the competing-flow axis of FlowCountTable: from the paper's
+// 1-vs-1 duel up to ISP-aggregate populations sharing one bottleneck.
+var FlowCounts = []int{0, 1, 2, 5, 10, 20, 50}
+
+// FlowCountTable measures how a game stream degrades as the bottleneck
+// population grows: each row runs K on/off cubic flows (heavy-tailed session
+// times, see experiment.FlowPopulation) against one stream at 25 Mb/s, 2x BDP
+// and reports the stream's bitrate alongside the cross-flow fairness metrics
+// — the data behind docs/SCENARIOS.md's bitrate-vs-flow-count figure.
+func (c *Campaign) FlowCountTable() *report.Table {
+	tb := report.NewTable("Stream bitrate vs competing-flow count (25 Mb/s, 2x BDP, on/off cubic population)",
+		"System", "Flows", "Game (Mb/s)", "RTT (ms)", "FPS", "Jain", "Tput p50", "Starved")
+	tl := c.Opts.timeline()
+	for _, sys := range gamestream.Systems {
+		for _, n := range FlowCounts {
+			var game, rtt, fps, jain, p50, starved stats.Accumulator
+			for it := 0; it < c.Opts.Iterations; it++ {
+				r := experiment.Run(experiment.RunConfig{
+					Condition: experiment.Condition{
+						System: sys, Capacity: units.Mbps(25), QueueMult: 2, AQM: c.Opts.AQM,
+					},
+					Population: experiment.FlowPopulation{Flows: n},
+					Timeline:   tl,
+					Seed:       uint64(11000 + it),
+				})
+				ff, ft := tl.FairnessWindow()
+				game.Add(r.GameSeries().MeanBetween(ff, ft))
+				xs := r.RTTBetween(ff, ft)
+				if len(xs) > 0 {
+					rtt.Add(stats.Mean(xs))
+				}
+				fps.Add(r.FPSSeries().MeanBetween(ff, ft))
+				if n > 0 {
+					jain.Add(r.FlowSummary.Jain)
+					p50.Add(r.FlowSummary.TputP50Mbps)
+					starved.Add(float64(r.FlowSummary.Starved))
+				}
+			}
+			jainCol, p50Col, starvedCol := "-", "-", "-"
+			if n > 0 {
+				jainCol = fmt.Sprintf("%.3f", jain.Mean())
+				p50Col = fmt.Sprintf("%.2f", p50.Mean())
+				starvedCol = fmt.Sprintf("%.1f", starved.Mean())
+			}
+			tb.AddRow(string(sys), fmt.Sprintf("%d", n),
+				fmt.Sprintf("%.1f", game.Mean()),
+				fmt.Sprintf("%.1f", rtt.Mean()),
+				fmt.Sprintf("%.1f", fps.Mean()),
+				jainCol, p50Col, starvedCol)
+		}
+	}
+	return tb
+}

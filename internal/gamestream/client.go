@@ -10,16 +10,23 @@ import (
 	"repro/internal/units"
 )
 
-// frameState tracks reassembly of one frame at the client.
+// frameState tracks reassembly of one frame at the client. States are
+// recycled through a per-client freelist and arrival bookkeeping is a
+// bitset plus two counters, so reassembly is O(1) per fragment and
+// allocation-free in steady state.
 type frameState struct {
 	need     int // data fragment count
 	parity   int
-	got      map[int]bool
-	seqBase  int64 // sequence number of fragment index 0
+	gotBits  []uint64 // arrival bitset over need+parity fragment indices
+	gotData  int      // distinct data fragments received
+	gotTotal int      // distinct fragments received (data + parity)
+	seqBase  int64    // sequence number of fragment index 0
 	sentAt   sim.Time
 	key      bool
-	resolved bool // displayed or dropped
 }
+
+func (fs *frameState) has(i int) bool { return fs.gotBits[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (fs *frameState) set(i int)      { fs.gotBits[i>>6] |= 1 << (uint(i) & 63) }
 
 // FrameResult reports the fate of one frame to observers.
 type FrameResult struct {
@@ -45,6 +52,13 @@ type Client struct {
 	resolved map[int64]bool
 	nackedAt map[int64]sim.Time // last retransmission request per fragment
 	ticker   *sim.Ticker
+
+	// Freelists and scratch buffers keeping the steady-state receive and
+	// feedback paths allocation-free.
+	fsFree     []*frameState
+	fbPool     feedbackPool
+	nackBuf    []int64
+	expiredBuf []int64
 
 	// Sequence-gap loss accounting.
 	highestSeq int64
@@ -95,7 +109,7 @@ func (c *Client) Handle(p *packet.Packet) {
 	if p.Kind != packet.KindFrame {
 		return
 	}
-	meta, ok := p.App.(*FragMeta)
+	info, ok := p.App.(*FrameInfo)
 	if !ok {
 		return
 	}
@@ -115,7 +129,7 @@ func (c *Client) Handle(p *packet.Packet) {
 
 	// Sequence accounting (retransmissions reuse their original number
 	// and do not advance the frontier).
-	if !meta.Retx {
+	if !p.Retx {
 		if !c.haveSeq {
 			c.haveSeq = true
 			c.highestSeq = p.Seq - 1
@@ -127,50 +141,68 @@ func (c *Client) Handle(p *packet.Packet) {
 		c.winArrived++
 	}
 
-	if c.resolved[meta.FrameID] {
+	if c.resolved[info.FrameID] {
 		return
 	}
-	fs := c.frames[meta.FrameID]
+	fs := c.frames[info.FrameID]
 	if fs == nil {
-		fs = &frameState{
-			need:    meta.Count,
-			parity:  meta.Parity,
-			got:     make(map[int]bool),
-			seqBase: p.Seq - int64(meta.Index),
-			sentAt:  meta.FrameSentAt,
-			key:     meta.KeyFrame,
-		}
-		c.frames[meta.FrameID] = fs
+		fs = c.newFrameState(info)
+		c.frames[info.FrameID] = fs
 	}
-	if fs.got[meta.Index] {
+	idx := info.Index(p.Seq)
+	if idx < 0 || idx >= fs.need+fs.parity || fs.has(idx) {
 		return
 	}
-	fs.got[meta.Index] = true
+	fs.set(idx)
+	fs.gotTotal++
+	if idx < fs.need {
+		fs.gotData++
+	}
 
 	// Any `need` of the need+parity fragments decode the frame
 	// (idealised erasure code).
-	if len(fs.got) >= fs.need {
-		usedParity := false
-		dataGot := 0
-		for idx := range fs.got {
-			if idx < fs.need {
-				dataGot++
-			}
-		}
-		if dataGot < fs.need {
-			usedParity = true
-		}
+	if fs.gotTotal >= fs.need {
+		usedParity := fs.gotData < fs.need
 		deadline := fs.sentAt.Add(c.profile.PlayoutDelay)
 		displayed := now <= deadline
 		if displayed && usedParity {
 			c.FECRecovered++
 		}
-		c.finishFrame(meta.FrameID, fs, displayed, now)
+		c.finishFrame(info.FrameID, fs, displayed, now)
 	}
 }
 
+// newFrameState draws a reassembly record from the freelist, sized and
+// initialised for the frame described by info.
+func (c *Client) newFrameState(info *FrameInfo) *frameState {
+	var fs *frameState
+	if n := len(c.fsFree); n > 0 {
+		fs = c.fsFree[n-1]
+		c.fsFree[n-1] = nil
+		c.fsFree = c.fsFree[:n-1]
+	} else {
+		fs = &frameState{}
+	}
+	words := (info.Count + info.Parity + 63) / 64
+	if cap(fs.gotBits) < words {
+		fs.gotBits = make([]uint64, words)
+	} else {
+		fs.gotBits = fs.gotBits[:words]
+		for i := range fs.gotBits {
+			fs.gotBits[i] = 0
+		}
+	}
+	fs.need = info.Count
+	fs.parity = info.Parity
+	fs.gotData = 0
+	fs.gotTotal = 0
+	fs.seqBase = info.SeqBase
+	fs.sentAt = info.SentAt
+	fs.key = info.KeyFrame
+	return fs
+}
+
 func (c *Client) finishFrame(id int64, fs *frameState, displayed bool, now sim.Time) {
-	fs.resolved = true
 	c.resolved[id] = true
 	for i := 0; i < fs.need; i++ {
 		delete(c.nackedAt, fs.seqBase+int64(i))
@@ -184,6 +216,7 @@ func (c *Client) finishFrame(id int64, fs *frameState, displayed bool, now sim.T
 	if c.OnFrame != nil {
 		c.OnFrame(FrameResult{FrameID: id, KeyFrame: fs.key, Displayed: displayed, At: now})
 	}
+	c.fsFree = append(c.fsFree, fs)
 	// Bound the resolved set (ids are monotone; forget old ones).
 	if len(c.resolved) > 8192 {
 		for k := range c.resolved {
@@ -200,8 +233,8 @@ func (c *Client) feedbackTick() {
 	now := c.eng.Now()
 
 	// Expire frames past their playout deadline.
-	var nack []int64
-	var expired []int64
+	nack := c.nackBuf[:0]
+	expired := c.expiredBuf[:0]
 	for id, fs := range c.frames {
 		deadline := fs.sentAt.Add(c.profile.PlayoutDelay)
 		if now > deadline {
@@ -212,10 +245,10 @@ func (c *Client) feedbackTick() {
 			// Request missing data fragments still worth repairing; a
 			// fragment is re-requested only after the previous request
 			// has had time to be answered.
-			missing := fs.need - len(fs.got)
+			missing := fs.need - fs.gotTotal
 			if missing > 0 {
 				for i := 0; i < fs.need && missing > 0; i++ {
-					if fs.got[i] {
+					if fs.has(i) {
 						continue
 					}
 					seq := fs.seqBase + int64(i)
@@ -260,15 +293,15 @@ func (c *Client) feedbackTick() {
 	if c.owdCount > 0 {
 		owdAvg = c.owdSum / time.Duration(c.owdCount)
 	}
-	fb := &Feedback{
-		Interval:     interval,
-		RxRate:       units.RateFromBytes(c.winBytes, interval),
-		ExpectedPkts: expectedPkts,
-		LostPkts:     lost,
-		OWDMin:       c.owdMin,
-		OWDAvg:       owdAvg,
-		Nack:         nack,
-	}
+	fb := c.fbPool.get()
+	fb.Interval = interval
+	fb.RxRate = units.RateFromBytes(c.winBytes, interval)
+	fb.ExpectedPkts = expectedPkts
+	fb.LostPkts = lost
+	fb.OWDMin = c.owdMin
+	fb.OWDAvg = owdAvg
+	fb.Nack = append(fb.Nack[:0], nack...)
+	fb.Retain() // the on-wire reference, released by the packet pool
 	p := c.host.NewPacket()
 	p.Flow = c.flow
 	p.Kind = packet.KindFeedback
@@ -277,7 +310,10 @@ func (c *Client) feedbackTick() {
 	p.App = fb
 	c.host.Send(p)
 
-	// Reset window accumulators.
+	// Park the grown scratch buffers for the next tick, then reset the
+	// window accumulators.
+	c.nackBuf = nack[:0]
+	c.expiredBuf = expired[:0]
 	c.winBytes = 0
 	c.winArrived = 0
 	c.winBase = c.highestSeq

@@ -155,7 +155,7 @@ func TestFECRecoversLoss(t *testing.T) {
 		dropIdx := 2
 		cliHost := clientHost(sn)
 		cliHost.Bind(1, packet.HandlerFunc(func(p *packet.Packet) {
-			if m, ok := p.App.(*FragMeta); ok && !m.Retx && m.Index == dropIdx && m.Count > dropIdx {
+			if m, ok := p.App.(*FrameInfo); ok && !p.Retx && m.Index(p.Seq) == dropIdx && m.Count > dropIdx {
 				return // dropped
 			}
 			inner.Handle(p)
@@ -187,7 +187,7 @@ func TestNACKRepairsFrames(t *testing.T) {
 	cliHost.Bind(1, packet.HandlerFunc(func(p *packet.Packet) {
 		// Drop 6 data fragments per frame — beyond the 5% FEC budget —
 		// so repair must come from NACK retransmission.
-		if m, ok := p.App.(*FragMeta); ok && !m.Retx && m.Index >= 1 && m.Index <= 6 && m.Count > 8 {
+		if m, ok := p.App.(*FrameInfo); ok && !p.Retx && m.Index(p.Seq) >= 1 && m.Index(p.Seq) <= 6 && m.Count > 8 {
 			return
 		}
 		inner.Handle(p)
@@ -434,10 +434,11 @@ func TestFrameReassemblyOrderIndependent(t *testing.T) {
 			j := ((p % count) + count) % count
 			order[i%count], order[j] = order[j], order[i%count]
 		}
+		info := &FrameInfo{FrameID: 1, Count: count, Parity: 0, SeqBase: 0}
 		for _, idx := range order {
 			c.Handle(&packet.Packet{
 				Flow: 1, Kind: packet.KindFrame, Seq: int64(idx), Size: 1242, Payload: 1200,
-				App: &FragMeta{FrameID: 1, Index: idx, Count: count, Parity: 0},
+				App: info,
 			})
 		}
 		return c.FramesDisplayed == 1

@@ -58,13 +58,21 @@ type Server struct {
 	ticker     *sim.Ticker
 	running    bool
 
+	// fragQ is a head-indexed queue of paced fragments; popping advances
+	// fragHead and the backing array is reused once drained, so steady
+	// state pacing allocates nothing.
 	fragQ     []pendingFrag
+	fragHead  int
 	paceNext  sim.Time
 	paceTimer *sim.Timer
 
 	lossyTimes []sim.Time // recent feedback windows with noticeable loss
 
-	retxBuf map[int64]retxEntry
+	// retxBuf maps fragment sequence numbers to their frame descriptor;
+	// every entry holds one FrameInfo reference.
+	retxBuf   map[int64]*FrameInfo
+	lastPrune sim.Time
+	infoPool  frameInfoPool
 
 	// Stats counters for the harness.
 	FramesSent    int64
@@ -73,16 +81,12 @@ type Server struct {
 	Retransmits   int64
 }
 
+// pendingFrag is one queue entry awaiting pacing; info carries a counted
+// reference that emit transfers to the outgoing packet.
 type pendingFrag struct {
-	seq     int64
-	meta    FragMeta
-	payload int
-}
-
-type retxEntry struct {
-	meta FragMeta
-	size int
-	at   sim.Time
+	seq  int64
+	info *FrameInfo
+	retx bool
 }
 
 // NewServer creates a streaming server on host for flow, sending to dst,
@@ -99,7 +103,7 @@ func NewServer(host *netem.Host, flow packet.FlowID, dst packet.Addr, profile Pr
 		encRate:    profile.MaxRate,
 		fps:        profile.BaseFPS,
 		complexity: 1,
-		retxBuf:    make(map[int64]retxEntry),
+		retxBuf:    make(map[int64]*FrameInfo),
 	}
 	s.ticker = sim.NewTicker(s.eng, time.Second/time.Duration(s.fps), s.tick)
 	s.paceTimer = sim.NewTimer(s.eng, s.drainFragQ)
@@ -145,11 +149,17 @@ func (s *Server) Start() {
 	s.ticker.Start(true)
 }
 
-// Stop halts streaming and discards any paced backlog.
+// Stop halts streaming and discards any paced backlog, releasing the
+// backlog's frame-descriptor references.
 func (s *Server) Stop() {
 	s.running = false
 	s.ticker.Stop()
-	s.fragQ = nil
+	for i := s.fragHead; i < len(s.fragQ); i++ {
+		s.fragQ[i].info.Release()
+		s.fragQ[i] = pendingFrag{}
+	}
+	s.fragQ = s.fragQ[:0]
+	s.fragHead = 0
 }
 
 // wireFactor converts video payload bytes to on-wire bytes: FEC parity plus
@@ -234,25 +244,23 @@ func (s *Server) sendFrame(now sim.Time, frameBytes int, key bool) {
 	id := s.frameID
 	s.frameID++
 
+	info := s.infoPool.get()
+	info.FrameID = id
+	info.Count = count
+	info.Parity = parity
+	info.KeyFrame = key
+	info.SeqBase = s.fragSeq
+	info.SentAt = now
+	if rem := frameBytes - (count-1)*FragmentPayload; rem > 0 {
+		info.LastSize = rem
+	}
 	for i := 0; i < count+parity; i++ {
-		payload := FragmentPayload
-		if i == count-1 {
-			if rem := frameBytes - (count-1)*FragmentPayload; rem > 0 {
-				payload = rem
-			}
-		}
-		meta := FragMeta{
-			FrameID:     id,
-			Index:       i,
-			Count:       count,
-			Parity:      parity,
-			KeyFrame:    key,
-			FrameSentAt: now,
-		}
 		seq := s.fragSeq
 		s.fragSeq++
-		s.retxBuf[seq] = retxEntry{meta: meta, size: payload, at: now}
-		s.fragQ = append(s.fragQ, pendingFrag{seq: seq, meta: meta, payload: payload})
+		info.Retain()
+		s.retxBuf[seq] = info
+		info.Retain()
+		s.fragQ = append(s.fragQ, pendingFrag{seq: seq, info: info})
 	}
 	s.pruneRetx(now)
 	s.drainFragQ()
@@ -266,15 +274,21 @@ func (s *Server) drainFragQ() {
 		gain = paceGain
 	}
 	paceRate := maxRate(s.encRate.Scale(gain), units.Mbps(4))
-	for len(s.fragQ) > 0 {
+	for s.fragHead < len(s.fragQ) {
 		if now < s.paceNext {
 			s.paceTimer.Reset(s.paceNext.Sub(now))
 			return
 		}
-		f := s.fragQ[0]
-		s.fragQ = s.fragQ[1:]
-		s.emit(f.seq, f.meta, f.payload)
-		wire := units.ByteSize(f.payload + FragmentOverhead)
+		f := s.fragQ[s.fragHead]
+		s.fragQ[s.fragHead] = pendingFrag{}
+		s.fragHead++
+		if s.fragHead == len(s.fragQ) {
+			s.fragQ = s.fragQ[:0]
+			s.fragHead = 0
+		}
+		payload := f.info.PayloadAt(f.info.Index(f.seq))
+		s.emit(f.seq, f.info, f.retx, payload)
+		wire := units.ByteSize(payload + FragmentOverhead)
 		if s.paceNext < now {
 			s.paceNext = now
 		}
@@ -282,8 +296,10 @@ func (s *Server) drainFragQ() {
 	}
 }
 
-func (s *Server) emit(seq int64, meta FragMeta, payload int) {
-	m := meta
+// emit puts one fragment on the wire. The caller's FrameInfo reference is
+// transferred to the packet: the packet pool releases it when the fragment
+// is finally consumed or dropped.
+func (s *Server) emit(seq int64, info *FrameInfo, retx bool, payload int) {
 	p := s.host.NewPacket()
 	p.Flow = s.flow
 	p.Kind = packet.KindFrame
@@ -291,19 +307,25 @@ func (s *Server) emit(seq int64, meta FragMeta, payload int) {
 	p.Seq = seq
 	p.Payload = payload
 	p.Size = payload + FragmentOverhead
-	p.App = &m
+	p.Retx = retx
+	p.App = info
 	s.FragmentsSent++
 	s.BytesSent += int64(p.Size)
 	s.host.Send(p)
 }
 
+// pruneRetx drops expired retransmit-buffer entries. It runs when the
+// buffer is large, and otherwise at most once per nackRetain so low-rate
+// flows still recycle their frame descriptors promptly.
 func (s *Server) pruneRetx(now sim.Time) {
-	if len(s.retxBuf) < 4096 {
+	if len(s.retxBuf) < 4096 && now.Sub(s.lastPrune) <= nackRetain {
 		return
 	}
-	for seq, e := range s.retxBuf {
-		if now.Sub(e.at) > nackRetain {
+	s.lastPrune = now
+	for seq, info := range s.retxBuf {
+		if now.Sub(info.SentAt) > nackRetain {
 			delete(s.retxBuf, seq)
+			info.Release()
 		}
 	}
 }
@@ -327,13 +349,13 @@ func (s *Server) Handle(p *packet.Packet) {
 	s.ctrl.OnFeedback(now, fb)
 	if s.profile.NACK && s.running {
 		for _, seq := range fb.Nack {
-			e, ok := s.retxBuf[seq]
+			info, ok := s.retxBuf[seq]
 			if !ok {
 				continue
 			}
 			// Skip requests already waiting in the pacer queue.
 			pending := false
-			for _, f := range s.fragQ {
+			for _, f := range s.fragQ[s.fragHead:] {
 				if f.seq == seq {
 					pending = true
 					break
@@ -342,10 +364,9 @@ func (s *Server) Handle(p *packet.Packet) {
 			if pending {
 				continue
 			}
-			m := e.meta
-			m.Retx = true
 			s.Retransmits++
-			s.fragQ = append(s.fragQ, pendingFrag{seq: seq, meta: m, payload: e.size})
+			info.Retain()
+			s.fragQ = append(s.fragQ, pendingFrag{seq: seq, info: info, retx: true})
 		}
 		s.drainFragQ()
 	}

@@ -38,18 +38,77 @@ const (
 	nackRetryAfter = 150 * time.Millisecond
 )
 
-// FragMeta is the application metadata on a video fragment packet.
-type FragMeta struct {
+// FrameInfo is the flyweight frame descriptor shared by every fragment of
+// one encoded frame. The server draws one per frame from its freelist and
+// each holder — an on-wire fragment's App field, a retransmit-buffer entry,
+// a pacer-queue entry — keeps a counted reference (packet.AppRef), so the
+// steady-state fragment path allocates nothing: per-fragment values (index,
+// payload size) are derived from the packet's sequence number instead of
+// being stamped onto every packet.
+type FrameInfo struct {
 	FrameID  int64
-	Index    int // fragment index within the frame
 	Count    int // data fragments in the frame
 	Parity   int // parity fragments appended for FEC
 	KeyFrame bool
-	Retx     bool
-	// FrameSentAt is when the frame's first fragment left the encoder,
-	// used by the client playout deadline.
-	FrameSentAt sim.Time
+	// SeqBase is the fragment sequence number of index 0; a frame's
+	// count+parity fragments carry consecutive sequence numbers, so a
+	// fragment's index is Seq - SeqBase.
+	SeqBase int64
+	// LastSize is the payload of data fragment Count-1 (the remainder
+	// after slicing into FragmentPayload pieces); every other fragment
+	// carries FragmentPayload bytes.
+	LastSize int
+	// SentAt is when the frame left the encoder, driving the client's
+	// playout deadline.
+	SentAt sim.Time
+
+	refs  int
+	owner *frameInfoPool
 }
+
+// Index returns the fragment index within the frame for a fragment
+// sequence number.
+func (fi *FrameInfo) Index(seq int64) int { return int(seq - fi.SeqBase) }
+
+// PayloadAt returns the payload size of the fragment at index.
+func (fi *FrameInfo) PayloadAt(index int) int {
+	if index == fi.Count-1 && fi.LastSize > 0 {
+		return fi.LastSize
+	}
+	return FragmentPayload
+}
+
+// Retain implements packet.AppRef.
+func (fi *FrameInfo) Retain() { fi.refs++ }
+
+// Release implements packet.AppRef; at zero references the descriptor
+// returns to its owning freelist.
+func (fi *FrameInfo) Release() {
+	fi.refs--
+	if fi.refs < 0 {
+		panic("gamestream: FrameInfo over-released")
+	}
+	if fi.refs == 0 && fi.owner != nil {
+		fi.owner.put(fi)
+	}
+}
+
+// frameInfoPool is a LIFO freelist of frame descriptors, one per server.
+// Like packet.Pool it is single-goroutine and deterministic.
+type frameInfoPool struct{ free []*FrameInfo }
+
+func (pl *frameInfoPool) get() *FrameInfo {
+	if n := len(pl.free); n > 0 {
+		fi := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		*fi = FrameInfo{owner: pl}
+		return fi
+	}
+	return &FrameInfo{owner: pl}
+}
+
+func (pl *frameInfoPool) put(fi *FrameInfo) { pl.free = append(pl.free, fi) }
 
 // Feedback is the receiver report the client sends every FeedbackInterval,
 // carried as packet App payload. It is the only signal the server-side
@@ -67,7 +126,45 @@ type Feedback struct {
 	OWDAvg time.Duration
 	// Nack lists fragment sequence numbers the client wants retransmitted.
 	Nack []int64
+
+	refs  int
+	owner *feedbackPool
 }
+
+// Retain implements packet.AppRef.
+func (f *Feedback) Retain() { f.refs++ }
+
+// Release implements packet.AppRef; at zero references the report returns
+// to its owning freelist (a Feedback literal with no owner is simply left
+// to the garbage collector, so tests can build them directly).
+func (f *Feedback) Release() {
+	f.refs--
+	if f.refs < 0 {
+		panic("gamestream: Feedback over-released")
+	}
+	if f.refs == 0 && f.owner != nil {
+		f.owner.put(f)
+	}
+}
+
+// feedbackPool recycles receiver reports (and their NACK backing arrays),
+// removing the one steady-state allocation per feedback tick — the term
+// that would otherwise scale with the flow count in N-flow populations.
+type feedbackPool struct{ free []*Feedback }
+
+func (pl *feedbackPool) get() *Feedback {
+	if n := len(pl.free); n > 0 {
+		fb := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		nack := fb.Nack[:0]
+		*fb = Feedback{Nack: nack, owner: pl}
+		return fb
+	}
+	return &Feedback{owner: pl}
+}
+
+func (pl *feedbackPool) put(fb *Feedback) { pl.free = append(pl.free, fb) }
 
 // LossFraction returns the fraction of packets lost in the interval.
 func (f *Feedback) LossFraction() float64 {

@@ -56,6 +56,45 @@ func New(serverHost, clientHost *netem.Host, flow packet.FlowID, alg string, bin
 	return f
 }
 
+// PresizeBins grows the goodput-bin store to cover times up to t, so the
+// per-delivery hot path never reallocates during the run. Callers that
+// know the run horizon (e.g. flow populations with hundreds of slots)
+// use it to move bin growth out of steady state entirely.
+func (f *Flow) PresizeBins(t sim.Time) {
+	if f.binDur <= 0 {
+		return
+	}
+	bins := int(t/f.binDur) + 1
+	if cap(f.rxBins) < bins {
+		nb := make([]int64, len(f.rxBins), bins)
+		copy(nb, f.rxBins)
+		f.rxBins = nb
+	}
+}
+
+// Restart rearms the flow as a fresh connection with the given congestion
+// control algorithm and begins sending immediately. It is the slot-reuse
+// path for flow populations: the tcp endpoints are reset in place (sender
+// first, so the receiver's new frontier matches the sender's continued
+// sequence space) instead of being reallocated per arrival, and the
+// congestion controller is re-initialised in place when the algorithm is
+// unchanged — a repeat arrival allocates nothing.
+func (f *Flow) Restart(alg string) {
+	if alg == f.Sender.CC().Name() {
+		f.Sender.Reset(nil)
+	} else {
+		f.Sender.Reset(tcp.New(alg))
+	}
+	f.Receiver.ResetAt(f.Sender.SndNxt())
+	f.startAt = f.eng.Now()
+	f.started = true
+	f.Sender.Start()
+}
+
+// Stop halts transmission; in-flight data drains and remains subject to
+// retransmission until acknowledged.
+func (f *Flow) Stop() { f.Sender.StopSending() }
+
 // ScheduleRun arms the flow to start at `start` and stop at `stop`
 // (simulation times).
 func (f *Flow) ScheduleRun(start, stop sim.Time) {

@@ -294,14 +294,23 @@ func (r *Router) Handle(p *packet.Packet) {
 	next.Handle(p)
 }
 
+// maxDenseFlow bounds the FlowID range served by the hosts' dense dispatch
+// tables; scenario builders assign small consecutive IDs, so in practice
+// every flow lands in the table and the map spill stays empty.
+const maxDenseFlow = 1 << 14
+
 // Host is a network endpoint: applications register per-flow handlers for
 // delivery and send packets via the host's first hop.
 type Host struct {
 	Addr packet.Addr
 
-	eng      *sim.Engine
-	out      packet.Handler
-	flows    map[packet.FlowID]packet.Handler
+	eng *sim.Engine
+	out packet.Handler
+	// flows is a dense dispatch table indexed by FlowID: per-packet
+	// dispatch is a bounds check plus a slice load, O(1) in the flow
+	// population size. IDs at or above maxDenseFlow spill into flowsHi.
+	flows    []packet.Handler
+	flowsHi  map[packet.FlowID]packet.Handler
 	fallback packet.Handler
 	nextID   *uint64 // shared packet ID counter
 	pool     *packet.Pool
@@ -314,7 +323,6 @@ func NewHost(eng *sim.Engine, addr packet.Addr, out packet.Handler, ids *uint64)
 		Addr:   addr,
 		eng:    eng,
 		out:    out,
-		flows:  make(map[packet.FlowID]packet.Handler),
 		nextID: ids,
 	}
 }
@@ -339,7 +347,19 @@ func (h *Host) NewPacket() *packet.Packet { return h.pool.Get() }
 
 // Bind registers handler to receive packets for flow.
 func (h *Host) Bind(flow packet.FlowID, handler packet.Handler) {
-	h.flows[flow] = handler
+	if flow >= 0 && flow < maxDenseFlow {
+		if int(flow) >= len(h.flows) {
+			nf := make([]packet.Handler, flow+1)
+			copy(nf, h.flows)
+			h.flows = nf
+		}
+		h.flows[flow] = handler
+		return
+	}
+	if h.flowsHi == nil {
+		h.flowsHi = make(map[packet.FlowID]packet.Handler)
+	}
+	h.flowsHi[flow] = handler
 }
 
 // BindFallback registers a handler for packets whose flow has no binding.
@@ -349,7 +369,13 @@ func (h *Host) BindFallback(handler packet.Handler) { h.fallback = handler }
 // The host is the end of a packet's life: once the handler returns, the
 // packet is released to the pool (when one is attached).
 func (h *Host) Handle(p *packet.Packet) {
-	if hd, ok := h.flows[p.Flow]; ok {
+	var hd packet.Handler
+	if f := p.Flow; f >= 0 && int(f) < len(h.flows) {
+		hd = h.flows[f]
+	} else if h.flowsHi != nil {
+		hd = h.flowsHi[p.Flow]
+	}
+	if hd != nil {
 		hd.Handle(p)
 	} else if h.fallback != nil {
 		h.fallback.Handle(p)

@@ -69,6 +69,32 @@ type ImpairMeta struct {
 	DownSeconds float64 `json:"down_s,omitempty"`
 }
 
+// FlowsMeta summarises an N-flow population run: the configured population
+// shape and the cross-flow fairness metrics over the fairness window.
+type FlowsMeta struct {
+	// Spec is the compact population string, e.g.
+	// "flows=32(iperf:cubic)/on=30s/off=15s/a=1.5".
+	Spec string `json:"spec"`
+	// Flows is the configured competing-slot count; Streams counts game
+	// streams including the primary.
+	Flows   int `json:"flows"`
+	Streams int `json:"streams"`
+	// Active is the number of flows included in fairness accounting.
+	Active int `json:"active"`
+	// Jain is Jain's fairness index over per-flow window throughputs.
+	Jain float64 `json:"jain"`
+	// TputP10/P50/P90 are per-flow throughput quantiles in Mb/s.
+	TputP10 float64 `json:"tput_p10_mbps"`
+	TputP50 float64 `json:"tput_p50_mbps"`
+	TputP90 float64 `json:"tput_p90_mbps"`
+	// RTTInflP50/P90 are smoothed-RTT inflation quantiles over TCP slots
+	// (SRTT / base RTT).
+	RTTInflP50 float64 `json:"rtt_infl_p50,omitempty"`
+	RTTInflP90 float64 `json:"rtt_infl_p90,omitempty"`
+	// Starved counts flows below 5% of the equal share.
+	Starved int `json:"starved"`
+}
+
 // Record is the structured log line one experiment run emits: where the run
 // sits in the grid, how it was seeded, how the engine performed, and the
 // headline metrics the paper's tables report. One Record per run makes a
@@ -103,6 +129,10 @@ type Record struct {
 	// Impair carries impairment metadata when the run had a static
 	// impairment profile or a retuning schedule.
 	Impair *ImpairMeta `json:"impair,omitempty"`
+
+	// Flows carries population metadata when the run had an N-flow
+	// population configured.
+	Flows *FlowsMeta `json:"flows,omitempty"`
 
 	// Headline metrics over the paper's stabilised contention window.
 	GameMbps float64 `json:"game_mbps"`

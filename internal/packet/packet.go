@@ -89,8 +89,15 @@ type Packet struct {
 	ECT bool
 	CE  bool
 
-	// App carries application-specific metadata (e.g. *gamestream.FragMeta).
-	// Network elements never touch it.
+	// Retx marks a retransmitted copy (TCP retransmission or game-stream
+	// NACK repair), so receivers can exclude repairs from sequence-gap
+	// loss accounting without consulting App.
+	Retx bool
+
+	// App carries application-specific metadata (e.g. a *gamestream frame
+	// descriptor). Network elements never touch it. Payloads that implement
+	// AppRef are reference-counted by the Pool, so one descriptor can be
+	// shared flyweight-style across many packets.
 	App interface{}
 
 	// pooled marks a packet currently resting in a Pool's freelist, the
@@ -103,6 +110,17 @@ type Packet struct {
 func (p *Packet) String() string {
 	return fmt.Sprintf("%s %s->%s flow=%d seq=%d ack=%d size=%d",
 		p.Kind, p.Src, p.Dst, p.Flow, p.Seq, p.Ack, p.Size)
+}
+
+// AppRef is the optional reference-counting contract for App payloads that
+// are shared across packets (flyweights). Pool.Put calls Release exactly
+// once per released packet whose App implements it, and Pool.Clone calls
+// Retain on the copy, so the payload's owner can recycle it when the last
+// on-wire reference disappears. Implementations are single-goroutine like
+// everything else on the packet path — plain integer counters suffice.
+type AppRef interface {
+	Retain()
+	Release()
 }
 
 // A Handler consumes packets, either as a network hop or a final endpoint.

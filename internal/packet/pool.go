@@ -67,6 +67,9 @@ func (pl *Pool) Put(p *Packet) {
 	if p.pooled {
 		panic("packet: double release to pool")
 	}
+	if ref, ok := p.App.(AppRef); ok {
+		ref.Release()
+	}
 	*p = Packet{pooled: true}
 	pl.puts++
 	pl.free = append(pl.free, p)
@@ -75,11 +78,15 @@ func (pl *Pool) Put(p *Packet) {
 // Clone returns a copy of p drawn from the pool (or allocated on a nil
 // pool), for duplicate injection. The copy shares p.App — fine for handlers
 // that only read metadata during Handle, which is all the pool contract
-// permits anyway.
+// permits anyway. Reference-counted payloads are retained for the copy so
+// each of the two packets carries its own release.
 func (pl *Pool) Clone(p *Packet) *Packet {
 	c := pl.Get()
 	*c = *p
 	c.pooled = false
+	if ref, ok := c.App.(AppRef); ok {
+		ref.Retain()
+	}
 	return c
 }
 

@@ -1,0 +1,12 @@
+// Package qoe combines the paper's quality-of-experience indicators
+// (§4.3: frame rate, round-trip delay, loss rate) into a single 0–100
+// score, following the shape of its cited QoE literature: frame-rate
+// utility is logarithmic and saturates at the 60 f/s target (Claypool &
+// Claypool), added network delay costs roughly 10% of QoE per ~55 ms
+// (Wahab et al. — the paper's own §4.3 calibration point), and loss is
+// tolerated up to a few percent before degrading steeply (Di Domenico et
+// al. found services resilient to 5% loss).
+//
+// The absolute scale is a model, not a measurement; its value is ranking
+// conditions and systems consistently with the paper's §4.3 discussion.
+package qoe

@@ -1,0 +1,10 @@
+// Package report renders experiment results in the shapes the paper
+// presents them: plain-text tables with mean (stddev) cells, text heatmaps
+// of the fairness ratio (Figure 3), scatter summaries (Figure 4), and CSV
+// series suitable for replotting Figure 2.
+//
+// The renderers are deliberately dumb — they format what they are given
+// and never recompute statistics — so the same Table can be filled from a
+// live sweep, a cached campaign, or a parsed run log and produce identical
+// output.
+package report

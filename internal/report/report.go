@@ -1,7 +1,3 @@
-// Package report renders experiment results in the shapes the paper
-// presents them: plain-text tables with mean (stddev) cells, text heatmaps
-// of the fairness ratio (Figure 3), scatter summaries (Figure 4), and CSV
-// series suitable for replotting Figure 2.
 package report
 
 import (

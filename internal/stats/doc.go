@@ -1,0 +1,10 @@
+// Package stats provides the statistical accumulators and summaries the
+// paper's analysis uses: streaming (Welford) mean/variance, Student-t 95%
+// confidence intervals across run samples, and percentiles.
+//
+// Everything here is allocation-light by design: Accumulator is a fixed
+// struct fed one sample at a time, and Percentile sorts a caller-owned
+// slice in place. The multi-flow fairness summaries (per-flow throughput
+// and RTT-inflation quantiles in experiment.FlowSummary) are built from
+// these primitives.
+package stats

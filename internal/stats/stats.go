@@ -1,6 +1,3 @@
-// Package stats provides the statistical accumulators and summaries the
-// paper's analysis uses: streaming (Welford) mean/variance, Student-t 95%
-// confidence intervals across run samples, and percentiles.
 package stats
 
 import (

@@ -106,8 +106,18 @@ func NewBBR() *BBR {
 // Name implements CongestionControl.
 func (b *BBR) Name() string { return AlgBBR }
 
-// Init implements CongestionControl.
+// Init implements CongestionControl. It fully resets the controller (keeping
+// the bandwidth filter's backing array), so a reused instance behaves
+// exactly like a freshly constructed one.
 func (b *BBR) Init(mss int64) {
+	btlBw := b.btlBw[:0]
+	*b = BBR{
+		state:      bbrStartup,
+		pacingGain: bbrHighGain,
+		cwndGain:   bbrHighGain,
+		rtProp:     -1,
+	}
+	b.btlBw = btlBw
 	b.mss = mss
 	b.cwnd = initialWindow * mss
 }

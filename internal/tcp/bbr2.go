@@ -85,8 +85,18 @@ func NewBBR2() *BBR2 {
 // Name implements CongestionControl.
 func (b *BBR2) Name() string { return AlgBBR2 }
 
-// Init implements CongestionControl.
+// Init implements CongestionControl. It fully resets the controller (keeping
+// the bandwidth filter's backing array), so a reused instance behaves
+// exactly like a freshly constructed one.
 func (b *BBR2) Init(mss int64) {
+	btlBw := b.btlBw[:0]
+	*b = BBR2{
+		state:      bbrStartup,
+		pacingGain: bbr2StartupGain,
+		cwndGain:   bbr2StartupGain,
+		rtProp:     -1,
+	}
+	b.btlBw = btlBw
 	b.mss = mss
 	b.cwnd = initialWindow * mss
 }

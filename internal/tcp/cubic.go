@@ -87,8 +87,11 @@ func NewCubic() *Cubic { return &Cubic{} }
 // Name implements CongestionControl.
 func (c *Cubic) Name() string { return AlgCubic }
 
-// Init implements CongestionControl.
+// Init implements CongestionControl. It fully resets the controller, so a
+// reused instance (flow-population slot arrivals) behaves exactly like a
+// freshly constructed one.
 func (c *Cubic) Init(mss int64) {
+	*c = Cubic{}
 	c.mss = mss
 	c.cwnd = initialWindow * mss
 	c.ssthresh = 1 << 40

@@ -38,8 +38,10 @@ func NewLEDBAT() *LEDBAT { return &LEDBAT{baseRTT: -1} }
 // Name implements CongestionControl.
 func (l *LEDBAT) Name() string { return AlgLEDBAT }
 
-// Init implements CongestionControl.
+// Init implements CongestionControl. It fully resets the controller, so a
+// reused instance behaves exactly like a freshly constructed one.
 func (l *LEDBAT) Init(mss int64) {
+	*l = LEDBAT{baseRTT: -1}
 	l.mss = mss
 	l.cwnd = 2 * mss
 }

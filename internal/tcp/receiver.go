@@ -39,7 +39,8 @@ type Receiver struct {
 	pending int  // full-size segments since last ACK
 	ceSeen  bool // CE mark arrived since the last ACK
 
-	delAck *sim.Timer
+	delAck   *sim.Timer
+	metaPool ackMetaPool
 
 	// BytesReceived counts distinct payload bytes delivered in order.
 	BytesReceived int64
@@ -60,6 +61,19 @@ func NewReceiver(host *netem.Host, flow packet.FlowID, peer packet.Addr) *Receiv
 
 // RcvNxt returns the cumulative in-order frontier.
 func (r *Receiver) RcvNxt() int64 { return r.rcvNxt }
+
+// ResetAt rearms the receiver for a fresh connection whose payload starts
+// at seq (the peer Sender's post-Reset sndNxt). Data from the previous
+// lifetime still in flight ends at or below seq, so it classifies as
+// entirely old and only provokes a harmless duplicate ACK. Cumulative
+// counters (BytesReceived, DupSegments) are retained.
+func (r *Receiver) ResetAt(seq int64) {
+	r.rcvNxt = seq
+	r.ooo = r.ooo[:0]
+	r.pending = 0
+	r.ceSeen = false
+	r.delAck.Stop()
+}
 
 // Handle implements packet.Handler, processing data segments.
 func (r *Receiver) Handle(p *packet.Packet) {
@@ -112,12 +126,21 @@ func (r *Receiver) Handle(p *packet.Packet) {
 func (r *Receiver) advance(end int64) {
 	grown := end - r.rcvNxt
 	r.rcvNxt = end
-	for len(r.ooo) > 0 && r.ooo[0].start <= r.rcvNxt {
-		if r.ooo[0].end > r.rcvNxt {
-			grown += r.ooo[0].end - r.rcvNxt
-			r.rcvNxt = r.ooo[0].end
+	// Drop absorbed spans by compacting in place rather than re-slicing
+	// from the front: the list stays anchored to its backing array, so
+	// insertOOO's append never reallocates in steady state. The copy is
+	// over at most a few spans.
+	drop := 0
+	for drop < len(r.ooo) && r.ooo[drop].start <= r.rcvNxt {
+		if r.ooo[drop].end > r.rcvNxt {
+			grown += r.ooo[drop].end - r.rcvNxt
+			r.rcvNxt = r.ooo[drop].end
 		}
-		r.ooo = r.ooo[1:]
+		drop++
+	}
+	if drop > 0 {
+		n := copy(r.ooo, r.ooo[drop:])
+		r.ooo = r.ooo[:n]
 	}
 	r.BytesReceived += grown
 	if r.OnDeliver != nil {
@@ -156,7 +179,8 @@ func (r *Receiver) sendAck() {
 	// empty one, and the steady-state ACK stream allocates nothing.
 	var meta *ackMeta
 	if r.ceSeen || len(r.ooo) > 0 {
-		meta = &ackMeta{ece: r.ceSeen}
+		meta = r.metaPool.get()
+		meta.ece = r.ceSeen
 		for i := 0; i < len(r.ooo) && i < maxSackBlocks; i++ {
 			meta.sack = append(meta.sack, [2]int64{r.ooo[i].start, r.ooo[i].end})
 		}
@@ -171,6 +195,7 @@ func (r *Receiver) sendAck() {
 	p.Size = ackBaseSize
 	if meta != nil {
 		p.Size += sackBlockSize * len(meta.sack)
+		meta.Retain() // released by the packet pool when p is recycled
 		p.App = meta
 	}
 	r.host.Send(p)

@@ -22,8 +22,10 @@ func NewReno() *Reno { return &Reno{} }
 // Name implements CongestionControl.
 func (r *Reno) Name() string { return AlgReno }
 
-// Init implements CongestionControl.
+// Init implements CongestionControl. It fully resets the controller, so a
+// reused instance behaves exactly like a freshly constructed one.
 func (r *Reno) Init(mss int64) {
+	*r = Reno{}
 	r.mss = mss
 	r.cwnd = initialWindow * mss
 	r.ssthresh = 1 << 40

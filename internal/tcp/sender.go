@@ -41,6 +41,50 @@ type seg struct {
 type ackMeta struct {
 	sack [][2]int64 // [start, end) byte ranges above the cumulative ACK
 	ece  bool       // congestion experienced since the last ACK
+
+	// sackBuf is the inline backing store for sack on pooled records: SACK
+	// is capped at maxSackBlocks ranges per ACK, so the whole option block
+	// is one allocation for the life of the pool record.
+	sackBuf [maxSackBlocks][2]int64
+	refs    int
+	owner   *ackMetaPool
+}
+
+// Retain and Release implement packet.AppRef, so the packet pool recycles
+// option blocks alongside the packets that carry them.
+func (m *ackMeta) Retain() { m.refs++ }
+
+func (m *ackMeta) Release() {
+	m.refs--
+	if m.refs < 0 {
+		panic("tcp: ackMeta over-released")
+	}
+	if m.refs == 0 && m.owner != nil {
+		m.owner.put(m)
+	}
+}
+
+// ackMetaPool recycles ACK option blocks (and their SACK backing arrays)
+// through the packet refcount protocol, so a lossy ACK stream — every ACK
+// carrying SACK ranges — allocates nothing in steady state.
+type ackMetaPool struct{ free []*ackMeta }
+
+func (pl *ackMetaPool) get() *ackMeta {
+	if n := len(pl.free); n > 0 {
+		m := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		return m
+	}
+	m := &ackMeta{owner: pl}
+	m.sack = m.sackBuf[:0]
+	return m
+}
+
+func (pl *ackMetaPool) put(m *ackMeta) {
+	m.sack = m.sack[:0]
+	m.ece = false
+	pl.free = append(pl.free, m)
 }
 
 // Stats holds sender-side counters exposed to the harness.
@@ -73,6 +117,7 @@ type Sender struct {
 	limit int64
 
 	segs        []*seg
+	segBase     []*seg // full-capacity backing array of segs (see pushSeg)
 	segFree     []*seg // freelist of scoreboard records (per-sender, deterministic)
 	pipeBytes   int64  // bytes considered in flight
 	highSacked  int64  // highest sequence+len SACKed
@@ -188,6 +233,57 @@ func (s *Sender) StopSending() {
 // the harness.
 func (s *Sender) CC() CongestionControl { return s.cc }
 
+// Reset rearms the sender as a fresh connection on the same flow and host
+// binding, governed by a new congestion controller (nil re-initialises the
+// current one in place, the allocation-free path when the algorithm does
+// not change) — the slot-reuse path for N-flow populations, where one
+// Sender serves many short connection lifetimes without reallocating its
+// scoreboard or timers. The sequence space continues from sndNxt rather
+// than restarting at zero, so a stray ACK from the previous lifetime still
+// in flight satisfies Ack <= sndUna and is absorbed as a no-op instead of
+// corrupting the new connection. Cumulative Stats are retained; the RTT
+// estimator, rate sampler, and recovery state start over.
+func (s *Sender) Reset(cc CongestionControl) {
+	s.running = false
+	s.rtoTimer.Stop()
+	s.paceTimer.Stop()
+	for i, sg := range s.segs {
+		s.segs[i] = nil
+		s.segFree = append(s.segFree, sg)
+	}
+	if len(s.segBase) > 0 {
+		s.segs = s.segBase[:0]
+	} else {
+		s.segs = s.segs[:0]
+	}
+	s.sndUna = s.sndNxt
+	s.limit = 0
+	s.pipeBytes = 0
+	s.highSacked = s.sndNxt
+	s.retxPending = 0
+	s.appLimitedSeq = 0
+	s.nextRoundDelivered = s.delivered
+	s.roundTrips = 0
+	s.srtt, s.rttvar = 0, 0
+	s.rto = initialRTO
+	s.minRTT = -1
+	s.backoff = 0
+	s.inRecovery = false
+	s.recoveryEnd = 0
+	s.ecnNextReact = 0
+	s.rackTime = 0
+	s.paceNext = 0
+	s.lastRate = 0
+	if cc != nil {
+		s.cc = cc
+	}
+	s.cc.Init(s.mss)
+}
+
+// SndNxt returns the next sequence number to be sent — after Reset, the
+// base of the new connection's sequence space (for Receiver.ResetAt).
+func (s *Sender) SndNxt() int64 { return s.sndNxt }
+
 // SRTT returns the smoothed RTT estimate.
 func (s *Sender) SRTT() time.Duration { return s.srtt }
 
@@ -290,17 +386,52 @@ func (s *Sender) paceAfter(bytes int64) {
 	s.paceNext = s.paceNext.Add(interval)
 }
 
+// segBlock is how many scoreboard records a freelist miss allocates at
+// once: records are only ever needed in window-sized bursts, so block
+// allocation divides the miss cost without changing peak memory much.
+const segBlock = 16
+
 // newSeg returns a zeroed scoreboard record, reusing a retired one when
-// available.
+// available and replenishing the freelist a block at a time otherwise.
 func (s *Sender) newSeg() *seg {
-	if n := len(s.segFree); n > 0 {
-		sg := s.segFree[n-1]
-		s.segFree[n-1] = nil
-		s.segFree = s.segFree[:n-1]
-		*sg = seg{}
-		return sg
+	if len(s.segFree) == 0 {
+		block := make([]seg, segBlock)
+		for i := range block {
+			s.segFree = append(s.segFree, &block[i])
+		}
 	}
-	return &seg{}
+	n := len(s.segFree)
+	sg := s.segFree[n-1]
+	s.segFree[n-1] = nil
+	s.segFree = s.segFree[:n-1]
+	*sg = seg{}
+	return sg
+}
+
+// pushSeg appends sg to the scoreboard. The scoreboard is a sliding
+// window over a stable backing array (segBase): cumulative ACKs advance
+// the front by re-slicing, and pushSeg reclaims the dead front space by
+// compacting in place once at least half the array is dead. Compacting
+// no more often than every len(segs) pops keeps the amortised cost O(1)
+// and means the steady-state data path never reallocates the scoreboard,
+// however many segments pass through the connection.
+func (s *Sender) pushSeg(sg *seg) {
+	if len(s.segs) == cap(s.segs) {
+		dead := len(s.segBase) - cap(s.segs)
+		if dead > 0 && dead >= len(s.segs) {
+			n := copy(s.segBase, s.segs)
+			for i := n; i < n+dead; i++ {
+				s.segBase[i] = nil
+			}
+			s.segs = s.segBase[:n]
+		} else {
+			grown := make([]*seg, len(s.segs), 2*len(s.segBase)+8)
+			copy(grown, s.segs)
+			s.segs = grown
+			s.segBase = grown[:cap(grown)]
+		}
+	}
+	s.segs = append(s.segs, sg)
 }
 
 func (s *Sender) sendNew() {
@@ -321,7 +452,7 @@ func (s *Sender) sendNew() {
 		appLimited:    s.delivered < s.appLimitedSeq,
 	}
 	s.firstSentTime = now
-	s.segs = append(s.segs, sg)
+	s.pushSeg(sg)
 	s.sndNxt += n
 	s.pipeBytes += n
 	s.transmit(sg)
@@ -357,6 +488,7 @@ func (s *Sender) transmit(sg *seg) {
 	p.Payload = int(sg.len)
 	p.Size = int(sg.len) + packet.EthIPOverhead + packet.TCPHeader + 12 // TS option
 	p.ECT = s.ecn
+	p.Retx = sg.retx
 	s.Stats.BytesSent += sg.len
 	s.host.Send(p)
 	s.paceAfter(sg.len + packet.EthIPOverhead + packet.TCPHeader + 12)
@@ -426,6 +558,9 @@ func (s *Sender) Handle(p *packet.Packet) {
 			s.segs[0] = nil
 			s.segs = s.segs[1:]
 			s.segFree = append(s.segFree, sg)
+		}
+		if len(s.segs) == 0 && len(s.segBase) > 0 {
+			s.segs = s.segBase[:0]
 		}
 		s.Stats.BytesAcked += p.Ack - s.sndUna
 		s.sndUna = p.Ack

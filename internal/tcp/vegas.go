@@ -38,8 +38,10 @@ func NewVegas() *Vegas { return &Vegas{} }
 // Name implements CongestionControl.
 func (v *Vegas) Name() string { return AlgVegas }
 
-// Init implements CongestionControl.
+// Init implements CongestionControl. It fully resets the controller, so a
+// reused instance behaves exactly like a freshly constructed one.
 func (v *Vegas) Init(mss int64) {
+	*v = Vegas{}
 	v.mss = mss
 	v.cwnd = initialWindow * mss
 	v.ssthresh = 1 << 40

@@ -29,12 +29,21 @@ type FlowTrace struct {
 	Delivered int64
 }
 
+// maxDenseFlow bounds the FlowID range served by the capture's dense
+// lookup table; larger IDs spill into a map (never hit in practice —
+// scenario builders assign small consecutive IDs).
+const maxDenseFlow = 1 << 14
+
 // Capture observes packets at the bottleneck. Attach Tap to the router and
 // OnDrop to the bottleneck queue's drop callback.
 type Capture struct {
 	eng    *sim.Engine
 	binDur sim.Time
-	flows  map[packet.FlowID]*FlowTrace
+	// flows is a dense lookup table indexed by FlowID, so the per-packet
+	// taps cost a bounds check and a slice load even with hundreds of
+	// concurrent flows. IDs at or above maxDenseFlow spill into flowsHi.
+	flows   []*FlowTrace
+	flowsHi map[packet.FlowID]*FlowTrace
 	// binHint is the expected final bin count (from SetHorizon); new flows
 	// preallocate their bin slices to it, so the hot taps almost never
 	// grow mid-run.
@@ -50,7 +59,6 @@ func NewCapture(eng *sim.Engine, bin time.Duration) *Capture {
 	return &Capture{
 		eng:    eng,
 		binDur: sim.At(bin),
-		flows:  make(map[packet.FlowID]*FlowTrace),
 	}
 }
 
@@ -70,16 +78,37 @@ func (c *Capture) SetHorizon(d time.Duration) {
 }
 
 func (c *Capture) flow(id packet.FlowID) *FlowTrace {
-	f, ok := c.flows[id]
-	if !ok {
-		f = &FlowTrace{}
-		if c.binHint > 0 {
-			f.byteBins = make([]int64, 0, c.binHint)
-			f.pktBins = make([]int64, 0, c.binHint)
-			f.dropBins = make([]int64, 0, c.binHint)
-			f.dlvBins = make([]int64, 0, c.binHint)
+	if id >= 0 && id < maxDenseFlow {
+		if int(id) >= len(c.flows) {
+			nf := make([]*FlowTrace, id+1)
+			copy(nf, c.flows)
+			c.flows = nf
 		}
+		if f := c.flows[id]; f != nil {
+			return f
+		}
+		f := c.newFlowTrace()
 		c.flows[id] = f
+		return f
+	}
+	if f := c.flowsHi[id]; f != nil {
+		return f
+	}
+	if c.flowsHi == nil {
+		c.flowsHi = make(map[packet.FlowID]*FlowTrace)
+	}
+	f := c.newFlowTrace()
+	c.flowsHi[id] = f
+	return f
+}
+
+func (c *Capture) newFlowTrace() *FlowTrace {
+	f := &FlowTrace{}
+	if c.binHint > 0 {
+		f.byteBins = make([]int64, 0, c.binHint)
+		f.pktBins = make([]int64, 0, c.binHint)
+		f.dropBins = make([]int64, 0, c.binHint)
+		f.dlvBins = make([]int64, 0, c.binHint)
 	}
 	return f
 }

@@ -4,13 +4,13 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race bench bench-json probe-demo fuzz-smoke cover-netem cover-runcache impair-demo docs-check
+.PHONY: verify build test vet race bench bench-json probe-demo fuzz-smoke cover-netem cover-runcache cover-obs impair-demo docs-check
 
 # BENCH_N matches this PR's position in the stacked sequence; bump it when a
 # later change re-baselines the trajectory file.
-BENCH_N ?= 6
+BENCH_N ?= 7
 
-verify: build vet test race cover-netem cover-runcache
+verify: build vet test race cover-netem cover-runcache cover-obs
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,16 @@ cover-runcache:
 		if ($$3 + 0 < 80) { printf "runcache coverage %.1f%% < 80%%\n", $$3; exit 1 } \
 		else printf "runcache coverage %.1f%% (gate 80%%)\n", $$3 }'
 	@rm -f runcache.cover.out
+
+# The telemetry aggregator folds every campaign's metrics into the sketches
+# the live endpoint and gsreport -telemetry serve; a folding bug biases every
+# published quantile. Hold its statement coverage at >= 80%.
+cover-obs:
+	@$(GO) test -coverprofile=obs.cover.out ./internal/obs > /dev/null
+	@$(GO) tool cover -func=obs.cover.out | awk '/^total:/ { gsub(/%/, "", $$3); \
+		if ($$3 + 0 < 80) { printf "obs coverage %.1f%% < 80%%\n", $$3; exit 1 } \
+		else printf "obs coverage %.1f%% (gate 80%%)\n", $$3 }'
+	@rm -f obs.cover.out
 
 # One regeneration per benchmark target (reduced-size campaigns), then the
 # fixed trajectory suite written as BENCH_$(BENCH_N).json (see README).

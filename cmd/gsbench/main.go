@@ -56,6 +56,9 @@ func main() {
 
 		progress   = flag.Bool("progress", false, "print live sweep progress to stderr")
 		runlog     = flag.String("runlog", "", "write one JSONL record per completed run to this file (truncates)")
+		telAddr    = flag.String("telemetry-addr", "", "serve live campaign telemetry over HTTP at this address (e.g. :9300): /metrics is Prometheus text, /snapshot JSON")
+		telOut     = flag.String("telemetry-out", "", "write the final telemetry snapshot (metric sketches + health) to this JSON file")
+		telLog     = flag.String("telemetry-log", "", "append the JSONL health timeline (progress, cache hit rate, events/sec drift) to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
@@ -142,6 +145,38 @@ func main() {
 		// the log tail-able while the campaign executes.
 		defer f.Close()
 		opts.RunLog = obs.NewJSONL(f)
+	}
+	if *telAddr != "" || *telOut != "" || *telLog != "" {
+		opts.Telemetry = obs.NewAggregator()
+		if *telLog != "" {
+			f, err := os.OpenFile(*telLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gsbench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			opts.Telemetry.Timeline = f
+		}
+		if *telAddr != "" {
+			srv, err := obs.ServeTelemetry(*telAddr, opts.Telemetry)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gsbench:", err)
+				os.Exit(1)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "gsbench: telemetry at http://%s/ (/metrics, /snapshot)\n", srv.Addr())
+		}
+		if *telOut != "" {
+			out := *telOut
+			ag := opts.Telemetry
+			defer func() {
+				if err := obs.WriteSnapshot(out, ag.Snapshot()); err != nil {
+					fmt.Fprintln(os.Stderr, "gsbench:", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "gsbench: telemetry snapshot written to %s\n", out)
+				}
+			}()
+		}
 	}
 	c := figures.NewCampaign(opts)
 	c.SetContext(ctx)

@@ -4,6 +4,9 @@
 // adaptiveness inputs, fairness ratio, and RTT/frame rate summaries. With
 // -runlog it instead aggregates a JSONL run log (written by gssim -sweep
 // or gsbench) per condition — including interrupted, partial campaigns.
+// With -telemetry it renders quantiles-with-CI tables for every paper
+// metric from a persisted sketch snapshot (gssim/gsbench -telemetry-out)
+// alone — no per-run data needed, however large the campaign was.
 // With -cc / -queue it summarises probe exports (gssim -probe): per-flow
 // cwnd-vs-time and per-queue depth-vs-time with terminal sparklines.
 // This separates data collection from analysis the way the paper's
@@ -16,6 +19,9 @@
 //
 //	gssim -sweep -runlog runs.jsonl
 //	gsreport -runlog runs.jsonl
+//
+//	gssim -sweep -telemetry-out telemetry.json
+//	gsreport -telemetry telemetry.json
 //
 //	gssim -cca cubic,bbr -probe -probe-out demo
 //	gsreport -cc demo.cc.csv -queue demo.queue.csv
@@ -41,12 +47,20 @@ func main() {
 	flowStart := flag.Float64("flow-start", 185, "competing flow arrival (s)")
 	flowStop := flag.Float64("flow-stop", 370, "competing flow departure (s)")
 	runlog := flag.String("runlog", "", "aggregate a JSONL run log instead of a trace CSV")
+	telemetry := flag.String("telemetry", "", "render quantiles-with-CI tables from a telemetry snapshot (gssim/gsbench -telemetry-out)")
 	ccPath := flag.String("cc", "", "summarise a probe cc.csv export (cwnd-vs-time per flow)")
 	queuePath := flag.String("queue", "", "summarise a probe queue.csv export (depth-vs-time per queue)")
 	dropsPath := flag.String("drops", "", "summarise a probe drops.csv export as loss episodes")
 	dropsGap := flag.Duration("drops-gap", 100*time.Millisecond, "gap that separates two loss episodes in -drops mode")
 	flag.Parse()
 
+	if *telemetry != "" {
+		if err := reportTelemetry(*telemetry); err != nil {
+			fmt.Fprintln(os.Stderr, "gsreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *runlog != "" {
 		if err := reportRunLog(*runlog); err != nil {
 			fmt.Fprintln(os.Stderr, "gsreport:", err)

@@ -153,7 +153,9 @@ func reportCC(path string) error {
 		in := stats.Summarize(fa.infl)
 		rt := stats.Summarize(nonzero(fa.srttMS))
 		fmt.Printf("\nflow %s (%s): %d samples over %.1f s\n", name, fa.alg, len(fa.t), span)
-		fmt.Printf("  cwnd:     mean %7.1f kB  max %7.1f kB\n", cw.Mean/1000, maxOf(fa.cwnd)/1000)
+		cq := stats.Percentiles(fa.cwnd, 0.50, 0.90)
+		fmt.Printf("  cwnd:     mean %7.1f kB  p50 %7.1f kB  p90 %7.1f kB  max %7.1f kB\n",
+			cw.Mean/1000, cq[0]/1000, cq[1]/1000, maxOf(fa.cwnd)/1000)
 		fmt.Printf("  cwnd/t:   %s\n", sparkline(fa.cwnd, 60))
 		fmt.Printf("  inflight: mean %7.1f kB  max %7.1f kB\n", in.Mean/1000, maxOf(fa.infl)/1000)
 		if rt.N > 0 {

@@ -61,6 +61,10 @@ func main() {
 
 		progress   = flag.Bool("progress", false, "print live progress to stderr")
 		runlog     = flag.String("runlog", "", "write one JSONL record per completed run to this file (truncates)")
+		telAddr    = flag.String("telemetry-addr", "", "with -sweep: serve live telemetry over HTTP at this address (e.g. :9300): /metrics is Prometheus text, /snapshot JSON")
+		telOut     = flag.String("telemetry-out", "", "with -sweep: write the final telemetry snapshot (metric sketches + health) to this JSON file")
+		telLog     = flag.String("telemetry-log", "", "with -sweep: append the JSONL health timeline (progress, cache hit rate, events/sec drift) to this file")
+		discard    = flag.Bool("discard-runs", false, "with -sweep: drop per-run results once the sinks have seen them, keeping memory O(conditions)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
@@ -152,8 +156,14 @@ func main() {
 		}()
 	}
 
+	telem, err := openTelemetry(*telAddr, *telOut, *telLog, cache)
+	if err != nil {
+		fatal(err)
+	}
+	defer telem.close()
+
 	if *sweep {
-		runSweep(*iters, *scale, *workers, *aqm, *progress, runLog, probeCfg, *probeOut, impair, sched, pop, cache)
+		runSweep(*iters, *scale, *workers, *aqm, *progress, runLog, probeCfg, *probeOut, impair, sched, pop, cache, telem, *discard)
 		return
 	}
 	runSingle(*system, *cca, *capacity, *queue, *aqm, *seed, *scale, *pcapPath, *progress, runLog, probeCfg, *probeOut, impair, sched, pop, cache)
@@ -161,18 +171,19 @@ func main() {
 
 // runSweep executes the paper's campaign with live observability and clean
 // SIGINT cancellation, printing one summary line per condition at the end.
-func runSweep(iters int, scale float64, workers int, aqm string, progress bool, runLog *obs.JSONL, probeCfg *core.ProbeConfig, probeDir string, impair core.Impairment, sched []core.ScheduleStep, pop core.FlowPopulation, cache *core.RunCache) {
+func runSweep(iters int, scale float64, workers int, aqm string, progress bool, runLog *obs.JSONL, probeCfg *core.ProbeConfig, probeDir string, impair core.Impairment, sched []core.ScheduleStep, pop core.FlowPopulation, cache *core.RunCache, telem *telemetry, discard bool) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	opts := core.SweepOptions{
-		Iterations: iters,
-		TimeScale:  scale,
-		Workers:    workers,
-		AQM:        aqm,
-		Schedule:   sched,
-		Population: pop,
-		Cache:      cache,
+		Iterations:  iters,
+		TimeScale:   scale,
+		Workers:     workers,
+		AQM:         aqm,
+		Schedule:    sched,
+		Population:  pop,
+		Cache:       cache,
+		DiscardRuns: discard,
 	}
 	if impair.Enabled() {
 		opts.Impairments = []core.Impairment{impair}
@@ -184,14 +195,20 @@ func runSweep(iters int, scale float64, workers int, aqm string, progress bool, 
 	if runLog != nil {
 		opts.RunLog = runLog
 	}
+	var printer obs.Progress
 	if progress {
-		opts.Progress = obs.NewPrinter(os.Stderr)
+		printer = obs.NewPrinter(os.Stderr)
 	}
+	opts.Progress = obs.MultiProgress(printer, telem.progress())
 
 	start := time.Now()
 	sw := core.SweepContext(ctx, opts)
 
 	total := 0
+	if discard && telem.ag != nil {
+		// Per-run results were dropped; the streaming sinks kept count.
+		total = telem.ag.Done()
+	}
 	for _, cond := range sw.Conditions {
 		total += len(cond.Runs)
 		ff, ft := cond.ContentionWindow()

@@ -278,6 +278,11 @@ type SweepOptions struct {
 	// stores fresh ones, making repeated or interrupted-then-resumed
 	// sweeps incremental (see internal/runcache).
 	Cache *runcache.Cache
+	// DiscardRuns drops each run's result once the Progress and RunLog
+	// sinks have seen it, keeping a campaign-scale sweep in O(conditions)
+	// memory. The returned SweepResult then carries no per-run data; pair
+	// it with a streaming sink such as an obs.Aggregator.
+	DiscardRuns bool
 }
 
 // Sweep runs a campaign over the paper's grid (or the narrowed grid in
@@ -302,6 +307,7 @@ func SweepContext(ctx context.Context, opts SweepOptions) *experiment.SweepResul
 	cfg.Schedule = opts.Schedule
 	cfg.Population = opts.Population
 	cfg.Cache = opts.Cache
+	cfg.DiscardRuns = opts.DiscardRuns
 	if opts.TimeScale > 0 && opts.TimeScale != 1 {
 		cfg.Timeline = cfg.Timeline.Scale(opts.TimeScale)
 	}

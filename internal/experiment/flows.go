@@ -448,9 +448,8 @@ func (pop *population) summarize(capture *trace.Capture, cfg RunConfig, from, to
 	}
 	sum.Active = len(tputs)
 	sum.Jain = metrics.JainIndex(tputs)
-	sum.TputP10Mbps = stats.Percentile(tputs, 0.10)
-	sum.TputP50Mbps = stats.Percentile(tputs, 0.50)
-	sum.TputP90Mbps = stats.Percentile(tputs, 0.90)
+	tq := stats.Percentiles(tputs, 0.10, 0.50, 0.90)
+	sum.TputP10Mbps, sum.TputP50Mbps, sum.TputP90Mbps = tq[0], tq[1], tq[2]
 
 	fair := cfg.Capacity.Mbit() / float64(len(tputs))
 	for _, v := range tputs {
@@ -467,9 +466,8 @@ func (pop *population) summarize(capture *trace.Capture, cfg RunConfig, from, to
 		}
 	}
 	if len(infl) > 0 {
-		sum.RTTInflP10 = stats.Percentile(infl, 0.10)
-		sum.RTTInflP50 = stats.Percentile(infl, 0.50)
-		sum.RTTInflP90 = stats.Percentile(infl, 0.90)
+		iq := stats.Percentiles(infl, 0.10, 0.50, 0.90)
+		sum.RTTInflP10, sum.RTTInflP50, sum.RTTInflP90 = iq[0], iq[1], iq[2]
 	}
 	return sum
 }

@@ -73,6 +73,12 @@ type SweepConfig struct {
 	// sweeps bypass the cache (see RunConfig.Cacheable). It is never
 	// persisted by SaveSweep.
 	Cache *runcache.Cache
+	// DiscardRuns drops each RunResult after its sinks (Progress, RunLog)
+	// have seen it, so the sweep runs in O(conditions) memory instead of
+	// retaining every run. The returned SweepResult then has no Conditions
+	// — campaign-scale runs consume their data through a streaming sink
+	// such as obs.Aggregator.
+	DiscardRuns bool
 }
 
 // PaperSweep returns the paper's full grid: 3 systems × {cubic, bbr} ×
@@ -266,16 +272,22 @@ func RunSweep(ctx context.Context, cfg SweepConfig) *SweepResult {
 					}
 					pmeta = &m
 				}
+				var rec *obs.Record
+				if cfg.RunLog != nil || cfg.Progress != nil {
+					r := res.Record(j.iter)
+					r.Probe = pmeta
+					r.Cached = hit
+					rec = &r
+				}
 				if cfg.RunLog != nil {
 					// Sinks serialise internally; errors are the sink's
 					// to surface (a broken log must not kill a campaign).
-					rec := res.Record(j.iter)
-					rec.Probe = pmeta
-					rec.Cached = hit
-					_ = cfg.RunLog.Log(rec)
+					_ = cfg.RunLog.Log(*rec)
 				}
 				mu.Lock()
-				results[j.cond] = append(results[j.cond], res)
+				if !cfg.DiscardRuns {
+					results[j.cond] = append(results[j.cond], res)
+				}
 				done++
 				d := done
 				mu.Unlock()
@@ -289,6 +301,7 @@ func RunSweep(ctx context.Context, cfg SweepConfig) *SweepResult {
 						Done: d, Total: total,
 						Cond: j.cond.String(), Seed: rc.Seed, Iteration: j.iter,
 						RunWall: time.Since(runStart), Elapsed: elapsed, ETA: eta,
+						Record: rec,
 					})
 				}
 			}

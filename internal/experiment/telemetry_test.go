@@ -1,0 +1,138 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/gamestream"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// telemetrySweep is the golden-seed grid the telemetry acceptance tests run:
+// small enough to be quick, wide enough to exercise several conditions.
+func telemetrySweep() SweepConfig {
+	return SweepConfig{
+		Systems:    []gamestream.System{gamestream.Stadia, gamestream.Luna},
+		CCAs:       []string{"cubic", "bbr"},
+		Capacities: []units.Rate{units.Mbps(25)},
+		QueueMults: []float64{2},
+		Iterations: 3,
+		Timeline:   metrics.PaperTimeline.Scale(0.05),
+		BaseSeed:   7,
+	}
+}
+
+// TestTelemetrySketchesIdenticalAcrossWorkers is the acceptance criterion:
+// the Aggregator's deterministic snapshot section is byte-identical across
+// worker counts 1, 4 and 8 on a golden-seed sweep.
+func TestTelemetrySketchesIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the grid three times")
+	}
+	var ref []byte
+	for _, workers := range []int{1, 4, 8} {
+		cfg := telemetrySweep()
+		cfg.Workers = workers
+		ag := obs.NewAggregator()
+		cfg.Progress = ag
+		cfg.DiscardRuns = true
+		RunSweep(context.Background(), cfg)
+		got, err := ag.Snapshot().DeterministicJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if !bytes.Equal(ref, got) {
+			t.Fatalf("workers=%d: deterministic snapshot differs from 1-worker reference", workers)
+		}
+	}
+}
+
+// TestTelemetryDiscardRuns: with DiscardRuns the sweep keeps no per-run
+// results (O(conditions) memory) while the Aggregator still sees every run.
+func TestTelemetryDiscardRuns(t *testing.T) {
+	cfg := telemetrySweep()
+	cfg.Workers = 4
+	ag := obs.NewAggregator()
+	cfg.Progress = ag
+	cfg.DiscardRuns = true
+	sw := RunSweep(context.Background(), cfg)
+
+	if len(sw.Conditions) != 0 {
+		t.Fatalf("DiscardRuns retained %d conditions of run results", len(sw.Conditions))
+	}
+	if sw.Interrupted {
+		t.Fatal("sweep reported interrupted")
+	}
+	total := 4 * cfg.Iterations // 2 systems × 2 CCAs × 3 iterations
+	snap := ag.Snapshot()
+	if snap.Done != total {
+		t.Fatalf("aggregator saw %d runs, want %d", snap.Done, total)
+	}
+	if len(snap.Conditions) != 4 {
+		t.Fatalf("aggregator has %d conditions, want 4", len(snap.Conditions))
+	}
+	for _, c := range snap.Conditions {
+		if got := c.Metrics["game_mbps"].N(); got != int64(cfg.Iterations) {
+			t.Errorf("%s: game_mbps N = %d, want %d", c.Cond, got, cfg.Iterations)
+		}
+	}
+	if got := snap.Campaign["game_mbps"].N(); got != int64(total) {
+		t.Errorf("campaign game_mbps N = %d, want %d", got, total)
+	}
+}
+
+// TestTelemetryMatchesRunLog: the snapshot's per-condition stream-bitrate
+// mean and CI must equal the values computed from the runlog records — the
+// sketches are a lossless replacement for moment statistics.
+func TestTelemetryMatchesRunLog(t *testing.T) {
+	cfg := telemetrySweep()
+	cfg.Workers = 4
+	ag := obs.NewAggregator()
+	cfg.Progress = ag
+	var buf bytes.Buffer
+	cfg.RunLog = obs.NewJSONL(&buf)
+	RunSweep(context.Background(), cfg)
+
+	recs, err := obs.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCond := make(map[string]*stats.Accumulator)
+	for _, r := range recs {
+		acc := byCond[r.Cond]
+		if acc == nil {
+			acc = &stats.Accumulator{}
+			byCond[r.Cond] = acc
+		}
+		acc.Add(r.GameMbps)
+	}
+	snap := ag.Snapshot()
+	if len(snap.Conditions) != len(byCond) {
+		t.Fatalf("snapshot has %d conditions, runlog %d", len(snap.Conditions), len(byCond))
+	}
+	for _, c := range snap.Conditions {
+		want := byCond[c.Cond]
+		if want == nil {
+			t.Fatalf("condition %s missing from runlog", c.Cond)
+		}
+		ms := c.Metrics["game_mbps"]
+		if ms.N() != want.N() {
+			t.Errorf("%s: N %d vs %d", c.Cond, ms.N(), want.N())
+		}
+		if math.Abs(ms.Mean()-want.Mean()) > 1e-12 {
+			t.Errorf("%s: mean %.9f vs runlog %.9f", c.Cond, ms.Mean(), want.Mean())
+		}
+		if math.Abs(ms.CI95()-want.CI95()) > 1e-12 {
+			t.Errorf("%s: CI95 %.9f vs runlog %.9f", c.Cond, ms.CI95(), want.CI95())
+		}
+	}
+}

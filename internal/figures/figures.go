@@ -49,6 +49,11 @@ type Options struct {
 	// repeated campaign is pure cache replay and an interrupted one
 	// resumes where it stopped. See internal/runcache.
 	Cache *runcache.Cache
+	// Telemetry, when non-nil, observes every sweep alongside Progress and
+	// folds each run into its streaming metric sketches (live HTTP
+	// endpoint, snapshot persistence, health timeline). The campaign wires
+	// its CacheStats hook to the shared Cache automatically.
+	Telemetry *obs.Aggregator
 }
 
 func (o Options) defaults() Options {
@@ -112,13 +117,26 @@ func (c *Campaign) CacheStats() runcache.Stats {
 	return c.Opts.Cache.Stats()
 }
 
+// telemetry returns the telemetry sink with its cache hook attached, or nil.
+func (c *Campaign) telemetry() obs.Progress {
+	ag := c.Opts.Telemetry
+	if ag == nil {
+		return nil
+	}
+	if ag.CacheStats == nil && c.Opts.Cache != nil {
+		cache := c.Opts.Cache
+		ag.CacheStats = func() runcache.Stats { return cache.Stats() }
+	}
+	return ag
+}
+
 // sweep applies the campaign-wide options and runs cfg.
 func (c *Campaign) sweep(cfg experiment.SweepConfig) *experiment.SweepResult {
 	cfg.Iterations = c.Opts.Iterations
 	cfg.Workers = c.Opts.Workers
 	cfg.Timeline = c.Opts.timeline()
 	cfg.AQM = c.Opts.AQM
-	cfg.Progress = c.Opts.Progress
+	cfg.Progress = obs.MultiProgress(c.Opts.Progress, c.telemetry())
 	cfg.RunLog = c.Opts.RunLog
 	cfg.Probe = c.Opts.Probe
 	cfg.ProbeDir = c.Opts.ProbeDir

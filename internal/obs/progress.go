@@ -24,6 +24,10 @@ type Update struct {
 	// ETA is the projected remaining wall time, extrapolated from the
 	// mean per-run cost so far. Zero when Done == Total.
 	ETA time.Duration
+	// Record, when non-nil, is the finished run's structured record — the
+	// same one a RunLog sink receives. Sinks that aggregate run metrics
+	// (e.g. Aggregator) read it; plain progress printers ignore it.
+	Record *Record
 }
 
 // Progress is the sink a sweep reports to while it executes. SweepStart is
@@ -95,11 +99,7 @@ func (p *Printer) SweepDone(interrupted bool, elapsed time.Duration) {
 	if interrupted {
 		state = "interrupted"
 	}
-	done := 0
-	for range p.condWall {
-		done++
-	}
-	fmt.Fprintf(p.w, "sweep: %s after %s (%d conditions touched)\n", state, round(elapsed), done)
+	fmt.Fprintf(p.w, "sweep: %s after %s (%d conditions touched)\n", state, round(elapsed), len(p.condWall))
 
 	type cw struct {
 		cond string
@@ -128,6 +128,46 @@ func (p *Printer) CondWall() map[string]time.Duration {
 		out[c] = w
 	}
 	return out
+}
+
+// multiProgress fans every Progress callback out to several sinks, in order.
+type multiProgress []Progress
+
+func (m multiProgress) SweepStart(total int) {
+	for _, p := range m {
+		p.SweepStart(total)
+	}
+}
+
+func (m multiProgress) RunDone(u Update) {
+	for _, p := range m {
+		p.RunDone(u)
+	}
+}
+
+func (m multiProgress) SweepDone(interrupted bool, elapsed time.Duration) {
+	for _, p := range m {
+		p.SweepDone(interrupted, elapsed)
+	}
+}
+
+// MultiProgress tees sweep progress to every non-nil sink — e.g. a Printer
+// for the terminal plus an Aggregator for telemetry. Nil sinks are dropped;
+// with zero or one survivor it returns nil or the survivor unwrapped.
+func MultiProgress(sinks ...Progress) Progress {
+	var live multiProgress
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
 }
 
 // round trims durations to a display-friendly resolution.

@@ -75,6 +75,12 @@ func MeanStd2(mean, std float64) string {
 	return fmt.Sprintf("%.2f (%.2f)", mean, std)
 }
 
+// MeanCI formats "mean ± ci" with the 95% confidence half-width, the form
+// the telemetry quantile tables report campaign means in.
+func MeanCI(mean, ci float64) string {
+	return fmt.Sprintf("%.2f ± %.2f", mean, ci)
+}
+
 // HeatCell renders one fairness-ratio cell with a temperature glyph, the
 // text analogue of Figure 3's colour scale: '#' hot (game dominant) through
 // '.' neutral to '~' cool (TCP dominant).

@@ -19,6 +19,7 @@ package runcache
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"hash"
 	"io/fs"
@@ -108,6 +109,20 @@ func (s Stats) HitRate() float64 {
 		return 100 * float64(s.Hits) / float64(n)
 	}
 	return 0
+}
+
+// MarshalJSON serialises the counters plus the derived lookup count and hit
+// rate, so telemetry consumers (the /snapshot endpoint, health timelines)
+// get the headline figure without recomputing it. Decoding the result back
+// into a Stats works with the default decoder — the derived keys have no
+// matching field and are ignored.
+func (s Stats) MarshalJSON() ([]byte, error) {
+	type plain Stats // shed the method to avoid recursing
+	return json.Marshal(struct {
+		plain
+		Lookups uint64  `json:"lookups"`
+		HitRate float64 `json:"hit_rate_pct"`
+	}{plain(s), s.Lookups(), s.HitRate()})
 }
 
 // String renders the stats the way the binaries report them, e.g.

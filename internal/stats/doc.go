@@ -1,10 +1,24 @@
 // Package stats provides the statistical accumulators and summaries the
 // paper's analysis uses: streaming (Welford) mean/variance, Student-t 95%
-// confidence intervals across run samples, and percentiles.
+// confidence intervals across run samples, and percentiles — plus the
+// mergeable sketches campaign-scale telemetry is built on.
 //
 // Everything here is allocation-light by design: Accumulator is a fixed
 // struct fed one sample at a time, and Percentile sorts a caller-owned
-// slice in place. The multi-flow fairness summaries (per-flow throughput
-// and RTT-inflation quantiles in experiment.FlowSummary) are built from
-// these primitives.
+// slice in place (Percentiles amortises one sort across several quantiles).
+// The multi-flow fairness summaries (per-flow throughput and RTT-inflation
+// quantiles in experiment.FlowSummary) are built from these primitives.
+//
+// # Sketches
+//
+// TDigest is a mergeable, serialisable quantile sketch with bounded
+// centroids, and MetricSketch bundles one with an Accumulator: exact
+// moments plus approximate quantiles for an unbounded sample stream in
+// O(1) memory. Both are deterministic — state is a pure function of the
+// insertion sequence, merges are pure functions of their operands, and
+// queries never mutate — so a campaign that folds runs in a canonical
+// order serialises byte-identically however its workers were scheduled.
+// The obs.Aggregator keeps one MetricSketch per (condition, metric) and is
+// what lets a 10⁵–10⁶-run Monte-Carlo campaign report quantiles with
+// confidence intervals without retaining per-run records.
 package stats

@@ -107,6 +107,31 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+// Percentiles returns the ps-quantiles (each 0..1) of xs, sorting the input
+// copy once instead of once per quantile the way repeated Percentile calls
+// do. The result is parallel to ps; every entry is NaN for an empty slice.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(xs) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	for i, p := range ps {
+		out[i] = percentileSorted(s, p)
+	}
+	return out
+}
+
+// percentileSorted is Percentile's interpolation over an already-sorted
+// slice.
+func percentileSorted(s []float64, p float64) float64 {
 	if p <= 0 {
 		return s[0]
 	}

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -81,6 +82,53 @@ func TestMergeEquivalence(t *testing.T) {
 	}
 }
 
+// Property: merging an arbitrary partition of a sample stream — including
+// empty partitions — is equivalent to accumulating the whole stream in one
+// Accumulator (N exact, mean and variance within 1e-9).
+func TestMergeArbitraryPartitions(t *testing.T) {
+	f := func(samples []int16, cuts []uint8) bool {
+		xs := make([]float64, len(samples))
+		var single Accumulator
+		for i, s := range samples {
+			xs[i] = float64(s) / 7 // non-integer values
+			single.Add(xs[i])
+		}
+		// Partition xs at the (sorted, deduplicated, clamped) cut points;
+		// repeated cuts produce empty partitions on purpose.
+		bounds := []int{0}
+		for _, c := range cuts {
+			p := int(c) % (len(xs) + 1)
+			bounds = append(bounds, p)
+		}
+		bounds = append(bounds, len(xs))
+		sort.Ints(bounds)
+
+		var merged Accumulator
+		merged.Merge(&Accumulator{}) // empty-into-empty edge
+		for i := 1; i < len(bounds); i++ {
+			var part Accumulator
+			for _, x := range xs[bounds[i-1]:bounds[i]] {
+				part.Add(x)
+			}
+			merged.Merge(&part) // includes empty partitions when bounds repeat
+		}
+		var empty Accumulator
+		merged.Merge(&empty) // trailing empty partition
+
+		if merged.N() != single.N() {
+			return false
+		}
+		// 1e-9 absolute on the mean, 1e-9 relative on the variance (whose
+		// magnitude grows with the square of the sample range).
+		varTol := 1e-9 * math.Max(1, math.Abs(single.Variance()))
+		return math.Abs(merged.Mean()-single.Mean()) < 1e-9 &&
+			math.Abs(merged.Variance()-single.Variance()) < varTol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestTCritical(t *testing.T) {
 	if got := TCritical95(14); got != 2.145 {
 		t.Errorf("t(14) = %v, want 2.145 (the paper's 15-run CI)", got)
@@ -128,6 +176,30 @@ func TestPercentile(t *testing.T) {
 	// Input must not be mutated.
 	if xs[0] != 5 {
 		t.Error("Percentile mutated its input")
+	}
+}
+
+// Percentiles must agree with per-quantile Percentile calls while sorting
+// only once, and must not mutate its input.
+func TestPercentiles(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	ps := []float64{0, 0.10, 0.25, 0.5, 0.75, 0.90, 1}
+	got := Percentiles(xs, ps...)
+	for i, p := range ps {
+		if want := Percentile(xs, p); got[i] != want {
+			t.Errorf("Percentiles[%d] (p=%.2f) = %v, want %v", i, p, got[i], want)
+		}
+	}
+	if xs[0] != 5 {
+		t.Error("Percentiles mutated its input")
+	}
+	for _, v := range Percentiles(nil, 0.1, 0.5, 0.9) {
+		if !math.IsNaN(v) {
+			t.Error("Percentiles of empty input should be all-NaN")
+		}
+	}
+	if n := len(Percentiles([]float64{1})); n != 0 {
+		t.Errorf("Percentiles with no ps returned %d values", n)
 	}
 }
 

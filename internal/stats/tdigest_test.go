@@ -1,0 +1,322 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// relErr is |got-want| / max(|want|, eps).
+func relErr(got, want float64) float64 {
+	d := math.Abs(got - want)
+	if w := math.Abs(want); w > 1e-9 {
+		return d / w
+	}
+	return d
+}
+
+// distributions the accuracy property test draws from: all strictly
+// positive so relative error against the exact quantile is meaningful.
+var tdigestDists = []struct {
+	name string
+	// skip excludes quantiles where the exact answer is itself unstable
+	// (a 50/50 bimodal mixture puts the median on a knife edge inside the
+	// inter-mode gap; rank noise of ±ε flips it between ~6 and ~50, so no
+	// rank-based sketch can pin it and the comparison is meaningless).
+	skip func(q float64) bool
+	draw func(r *rand.Rand) float64
+}{
+	{"uniform(10,20)", nil, func(r *rand.Rand) float64 { return 10 + 10*r.Float64() }},
+	{"exp(mean 5)+1", nil, func(r *rand.Rand) float64 { return 1 + 5*r.ExpFloat64() }},
+	{"lognormal", nil, func(r *rand.Rand) float64 { return math.Exp(r.NormFloat64()) }},
+	{"bimodal", func(q float64) bool { return q > 0.4 && q < 0.6 }, func(r *rand.Rand) float64 {
+		if r.Intn(2) == 0 {
+			return 5 + r.Float64()
+		}
+		return 50 + 5*r.Float64()
+	}},
+}
+
+var tdigestQuantiles = []float64{0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}
+
+// TestTDigestAccuracy is the acceptance property: on 10⁴-sample streams the
+// digest's quantiles stay within 1% relative error of the exact Percentile.
+func TestTDigestAccuracy(t *testing.T) {
+	for _, dist := range tdigestDists {
+		for seed := int64(1); seed <= 5; seed++ {
+			r := rand.New(rand.NewSource(seed))
+			td := NewTDigest(0)
+			xs := make([]float64, 0, 10000)
+			for i := 0; i < 10000; i++ {
+				x := dist.draw(r)
+				xs = append(xs, x)
+				td.Add(x)
+			}
+			for _, q := range tdigestQuantiles {
+				if dist.skip != nil && dist.skip(q) {
+					continue
+				}
+				exact := Percentile(xs, q)
+				got := td.Quantile(q)
+				if re := relErr(got, exact); re > 0.01 {
+					t.Errorf("%s seed %d q%.2f: digest %.6g vs exact %.6g (rel err %.4f > 1%%)",
+						dist.name, seed, q, got, exact, re)
+				}
+			}
+		}
+	}
+}
+
+// TestTDigestSmallStreams: on streams smaller than the buffer every point
+// is a singleton centroid, so extremes are exact, the odd-length median is
+// the middle sample, results are monotone in q, and everything stays inside
+// the sample range. (Interior quantiles may differ from Percentile by up to
+// one order statistic — the digest's rank convention is q·n against
+// Percentile's q·(n−1) — so exact equality is only required where the two
+// conventions coincide.)
+func TestTDigestSmallStreams(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 3, 10, 100} {
+		td := NewTDigest(0)
+		xs := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			x := r.Float64() * 100
+			xs = append(xs, x)
+			td.Add(x)
+		}
+		if got := td.Quantile(0); got != Percentile(xs, 0) {
+			t.Errorf("n=%d min: got %.6g want %.6g", n, got, Percentile(xs, 0))
+		}
+		if got := td.Quantile(1); got != Percentile(xs, 1) {
+			t.Errorf("n=%d max: got %.6g want %.6g", n, got, Percentile(xs, 1))
+		}
+		if n%2 == 1 && n > 2 {
+			if got, want := td.Quantile(0.5), Percentile(xs, 0.5); got != want {
+				t.Errorf("n=%d median: got %.6g want %.6g", n, got, want)
+			}
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := td.Quantile(q)
+			if v < prev-1e-12 {
+				t.Errorf("n=%d: quantiles not monotone at q=%.2f (%g < %g)", n, q, v, prev)
+			}
+			if v < td.Min()-1e-12 || v > td.Max()+1e-12 {
+				t.Errorf("n=%d q%.2f: %g outside sample range", n, q, v)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestTDigestEmptyAndNaN(t *testing.T) {
+	td := NewTDigest(0)
+	if !math.IsNaN(td.Quantile(0.5)) || !math.IsNaN(td.Min()) || !math.IsNaN(td.Max()) {
+		t.Error("empty digest should report NaN")
+	}
+	td.Add(math.NaN())
+	if td.N() != 0 {
+		t.Error("NaN sample should be ignored")
+	}
+	td.Add(3)
+	if td.Quantile(0.5) != 3 || td.Min() != 3 || td.Max() != 3 {
+		t.Error("single-sample digest should return the sample everywhere")
+	}
+}
+
+// TestTDigestBoundedCentroids: centroid count stays bounded (~2δ plus the
+// insertion buffer) however long the stream runs.
+func TestTDigestBoundedCentroids(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	td := NewTDigest(100)
+	for i := 0; i < 200000; i++ {
+		td.Add(r.NormFloat64())
+	}
+	bound := int(2*td.Compression()) + tdigestBufCap
+	if got := td.Centroids(); got > bound {
+		t.Errorf("centroids = %d, want <= %d", got, bound)
+	}
+}
+
+// TestTDigestMergeAccuracy: a digest assembled by merging per-partition
+// digests matches the exact quantiles about as well as a single-stream one.
+func TestTDigestMergeAccuracy(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	const parts, per = 16, 1000
+	var xs []float64
+	merged := NewTDigest(0)
+	for p := 0; p < parts; p++ {
+		td := NewTDigest(0)
+		for i := 0; i < per; i++ {
+			x := 1 + 5*r.ExpFloat64()
+			xs = append(xs, x)
+			td.Add(x)
+		}
+		merged.Merge(td)
+	}
+	if merged.N() != parts*per {
+		t.Fatalf("merged N = %d, want %d", merged.N(), parts*per)
+	}
+	for _, q := range tdigestQuantiles {
+		exact := Percentile(xs, q)
+		if re := relErr(merged.Quantile(q), exact); re > 0.01 {
+			t.Errorf("q%.2f: merged %.6g vs exact %.6g (rel err %.4f)", q, merged.Quantile(q), exact, re)
+		}
+	}
+}
+
+// TestTDigestDeterministicSerialisation: the same insertion sequence yields
+// byte-identical JSON, queries and marshalling never perturb the state, and
+// a canonical merge order yields byte-identical results regardless of which
+// digest held which partition.
+func TestTDigestDeterministicSerialisation(t *testing.T) {
+	feed := func() *TDigest {
+		r := rand.New(rand.NewSource(42))
+		td := NewTDigest(0)
+		for i := 0; i < 5000; i++ {
+			td.Add(r.Float64() * 30)
+		}
+		return td
+	}
+	a, b := feed(), feed()
+	// Interleave queries and serialisation on a only.
+	a.Quantile(0.5)
+	j1, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Quantile(0.99)
+	j2, _ := json.Marshal(a)
+	j3, _ := json.Marshal(b)
+	if !bytes.Equal(j1, j2) {
+		t.Error("serialisation changed after queries")
+	}
+	if !bytes.Equal(j1, j3) {
+		t.Error("identical insertion sequences serialised differently")
+	}
+
+	// Canonical merge order: leaves merged 1,2,3 vs the same leaves built
+	// by different "workers" must serialise identically.
+	leaves := func(seedBase int64) []*TDigest {
+		out := make([]*TDigest, 3)
+		for i := range out {
+			r := rand.New(rand.NewSource(seedBase + int64(i)))
+			td := NewTDigest(0)
+			for k := 0; k < 2000; k++ {
+				td.Add(r.ExpFloat64())
+			}
+			out[i] = td
+		}
+		return out
+	}
+	m1, m2 := NewTDigest(0), NewTDigest(0)
+	for _, l := range leaves(100) {
+		m1.Merge(l)
+	}
+	for _, l := range leaves(100) {
+		m2.Merge(l)
+	}
+	b1, _ := json.Marshal(m1)
+	b2, _ := json.Marshal(m2)
+	if !bytes.Equal(b1, b2) {
+		t.Error("canonical-order merges serialised differently")
+	}
+}
+
+func TestTDigestJSONRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	td := NewTDigest(0)
+	for i := 0; i < 3000; i++ {
+		td.Add(r.NormFloat64() * 10)
+	}
+	data, err := json.Marshal(td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TDigest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != td.N() || back.Min() != td.Min() || back.Max() != td.Max() {
+		t.Fatalf("round trip lost count/extremes: %d/%g/%g vs %d/%g/%g",
+			back.N(), back.Min(), back.Max(), td.N(), td.Min(), td.Max())
+	}
+	for _, q := range tdigestQuantiles {
+		if got, want := back.Quantile(q), td.Quantile(q); relErr(got, want) > 1e-9 {
+			t.Errorf("q%.2f changed across round trip: %g vs %g", q, got, want)
+		}
+	}
+	// Round trip of an empty digest.
+	data, err = json.Marshal(NewTDigest(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var empty TDigest
+	if err := json.Unmarshal(data, &empty); err != nil {
+		t.Fatal(err)
+	}
+	if empty.N() != 0 || !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty digest round trip broken")
+	}
+	empty.Add(1) // must be usable after decode
+	if empty.N() != 1 {
+		t.Error("decoded digest not usable")
+	}
+}
+
+func TestMetricSketch(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	ms := NewMetricSketch(0)
+	var xs []float64
+	for i := 0; i < 5000; i++ {
+		x := 20 + 4*r.NormFloat64()
+		xs = append(xs, x)
+		ms.Add(x)
+	}
+	exact := Summarize(xs)
+	if ms.N() != exact.N {
+		t.Fatalf("N = %d, want %d", ms.N(), exact.N)
+	}
+	if relErr(ms.Mean(), exact.Mean) > 1e-12 || relErr(ms.CI95(), exact.CI95) > 1e-9 {
+		t.Errorf("moments drifted: mean %g/%g ci %g/%g", ms.Mean(), exact.Mean, ms.CI95(), exact.CI95)
+	}
+	if re := relErr(ms.Quantile(0.5), Percentile(xs, 0.5)); re > 0.01 {
+		t.Errorf("median rel err %.4f", re)
+	}
+
+	// Merge equivalence: partitioned sketches merge to the same moments.
+	a, b := NewMetricSketch(0), NewMetricSketch(0)
+	for i, x := range xs {
+		if i%3 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.N() != ms.N() || relErr(a.Mean(), ms.Mean()) > 1e-12 || relErr(a.StdDev(), ms.StdDev()) > 1e-9 {
+		t.Error("partitioned merge diverged from single-stream sketch")
+	}
+
+	// JSON round trip preserves moments and quantiles, and stays mergeable.
+	data, err := json.Marshal(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MetricSketch
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != ms.N() || relErr(back.Mean(), ms.Mean()) > 1e-12 {
+		t.Error("sketch round trip lost moments")
+	}
+	if relErr(back.Quantile(0.9), ms.Quantile(0.9)) > 1e-9 {
+		t.Error("sketch round trip changed quantiles")
+	}
+	back.Add(1)
+	if back.N() != ms.N()+1 {
+		t.Error("decoded sketch not usable")
+	}
+}

@@ -4,11 +4,13 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race bench bench-json probe-demo fuzz-smoke cover-netem cover-runcache cover-obs impair-demo docs-check
+.PHONY: verify build test vet race bench bench-json bench-compare probe-demo fuzz-smoke cover-netem cover-runcache cover-obs impair-demo docs-check
 
 # BENCH_N matches this PR's position in the stacked sequence; bump it when a
-# later change re-baselines the trajectory file.
-BENCH_N ?= 7
+# later change re-baselines the trajectory file. BENCH_PREV is the baseline
+# the bench-compare gate diffs against.
+BENCH_N ?= 8
+BENCH_PREV ?= 7
 
 verify: build vet test race cover-netem cover-runcache cover-obs
 
@@ -76,6 +78,13 @@ bench: bench-json
 
 bench-json:
 	$(GO) run ./cmd/gsbench -bench-json BENCH_$(BENCH_N).json
+
+# Regression gate between the two newest checked-in trajectory files: fail
+# on any >10% events_per_sec drop or any allocs_per_run growth. CI's
+# bench-gate job runs this plus a freshly measured file against the
+# checked-in baseline.
+bench-compare:
+	$(GO) run ./cmd/gsbench -bench-compare BENCH_$(BENCH_PREV).json BENCH_$(BENCH_N).json
 
 # Documentation gate: every markdown link and backticked file reference in
 # the root and docs/ markdown must resolve to a real file.

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// benchRegressTolerance is the fractional events_per_sec drop tolerated
+// between two BENCH_*.json files before -bench-compare fails. Wall-clock
+// throughput is machine-noisy; 10% separates drift worth blocking a merge
+// over from run-to-run jitter. Alloc counts are exact and deterministic,
+// so any growth at all fails.
+const benchRegressTolerance = 0.10
+
+// loadBenchReport reads and schema-checks one BENCH_*.json file.
+func loadBenchReport(path string) (*BenchReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r BenchReport
+	if err := json.NewDecoder(f).Decode(&r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != benchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, benchSchema)
+	}
+	return &r, nil
+}
+
+// runBenchCompare diffs two benchmark-trajectory files and fails (non-nil
+// error) on any >10%% events_per_sec regression or any allocs_per_run
+// growth — the CI gate that keeps engine_dispatch from silently drifting
+// again. Benchmarks present only in the new file are reported but never
+// fail; benchmarks dropped from the new file do fail, since a silently
+// vanished case is how a regression hides.
+func runBenchCompare(oldPath, newPath string) error {
+	oldRep, err := loadBenchReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadBenchReport(newPath)
+	if err != nil {
+		return err
+	}
+
+	newBy := make(map[string]BenchResult, len(newRep.Benchmarks))
+	for _, b := range newRep.Benchmarks {
+		newBy[b.Name] = b
+	}
+
+	fmt.Printf("bench-compare %s -> %s\n", oldPath, newPath)
+	fmt.Printf("%-42s %14s %14s %8s %10s %10s\n",
+		"benchmark", "old ev/s", "new ev/s", "delta", "old allocs", "new allocs")
+
+	var failures []string
+	seen := make(map[string]bool, len(oldRep.Benchmarks))
+	for _, o := range oldRep.Benchmarks {
+		seen[o.Name] = true
+		n, ok := newBy[o.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in %s but missing from %s", o.Name, oldPath, newPath))
+			continue
+		}
+		delta := 0.0
+		if o.EventsPerSec > 0 {
+			delta = n.EventsPerSec/o.EventsPerSec - 1
+		}
+		mark := ""
+		if o.EventsPerSec > 0 && delta < -benchRegressTolerance {
+			mark = "  REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: events_per_sec %.0f -> %.0f (%.1f%%, tolerance -%.0f%%)",
+				o.Name, o.EventsPerSec, n.EventsPerSec, 100*delta, 100*benchRegressTolerance))
+		}
+		if n.AllocsPerRun > o.AllocsPerRun {
+			mark += "  ALLOC GROWTH"
+			failures = append(failures, fmt.Sprintf("%s: allocs_per_run %d -> %d (any growth fails)",
+				o.Name, o.AllocsPerRun, n.AllocsPerRun))
+		}
+		fmt.Printf("%-42s %14.0f %14.0f %+7.1f%% %10d %10d%s\n",
+			o.Name, o.EventsPerSec, n.EventsPerSec, 100*delta, o.AllocsPerRun, n.AllocsPerRun, mark)
+	}
+	for _, n := range newRep.Benchmarks {
+		if !seen[n.Name] {
+			fmt.Printf("%-42s %14s %14.0f %8s %10s %10d  (new)\n",
+				n.Name, "-", n.EventsPerSec, "-", "-", n.AllocsPerRun)
+		}
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "gsbench: bench-compare:", f)
+		}
+		return fmt.Errorf("%d regression(s)", len(failures))
+	}
+	fmt.Println("bench-compare: ok (no >10% throughput regression, no alloc growth)")
+	return nil
+}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/gamestream"
 	"repro/internal/metrics"
+	"repro/internal/netem"
 	"repro/internal/obs"
 	"repro/internal/units"
 )
@@ -313,5 +314,62 @@ func TestManyFlowsSteadyStateAllocs(t *testing.T) {
 	if extraAllocs > extraEvents/100 {
 		t.Errorf("steady state allocates: %d extra allocs over %d extra events (short %d, long %d)",
 			extraAllocs, extraEvents, shortAllocs, longAllocs)
+	}
+}
+
+// TestSteadyStateAllocsBBRAndImpaired extends the allocation-discipline
+// check beyond the cubic reference run to the two holdout classes the
+// profile work targeted: a BBR competitor (delivery-rate sampling and the
+// BtlBw filter must not allocate per ACK) and an impaired path (the
+// Gilbert-Elliott loss process, NACK retransmissions, and jitter timers
+// must not allocate per packet). Doubling simulated time must leave the
+// alloc delta a tiny fraction of the event delta.
+func TestSteadyStateAllocsBBRAndImpaired(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several full-fidelity runs")
+	}
+	cases := []struct {
+		name string
+		cond Condition
+	}{
+		{"bbr", Condition{
+			System: gamestream.Stadia, CCA: "bbr", Capacity: units.Mbps(25), QueueMult: 2,
+		}},
+		{"impaired", Condition{
+			System: gamestream.Stadia, CCA: "cubic", Capacity: units.Mbps(25), QueueMult: 2,
+			Impair: netem.Impairment{
+				LossModel: netem.LossGE, GEGoodBad: 0.01, GEBadGood: 0.25,
+				Jitter: 2 * time.Millisecond,
+			},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(scale float64) (allocs uint64, events uint64) {
+				cfg := RunConfig{
+					Condition: tc.cond,
+					Timeline:  metrics.PaperTimeline.Scale(scale),
+					Seed:      1,
+				}
+				runtime.GC()
+				var before, after runtime.MemStats
+				runtime.ReadMemStats(&before)
+				r := Run(cfg)
+				runtime.ReadMemStats(&after)
+				return after.Mallocs - before.Mallocs, r.EventsProcessed
+			}
+			run(0.02) // warm lazily initialised globals
+			shortAllocs, shortEvents := run(0.05)
+			longAllocs, longEvents := run(0.1)
+			if longEvents < shortEvents*3/2 {
+				t.Fatalf("long run barely longer: %d vs %d events", longEvents, shortEvents)
+			}
+			extraAllocs := int64(longAllocs) - int64(shortAllocs)
+			extraEvents := int64(longEvents) - int64(shortEvents)
+			if extraAllocs > extraEvents/100 {
+				t.Errorf("steady state allocates: %d extra allocs over %d extra events (short %d, long %d)",
+					extraAllocs, extraEvents, shortAllocs, longAllocs)
+			}
+		})
 	}
 }

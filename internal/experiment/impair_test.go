@@ -219,7 +219,7 @@ func TestImpairedRunEndToEnd(t *testing.T) {
 	// Impairer drops must be visible in the probe's drop series.
 	found := false
 	for _, qp := range r.Probe.Queues() {
-		if qp.Name == "impairer" && len(qp.DropEvents) > 0 {
+		if qp.Name == "impairer" && qp.DropEvents.Len() > 0 {
 			found = true
 		}
 	}

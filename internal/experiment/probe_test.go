@@ -45,12 +45,12 @@ func TestProbeCapturesCCAndQueue(t *testing.T) {
 		t.Fatalf("flow probes = %d, want 2", len(flows))
 	}
 	for _, fp := range flows {
-		if len(fp.Samples) == 0 {
+		if fp.Samples.Len() == 0 {
 			t.Fatalf("flow %s has no CC samples", fp.Name)
 		}
 		var maxCwnd int64
-		for _, s := range fp.Samples {
-			if s.CwndBytes > maxCwnd {
+		for i := 0; i < fp.Samples.Len(); i++ {
+			if s := fp.Samples.At(i); s.CwndBytes > maxCwnd {
 				maxCwnd = s.CwndBytes
 			}
 		}
@@ -59,12 +59,12 @@ func TestProbeCapturesCCAndQueue(t *testing.T) {
 		}
 	}
 	qs := p.Queues()
-	if len(qs) != 1 || len(qs[0].Samples) == 0 {
+	if len(qs) != 1 || qs[0].Samples.Len() == 0 {
 		t.Fatal("no bottleneck queue samples")
 	}
 	var sawOccupied bool
-	for _, s := range qs[0].Samples {
-		if s.Packets > 0 && s.HasSojourn {
+	for i := 0; i < qs[0].Samples.Len(); i++ {
+		if s := qs[0].Samples.At(i); s.Packets > 0 && s.HasSojourn {
 			sawOccupied = true
 			break
 		}

@@ -79,6 +79,10 @@ type SweepConfig struct {
 	// — campaign-scale runs consume their data through a streaming sink
 	// such as obs.Aggregator.
 	DiscardRuns bool
+	// SerialDispatch forwards to RunConfig.SerialDispatch on every run:
+	// one-event-at-a-time dispatch for differential testing against the
+	// batched drain loop.
+	SerialDispatch bool
 }
 
 // PaperSweep returns the paper's full grid: 3 systems × {cubic, bbr} ×
@@ -250,14 +254,15 @@ func RunSweep(ctx context.Context, cfg SweepConfig) *SweepResult {
 			for j := range jobCh {
 				runStart := time.Now()
 				rc := RunConfig{
-					Condition:  j.cond,
-					Timeline:   cfg.Timeline,
-					Seed:       runSeed(cfg.BaseSeed, j.iter, j.cond),
-					BaseRTT:    cfg.BaseRTT,
-					Burst:      cfg.Burst,
-					Probe:      cfg.Probe,
-					Schedule:   cfg.Schedule,
-					Population: cfg.Population,
+					Condition:      j.cond,
+					Timeline:       cfg.Timeline,
+					Seed:           runSeed(cfg.BaseSeed, j.iter, j.cond),
+					BaseRTT:        cfg.BaseRTT,
+					Burst:          cfg.Burst,
+					Probe:          cfg.Probe,
+					Schedule:       cfg.Schedule,
+					Population:     cfg.Population,
+					SerialDispatch: cfg.SerialDispatch,
 				}
 				res, hit := RunCached(cfg.Cache, rc)
 				var pmeta *obs.ProbeMeta

@@ -1,7 +1,6 @@
 package gamestream
 
 import (
-	"sort"
 	"time"
 
 	"repro/internal/netem"
@@ -10,23 +9,36 @@ import (
 	"repro/internal/units"
 )
 
-// frameState tracks reassembly of one frame at the client. States are
-// recycled through a per-client freelist and arrival bookkeeping is a
-// bitset plus two counters, so reassembly is O(1) per fragment and
-// allocation-free in steady state.
-type frameState struct {
+// clientRingSize is the initial frame-reassembly ring capacity. Frames are
+// produced in id order and resolved (displayed, FEC-repaired, or expired)
+// within the playout window, so the live span is a few dozen frames; the
+// ring doubles in the pathological case where it is ever outgrown.
+const clientRingSize = 256
+
+// frameSlot is one ring entry tracking reassembly of one frame at the
+// client. Slots live in a flat ring indexed by frame id; the id field is the
+// generation tag that validates a hit, and resolved keeps the frame's fate
+// visible to late fragments until the ring slides past it. Arrival
+// bookkeeping is a bitset plus two counters and NACK pacing is a flat
+// per-fragment timestamp array, so reassembly, duplicate suppression, and
+// retransmission-request pacing are all O(1) per fragment with zero
+// steady-state allocations and no map traffic.
+type frameSlot struct {
+	id       int64 // frame occupying this slot; -1 when never used
+	resolved bool  // frame finished (displayed or dropped); id stays valid
+	key      bool
 	need     int // data fragment count
 	parity   int
-	gotBits  []uint64 // arrival bitset over need+parity fragment indices
-	gotData  int      // distinct data fragments received
-	gotTotal int      // distinct fragments received (data + parity)
-	seqBase  int64    // sequence number of fragment index 0
+	gotData  int   // distinct data fragments received
+	gotTotal int   // distinct fragments received (data + parity)
+	seqBase  int64 // sequence number of fragment index 0
 	sentAt   sim.Time
-	key      bool
+	gotBits  []uint64   // arrival bitset over need+parity fragment indices
+	nackAt   []sim.Time // last retransmission request per data fragment; 0 = never
 }
 
-func (fs *frameState) has(i int) bool { return fs.gotBits[i>>6]&(1<<(uint(i)&63)) != 0 }
-func (fs *frameState) set(i int)      { fs.gotBits[i>>6] |= 1 << (uint(i) & 63) }
+func (fs *frameSlot) has(i int) bool { return fs.gotBits[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (fs *frameSlot) set(i int)      { fs.gotBits[i>>6] |= 1 << (uint(i) & 63) }
 
 // FrameResult reports the fate of one frame to observers.
 type FrameResult struct {
@@ -48,14 +60,21 @@ type Client struct {
 	peer    packet.Addr
 	profile Profile
 
-	frames   map[int64]*frameState
-	resolved map[int64]bool
-	nackedAt map[int64]sim.Time // last retransmission request per fragment
-	ticker   *sim.Ticker
+	// ring holds per-frame reassembly state keyed by frame id & ringMask
+	// (see frameSlot). loID..maxID bounds the possibly-active id span the
+	// feedback tick scans, advancing loID past the resolved prefix.
+	ring     []frameSlot
+	ringMask int64
+	maxID    int64
+	loID     int64
+	// High-watermark capacities for the per-slot arrays (see initSlot).
+	bitsCapHW int
+	nackCapHW int
 
-	// Freelists and scratch buffers keeping the steady-state receive and
-	// feedback paths allocation-free.
-	fsFree     []*frameState
+	ticker *sim.Ticker
+
+	// Freelist and scratch buffers keeping the steady-state feedback path
+	// allocation-free.
 	fbPool     feedbackPool
 	nackBuf    []int64
 	expiredBuf []int64
@@ -93,10 +112,13 @@ func NewClient(host *netem.Host, flow packet.FlowID, peer packet.Addr, profile P
 		flow:     flow,
 		peer:     peer,
 		profile:  profile,
-		frames:   make(map[int64]*frameState),
-		resolved: make(map[int64]bool),
-		nackedAt: make(map[int64]sim.Time),
+		ring:     make([]frameSlot, clientRingSize),
+		ringMask: clientRingSize - 1,
+		maxID:    -1,
 		owdMin:   -1,
+	}
+	for i := range c.ring {
+		c.ring[i].id = -1
 	}
 	c.ticker = sim.NewTicker(c.eng, FeedbackInterval, c.feedbackTick)
 	c.ticker.Start(false)
@@ -141,13 +163,9 @@ func (c *Client) Handle(p *packet.Packet) {
 		c.winArrived++
 	}
 
-	if c.resolved[info.FrameID] {
-		return
-	}
-	fs := c.frames[info.FrameID]
+	fs := c.slotFor(info)
 	if fs == nil {
-		fs = c.newFrameState(info)
-		c.frames[info.FrameID] = fs
+		return // frame already resolved (or past the ring horizon)
 	}
 	idx := info.Index(p.Seq)
 	if idx < 0 || idx >= fs.need+fs.parity || fs.has(idx) {
@@ -172,26 +190,73 @@ func (c *Client) Handle(p *packet.Packet) {
 	}
 }
 
-// newFrameState draws a reassembly record from the freelist, sized and
-// initialised for the frame described by info.
-func (c *Client) newFrameState(info *FrameInfo) *frameState {
-	var fs *frameState
-	if n := len(c.fsFree); n > 0 {
-		fs = c.fsFree[n-1]
-		c.fsFree[n-1] = nil
-		c.fsFree = c.fsFree[:n-1]
-	} else {
-		fs = &frameState{}
+// slotFor returns the reassembly slot for info's frame, claiming and
+// initialising a ring slot on first sight. It returns nil when the frame is
+// already resolved — including frames the ring has slid past, which by
+// construction expired long ago.
+func (c *Client) slotFor(info *FrameInfo) *frameSlot {
+	id := info.FrameID
+	if id+int64(len(c.ring)) <= c.maxID {
+		return nil
 	}
+	fs := &c.ring[id&c.ringMask]
+	for fs.id != id {
+		if fs.id >= 0 && !fs.resolved {
+			// The previous occupant is still reassembling: the live window
+			// outgrew the ring. Double it and re-probe.
+			c.growRing()
+			fs = &c.ring[id&c.ringMask]
+			continue
+		}
+		c.initSlot(fs, info)
+		if id > c.maxID {
+			c.maxID = id
+		}
+		if id < c.loID {
+			// First sight of a frame the feedback scan already passed
+			// (out-of-order first arrival): pull the scan bound back so the
+			// frame is still expired and counted.
+			c.loID = id
+		}
+		return fs
+	}
+	if fs.resolved {
+		return nil
+	}
+	return fs
+}
+
+// initSlot prepares fs for the frame described by info, reusing the slot's
+// bitset and NACK-timestamp backing arrays. Arrays grow to the client-wide
+// high-watermark, so once the largest frame shape has been seen every slot
+// reaches a stable capacity after at most one more growth and the ring
+// stops touching the allocator.
+func (c *Client) initSlot(fs *frameSlot, info *FrameInfo) {
 	words := (info.Count + info.Parity + 63) / 64
+	if words > c.bitsCapHW {
+		c.bitsCapHW = roundPow2(words)
+	}
 	if cap(fs.gotBits) < words {
-		fs.gotBits = make([]uint64, words)
+		fs.gotBits = make([]uint64, words, c.bitsCapHW)
 	} else {
 		fs.gotBits = fs.gotBits[:words]
 		for i := range fs.gotBits {
 			fs.gotBits[i] = 0
 		}
 	}
+	if info.Count > c.nackCapHW {
+		c.nackCapHW = roundPow2(info.Count)
+	}
+	if cap(fs.nackAt) < info.Count {
+		fs.nackAt = make([]sim.Time, info.Count, c.nackCapHW)
+	} else {
+		fs.nackAt = fs.nackAt[:info.Count]
+		for i := range fs.nackAt {
+			fs.nackAt[i] = 0
+		}
+	}
+	fs.id = info.FrameID
+	fs.resolved = false
 	fs.need = info.Count
 	fs.parity = info.Parity
 	fs.gotData = 0
@@ -199,15 +264,36 @@ func (c *Client) newFrameState(info *FrameInfo) *frameState {
 	fs.seqBase = info.SeqBase
 	fs.sentAt = info.SentAt
 	fs.key = info.KeyFrame
-	return fs
 }
 
-func (c *Client) finishFrame(id int64, fs *frameState, displayed bool, now sim.Time) {
-	c.resolved[id] = true
-	for i := 0; i < fs.need; i++ {
-		delete(c.nackedAt, fs.seqBase+int64(i))
+// roundPow2 returns the smallest power of two >= n.
+func roundPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
 	}
-	delete(c.frames, id)
+	return p
+}
+
+// growRing doubles the ring, re-seating every live slot at its new position.
+func (c *Client) growRing() {
+	old := c.ring
+	ring := make([]frameSlot, 2*len(old))
+	for i := range ring {
+		ring[i].id = -1
+	}
+	mask := int64(len(ring) - 1)
+	for i := range old {
+		if old[i].id >= 0 {
+			ring[old[i].id&mask] = old[i]
+		}
+	}
+	c.ring = ring
+	c.ringMask = mask
+}
+
+func (c *Client) finishFrame(id int64, fs *frameSlot, displayed bool, now sim.Time) {
+	fs.resolved = true
 	if displayed {
 		c.FramesDisplayed++
 	} else {
@@ -216,26 +302,28 @@ func (c *Client) finishFrame(id int64, fs *frameState, displayed bool, now sim.T
 	if c.OnFrame != nil {
 		c.OnFrame(FrameResult{FrameID: id, KeyFrame: fs.key, Displayed: displayed, At: now})
 	}
-	c.fsFree = append(c.fsFree, fs)
-	// Bound the resolved set (ids are monotone; forget old ones).
-	if len(c.resolved) > 8192 {
-		for k := range c.resolved {
-			if k < id-4096 {
-				delete(c.resolved, k)
-			}
-		}
-	}
 }
 
 // feedbackTick expires overdue frames, assembles NACKs, and sends the
-// receiver report.
+// receiver report. Scanning the ring in ascending frame-id order makes the
+// expiry and NACK lists naturally sorted (fragment sequence numbers are
+// monotone in frame id), where the old map-based path sorted them per tick.
 func (c *Client) feedbackTick() {
 	now := c.eng.Now()
 
 	// Expire frames past their playout deadline.
 	nack := c.nackBuf[:0]
 	expired := c.expiredBuf[:0]
-	for id, fs := range c.frames {
+	contig := true // still walking the resolved prefix; loID may advance
+	for id := c.loID; id <= c.maxID; id++ {
+		fs := &c.ring[id&c.ringMask]
+		if fs.id != id || fs.resolved {
+			if contig {
+				c.loID = id + 1
+			}
+			continue
+		}
+		contig = false
 		deadline := fs.sentAt.Add(c.profile.PlayoutDelay)
 		if now > deadline {
 			expired = append(expired, id)
@@ -258,22 +346,20 @@ func (c *Client) feedbackTick() {
 					if seq >= c.highestSeq {
 						continue
 					}
-					if last, ok := c.nackedAt[seq]; ok && now.Sub(last) < nackRetryAfter {
+					if last := fs.nackAt[i]; last != 0 && now.Sub(last) < nackRetryAfter {
 						missing--
 						continue
 					}
-					c.nackedAt[seq] = now
+					fs.nackAt[i] = now
 					nack = append(nack, seq)
 					missing--
 				}
 			}
 		}
 	}
-	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
 	for _, id := range expired {
-		c.finishFrame(id, c.frames[id], false, now)
+		c.finishFrame(id, &c.ring[id&c.ringMask], false, now)
 	}
-	sort.Slice(nack, func(i, j int) bool { return nack[i] < nack[j] })
 	if len(nack) > 0 {
 		c.NackSent += int64(len(nack))
 	}

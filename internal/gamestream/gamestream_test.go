@@ -447,3 +447,31 @@ func TestFrameReassemblyOrderIndependent(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestRetxBufferBoundedOverLongRun pins the satellite fix for the old
+// unbounded retxBuf growth: the ring evicts descriptors on window slide
+// and the tail sweep releases references past the NACK retention horizon,
+// so over a 60 s run the live-entry count stays bounded by the fragments
+// sent within the last nackRetain (1 s) — nowhere near the ring capacity's
+// worth of a whole run's fragments, and the capacity itself never grows.
+func TestRetxBufferBoundedOverLongRun(t *testing.T) {
+	sn := newStreamNet(Stadia, units.Gbps(1), 10*units.MB, 8250*time.Microsecond, 13)
+	sn.server.Start()
+
+	cap0 := sn.server.RetxCap()
+	// One second of fragments at the profile's ceiling bounds what the
+	// retention horizon can keep alive.
+	maxLive := int(ProfileFor(Stadia).MaxRate.BytesPerSec()/FragmentPayload) * 2
+	for sec := 1; sec <= 60; sec++ {
+		sn.eng.Run(sim.At(time.Duration(sec) * time.Second))
+		if live := sn.server.RetxLive(); live > maxLive {
+			t.Fatalf("t=%ds: %d live retx entries, want <= %d", sec, live, maxLive)
+		}
+	}
+	if sn.server.RetxCap() != cap0 {
+		t.Errorf("retx ring grew: cap %d -> %d", cap0, sn.server.RetxCap())
+	}
+	if sn.server.FramesSent < 3000 {
+		t.Errorf("only %d frames sent in 60s — test exercised too little traffic", sn.server.FramesSent)
+	}
+}

@@ -68,11 +68,16 @@ type Server struct {
 
 	lossyTimes []sim.Time // recent feedback windows with noticeable loss
 
-	// retxBuf maps fragment sequence numbers to their frame descriptor;
-	// every entry holds one FrameInfo reference.
-	retxBuf   map[int64]*FrameInfo
-	lastPrune sim.Time
-	infoPool  frameInfoPool
+	// retxRing is the retransmit buffer: a power-of-two ring of frame
+	// descriptors keyed by fragment sequence number, each entry holding one
+	// FrameInfo reference. Inserting a fragment evicts (and releases) the
+	// slot's previous occupant, so the live entry count is bounded by the
+	// ring size by construction; lookups additionally age-check against
+	// nackRetain so a hit is never older than the map-based prune horizon.
+	retxRing []retxSlot
+	retxMask int64
+	retxTail int64 // oldest fragment seq possibly still retained
+	infoPool frameInfoPool
 
 	// Stats counters for the harness.
 	FramesSent    int64
@@ -89,6 +94,26 @@ type pendingFrag struct {
 	retx bool
 }
 
+// retxSlot is one retransmit-ring entry; seq is the generation tag that
+// validates a lookup hit.
+type retxSlot struct {
+	seq  int64
+	info *FrameInfo
+}
+
+// retxRingSize returns the retransmit ring capacity for a profile: enough
+// slots that a fragment stays resident for several times nackRetain even at
+// the encoder's maximum rate, so every NACK the client can still usefully
+// send finds its descriptor before the ring slides past it.
+func retxRingSize(p Profile) int {
+	fragsPerSec := p.MaxRate.BytesPerSec() / FragmentPayload
+	n := 4096
+	for float64(n) < 4*fragsPerSec {
+		n *= 2
+	}
+	return n
+}
+
 // NewServer creates a streaming server on host for flow, sending to dst,
 // with the given behavioural profile. rng drives the workload process.
 func NewServer(host *netem.Host, flow packet.FlowID, dst packet.Addr, profile Profile, rng *sim.RNG) *Server {
@@ -103,8 +128,9 @@ func NewServer(host *netem.Host, flow packet.FlowID, dst packet.Addr, profile Pr
 		encRate:    profile.MaxRate,
 		fps:        profile.BaseFPS,
 		complexity: 1,
-		retxBuf:    make(map[int64]*FrameInfo),
+		retxRing:   make([]retxSlot, retxRingSize(profile)),
 	}
+	s.retxMask = int64(len(s.retxRing) - 1)
 	s.ticker = sim.NewTicker(s.eng, time.Second/time.Duration(s.fps), s.tick)
 	s.paceTimer = sim.NewTimer(s.eng, s.drainFragQ)
 	host.Bind(flow, s)
@@ -258,12 +284,38 @@ func (s *Server) sendFrame(now sim.Time, frameBytes int, key bool) {
 		seq := s.fragSeq
 		s.fragSeq++
 		info.Retain()
-		s.retxBuf[seq] = info
+		sl := &s.retxRing[seq&s.retxMask]
+		if sl.info != nil {
+			// The window slides: release the descriptor reference held by
+			// the slot's previous (long-expired) occupant.
+			sl.info.Release()
+		}
+		sl.seq = seq
+		sl.info = info
 		info.Retain()
 		s.fragQ = append(s.fragQ, pendingFrag{seq: seq, info: info})
 	}
-	s.pruneRetx(now)
+	s.sweepRetx(now)
 	s.drainFragQ()
+}
+
+// sweepRetx releases retransmit-ring references past the nackRetain horizon.
+// Fragments enter the ring in sequence order, so age is monotone in seq and
+// a tail cursor retires each entry exactly once: O(1) amortised per
+// fragment, no scan. Lookups age-check independently, so the sweep only
+// bounds how long frame descriptors wait to return to the pool.
+func (s *Server) sweepRetx(now sim.Time) {
+	for s.retxTail < s.fragSeq {
+		sl := &s.retxRing[s.retxTail&s.retxMask]
+		if sl.info != nil && sl.seq == s.retxTail {
+			if now.Sub(sl.info.SentAt) <= nackRetain {
+				return
+			}
+			sl.info.Release()
+			sl.info = nil
+		}
+		s.retxTail++
+	}
 }
 
 // drainFragQ emits queued fragments at the pacing rate.
@@ -314,21 +366,20 @@ func (s *Server) emit(seq int64, info *FrameInfo, retx bool, payload int) {
 	s.host.Send(p)
 }
 
-// pruneRetx drops expired retransmit-buffer entries. It runs when the
-// buffer is large, and otherwise at most once per nackRetain so low-rate
-// flows still recycle their frame descriptors promptly.
-func (s *Server) pruneRetx(now sim.Time) {
-	if len(s.retxBuf) < 4096 && now.Sub(s.lastPrune) <= nackRetain {
-		return
-	}
-	s.lastPrune = now
-	for seq, info := range s.retxBuf {
-		if now.Sub(info.SentAt) > nackRetain {
-			delete(s.retxBuf, seq)
-			info.Release()
+// RetxLive reports how many retransmit-ring slots currently hold a frame
+// descriptor reference. It is bounded by the ring size by construction.
+func (s *Server) RetxLive() int {
+	n := 0
+	for i := range s.retxRing {
+		if s.retxRing[i].info != nil {
+			n++
 		}
 	}
+	return n
 }
+
+// RetxCap returns the retransmit ring capacity.
+func (s *Server) RetxCap() int { return len(s.retxRing) }
 
 // Handle implements packet.Handler, processing receiver reports.
 func (s *Server) Handle(p *packet.Packet) {
@@ -349,8 +400,9 @@ func (s *Server) Handle(p *packet.Packet) {
 	s.ctrl.OnFeedback(now, fb)
 	if s.profile.NACK && s.running {
 		for _, seq := range fb.Nack {
-			info, ok := s.retxBuf[seq]
-			if !ok {
+			sl := &s.retxRing[seq&s.retxMask]
+			info := sl.info
+			if info == nil || sl.seq != seq || now.Sub(info.SentAt) > nackRetain {
 				continue
 			}
 			// Skip requests already waiting in the pacer queue.

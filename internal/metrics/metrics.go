@@ -36,6 +36,9 @@ func (s Series) idx(t time.Duration) int {
 // recorded data). Callers for whom an empty window means "measurement
 // impossible" rather than "measured zero" — response/recovery detection in
 // particular — must branch on ok instead of trusting a zero mean.
+//
+// The returned slice is a zero-copy view over the series' backing array
+// (0 allocs/op — see BenchmarkSeriesWindow); callers must not mutate it.
 func (s Series) Window(from, to time.Duration) (v []float64, ok bool) {
 	if s.Bin <= 0 || len(s.V) == 0 {
 		return nil, false
@@ -108,7 +111,13 @@ func (s Series) Smoothed(half int) Series {
 // The second return reports whether settling happened; if not, the full
 // scan window is returned — the paper's "never responds/recovers" case.
 func SettleTime(s Series, event, deadline time.Duration, target, tolerance float64) (time.Duration, bool) {
-	sm := s.Smoothed(2)
+	return settleSmoothed(s.Smoothed(2), event, deadline, target, tolerance)
+}
+
+// settleSmoothed is SettleTime on an already-smoothed series, so callers
+// scanning the same series for several events (response and recovery)
+// smooth it once instead of once per scan.
+func settleSmoothed(sm Series, event, deadline time.Duration, target, tolerance float64) (time.Duration, bool) {
 	lo, hi := sm.idx(event), sm.idx(deadline)
 	for i := lo; i < hi; i++ {
 		diff := sm.V[i] - target
@@ -116,7 +125,7 @@ func SettleTime(s Series, event, deadline time.Duration, target, tolerance float
 			diff = -diff
 		}
 		if diff <= tolerance {
-			return time.Duration(i)*s.Bin - event, true
+			return time.Duration(i)*sm.Bin - event, true
 		}
 	}
 	return deadline - event, false
@@ -203,12 +212,15 @@ func MeasureResponseRecovery(s Series, tl Timeline) ResponseRecovery {
 	// series idling at zero would "settle" instantly. Report the full scan
 	// window and not-settled instead — the honest "never responds" answer.
 	resp, responded := tl.FlowStop-tl.FlowStart, false
-	if adjOK {
-		resp, responded = SettleTime(s, tl.FlowStart, tl.FlowStop, adj, adjStd)
-	}
 	rec, recovered := tl.TraceEnd-tl.FlowStop, false
-	if origOK {
-		rec, recovered = SettleTime(s, tl.FlowStop, tl.TraceEnd, orig, origStd)
+	if adjOK || origOK {
+		sm := s.Smoothed(2) // shared by both scans; Smoothed is the costly part
+		if adjOK {
+			resp, responded = settleSmoothed(sm, tl.FlowStart, tl.FlowStop, adj, adjStd)
+		}
+		if origOK {
+			rec, recovered = settleSmoothed(sm, tl.FlowStop, tl.TraceEnd, orig, origStd)
+		}
 	}
 	return ResponseRecovery{
 		Response:    resp,

@@ -316,3 +316,44 @@ func TestResponseRecoveryEmptyWindows(t *testing.T) {
 		t.Errorf("truncated series settled: %+v", rr)
 	}
 }
+
+// BenchmarkSeriesWindow pins the zero-copy contract: Window returns a view
+// over the backing array, not a fresh slice, so per-call cost is two index
+// clamps and 0 allocs.
+func BenchmarkSeriesWindow(b *testing.B) {
+	s := Series{Bin: 100 * time.Millisecond, V: make([]float64, 5400)}
+	for i := range s.V {
+		s.V[i] = float64(i)
+	}
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		w, ok := s.Window(185*time.Second, 370*time.Second)
+		if !ok {
+			b.Fatal("window empty")
+		}
+		sink += w[0]
+	}
+	_ = sink
+}
+
+// TestWindowIsView asserts Window aliases the series' backing array rather
+// than copying it — the alloc-free guarantee FlowSummary and the QoE
+// pipeline rely on per run.
+func TestWindowIsView(t *testing.T) {
+	s := Series{Bin: time.Second, V: []float64{1, 2, 3, 4, 5}}
+	w, ok := s.Window(time.Second, 4*time.Second)
+	if !ok || len(w) != 3 {
+		t.Fatalf("window = %v ok=%v", w, ok)
+	}
+	if &w[0] != &s.V[1] {
+		t.Fatal("Window copied instead of aliasing the backing array")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, ok := s.Window(time.Second, 4*time.Second); !ok {
+			t.Fatal("window empty")
+		}
+	}); n != 0 {
+		t.Errorf("Window: %.1f allocs/op, want 0", n)
+	}
+}

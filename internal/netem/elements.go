@@ -253,23 +253,44 @@ func (s *Shaper) drain() {
 	s.armDrain()
 }
 
+// maxDenseAddr bounds the Addr range served by the router's dense route
+// table; scenario builders assign small consecutive addresses, so every
+// route lands in the table and the map spill stays empty.
+const maxDenseAddr = 1 << 10
+
 // Router forwards packets by destination address through per-destination
 // egress pipelines, with optional taps invoked on every forwarded packet
 // (the simulator's Wireshark capture point).
 type Router struct {
-	routes map[packet.Addr]packet.Handler
-	taps   []func(*packet.Packet)
-	Stats  Stats
+	// routes is a dense table indexed by Addr: per-packet forwarding is a
+	// bounds check plus a slice load. Addresses at or above maxDenseAddr
+	// (or negative) spill into routesHi.
+	routes   []packet.Handler
+	routesHi map[packet.Addr]packet.Handler
+	taps     []func(*packet.Packet)
+	Stats    Stats
 }
 
 // NewRouter returns an empty router.
 func NewRouter() *Router {
-	return &Router{routes: make(map[packet.Addr]packet.Handler)}
+	return &Router{}
 }
 
 // Route installs the egress pipeline for packets addressed to dst.
 func (r *Router) Route(dst packet.Addr, next packet.Handler) {
-	r.routes[dst] = next
+	if dst >= 0 && dst < maxDenseAddr {
+		if int(dst) >= len(r.routes) {
+			nr := make([]packet.Handler, dst+1)
+			copy(nr, r.routes)
+			r.routes = nr
+		}
+		r.routes[dst] = next
+		return
+	}
+	if r.routesHi == nil {
+		r.routesHi = make(map[packet.Addr]packet.Handler)
+	}
+	r.routesHi[dst] = next
 }
 
 // Tap registers fn to observe every packet the router forwards.
@@ -284,8 +305,13 @@ func (r *Router) Handle(p *packet.Packet) {
 	for _, tap := range r.taps {
 		tap(p)
 	}
-	next, ok := r.routes[p.Dst]
-	if !ok {
+	var next packet.Handler
+	if d := p.Dst; d >= 0 && int(d) < len(r.routes) {
+		next = r.routes[d]
+	} else {
+		next = r.routesHi[d]
+	}
+	if next == nil {
 		r.Stats.Drops++
 		return
 	}

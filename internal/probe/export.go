@@ -36,7 +36,8 @@ func (p *Probe) WriteCCCSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, "flow,alg,t_s,cwnd_bytes,ssthresh_bytes,pacing_bps,inflight_bytes,srtt_us,rttvar_us,min_rtt_us,delivery_bps,delivered_bytes,in_recovery,mode,wmax_segs,k_s,btlbw_bps,rtprop_us,inflight_hi_bytes,base_rtt_us")
 	for _, f := range p.flows {
-		for _, s := range f.Samples {
+		for i := 0; i < f.Samples.Len(); i++ {
+			s := f.Samples.At(i)
 			rec := 0
 			if s.InRecovery {
 				rec = 1
@@ -77,7 +78,8 @@ func (p *Probe) WriteQueueCSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, "queue,t_s,packets,bytes,sojourn_us,cum_drops")
 	for _, qp := range p.queues {
-		for _, s := range qp.Samples {
+		for i := 0; i < qp.Samples.Len(); i++ {
+			s := qp.Samples.At(i)
 			fmt.Fprintf(bw, "%s,%s,%d,%d,%s,%d\n",
 				qp.Name, ts(s.At), s.Packets, int64(s.Bytes),
 				usOrEmpty(s.Sojourn, s.HasSojourn), s.CumDrops)
@@ -91,7 +93,8 @@ func (p *Probe) WriteDropsCSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, "queue,t_s,flow,id,size")
 	for _, qp := range p.queues {
-		for _, d := range qp.DropEvents {
+		for i := 0; i < qp.DropEvents.Len(); i++ {
+			d := qp.DropEvents.At(i)
 			fmt.Fprintf(bw, "%s,%s,%d,%d,%d\n", qp.Name, ts(d.At), d.Flow, d.ID, d.Size)
 		}
 	}

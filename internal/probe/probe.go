@@ -73,6 +73,62 @@ type CCSample struct {
 	State tcp.CCState
 }
 
+// CCSeries is a structure-of-arrays congestion-control time series: one
+// flat column per field, appended in sample order. Columns grow
+// independently of row width, so a 100 ms sampler over a 9-minute trace
+// stays cache-friendly and reallocation stays cheap; CCSample is the
+// materialised-row view for exports and tests.
+type CCSeries struct {
+	at             []sim.Time
+	cwndBytes      []int64
+	ssthreshBytes  []int64
+	pacingRate     []units.Rate
+	inflightBytes  []int64
+	srtt           []time.Duration
+	rttVar         []time.Duration
+	minRTT         []time.Duration
+	deliveryRate   []units.Rate
+	deliveredBytes []int64
+	inRecovery     []bool
+	state          []tcp.CCState
+}
+
+// Len returns the number of samples.
+func (c *CCSeries) Len() int { return len(c.at) }
+
+// At materialises sample i as a row.
+func (c *CCSeries) At(i int) CCSample {
+	return CCSample{
+		At:             c.at[i],
+		CwndBytes:      c.cwndBytes[i],
+		SsthreshBytes:  c.ssthreshBytes[i],
+		PacingRate:     c.pacingRate[i],
+		InflightBytes:  c.inflightBytes[i],
+		SRTT:           c.srtt[i],
+		RTTVar:         c.rttVar[i],
+		MinRTT:         c.minRTT[i],
+		DeliveryRate:   c.deliveryRate[i],
+		DeliveredBytes: c.deliveredBytes[i],
+		InRecovery:     c.inRecovery[i],
+		State:          c.state[i],
+	}
+}
+
+func (c *CCSeries) append(s CCSample) {
+	c.at = append(c.at, s.At)
+	c.cwndBytes = append(c.cwndBytes, s.CwndBytes)
+	c.ssthreshBytes = append(c.ssthreshBytes, s.SsthreshBytes)
+	c.pacingRate = append(c.pacingRate, s.PacingRate)
+	c.inflightBytes = append(c.inflightBytes, s.InflightBytes)
+	c.srtt = append(c.srtt, s.SRTT)
+	c.rttVar = append(c.rttVar, s.RTTVar)
+	c.minRTT = append(c.minRTT, s.MinRTT)
+	c.deliveryRate = append(c.deliveryRate, s.DeliveryRate)
+	c.deliveredBytes = append(c.deliveredBytes, s.DeliveredBytes)
+	c.inRecovery = append(c.inRecovery, s.InRecovery)
+	c.state = append(c.state, s.State)
+}
+
 // FlowProbe samples one TCP sender.
 type FlowProbe struct {
 	// Name labels the flow in exports, e.g. "iperf-cubic-0".
@@ -80,7 +136,7 @@ type FlowProbe struct {
 	// Alg is the congestion-control algorithm name.
 	Alg string
 	// Samples is the captured time series, in sample order.
-	Samples []CCSample
+	Samples CCSeries
 
 	s *tcp.Sender
 }
@@ -105,7 +161,7 @@ func (f *FlowProbe) snapshot(now sim.Time) {
 		smp.State = insp.InspectCC()
 		smp.SsthreshBytes = smp.State.SsthreshBytes
 	}
-	f.Samples = append(f.Samples, smp)
+	f.Samples.append(smp)
 }
 
 // QueueSample is one bottleneck-queue telemetry point.
@@ -122,6 +178,41 @@ type QueueSample struct {
 	CumDrops int
 }
 
+// QueueSeries is the structure-of-arrays occupancy/sojourn time series;
+// QueueSample is its materialised-row view.
+type QueueSeries struct {
+	at         []sim.Time
+	packets    []int
+	bytes      []units.ByteSize
+	sojourn    []time.Duration
+	hasSojourn []bool
+	cumDrops   []int
+}
+
+// Len returns the number of samples.
+func (q *QueueSeries) Len() int { return len(q.at) }
+
+// At materialises sample i as a row.
+func (q *QueueSeries) At(i int) QueueSample {
+	return QueueSample{
+		At:         q.at[i],
+		Packets:    q.packets[i],
+		Bytes:      q.bytes[i],
+		Sojourn:    q.sojourn[i],
+		HasSojourn: q.hasSojourn[i],
+		CumDrops:   q.cumDrops[i],
+	}
+}
+
+func (q *QueueSeries) append(s QueueSample) {
+	q.at = append(q.at, s.At)
+	q.packets = append(q.packets, s.Packets)
+	q.bytes = append(q.bytes, s.Bytes)
+	q.sojourn = append(q.sojourn, s.Sojourn)
+	q.hasSojourn = append(q.hasSojourn, s.HasSojourn)
+	q.cumDrops = append(q.cumDrops, s.CumDrops)
+}
+
 // DropEvent records one packet dropped by a probed queue.
 type DropEvent struct {
 	At   sim.Time
@@ -130,14 +221,38 @@ type DropEvent struct {
 	Size int
 }
 
+// DropSeries is the structure-of-arrays drop-event series; DropEvent is its
+// materialised-row view.
+type DropSeries struct {
+	at   []sim.Time
+	flow []packet.FlowID
+	id   []uint64
+	size []int
+}
+
+// Len returns the number of recorded drops.
+func (d *DropSeries) Len() int { return len(d.at) }
+
+// At materialises drop i as a row.
+func (d *DropSeries) At(i int) DropEvent {
+	return DropEvent{At: d.at[i], Flow: d.flow[i], ID: d.id[i], Size: d.size[i]}
+}
+
+func (d *DropSeries) append(e DropEvent) {
+	d.at = append(d.at, e.At)
+	d.flow = append(d.flow, e.Flow)
+	d.id = append(d.id, e.ID)
+	d.size = append(d.size, e.Size)
+}
+
 // QueueProbe samples one bottleneck queue.
 type QueueProbe struct {
 	// Name labels the queue in exports, e.g. "bottleneck".
 	Name string
 	// Samples is the occupancy/sojourn time series.
-	Samples []QueueSample
+	Samples QueueSeries
 	// DropEvents lists every drop with its sim timestamp, in order.
-	DropEvents []DropEvent
+	DropEvents DropSeries
 
 	q     netem.Queue
 	drops int
@@ -157,7 +272,7 @@ func (qp *QueueProbe) snapshot(now sim.Time) {
 			smp.HasSojourn = true
 		}
 	}
-	qp.Samples = append(qp.Samples, smp)
+	qp.Samples.append(smp)
 }
 
 // Probe owns all instrumentation for one run.
@@ -230,7 +345,7 @@ func (p *Probe) AttachDropSource(name string) *QueueProbe {
 func (p *Probe) OnDrop(qp *QueueProbe, pk *packet.Packet) {
 	now := p.eng.Now()
 	qp.drops++
-	qp.DropEvents = append(qp.DropEvents, DropEvent{At: now, Flow: pk.Flow, ID: pk.ID, Size: pk.Size})
+	qp.DropEvents.append(DropEvent{At: now, Flow: pk.Flow, ID: pk.ID, Size: pk.Size})
 	p.Log(EvDrop, pk)
 }
 
@@ -280,7 +395,7 @@ func (p *Probe) Stop() {
 func (p *Probe) CCSampleCount() int {
 	n := 0
 	for _, f := range p.flows {
-		n += len(f.Samples)
+		n += f.Samples.Len()
 	}
 	return n
 }
@@ -289,7 +404,7 @@ func (p *Probe) CCSampleCount() int {
 func (p *Probe) QueueSampleCount() int {
 	n := 0
 	for _, q := range p.queues {
-		n += len(q.Samples)
+		n += q.Samples.Len()
 	}
 	return n
 }

@@ -73,14 +73,14 @@ func TestQueueProbeSampling(t *testing.T) {
 	eng.Run(sim.At(time.Second))
 	p.Stop()
 
-	if len(qp.Samples) < 10 {
-		t.Fatalf("samples = %d", len(qp.Samples))
+	if qp.Samples.Len() < 10 {
+		t.Fatalf("samples = %d", qp.Samples.Len())
 	}
-	first := qp.Samples[0]
+	first := qp.Samples.At(0)
 	if first.Packets != 0 || first.HasSojourn {
 		t.Errorf("t=0 sample should be empty: %+v", first)
 	}
-	last := qp.Samples[len(qp.Samples)-1]
+	last := qp.Samples.At(qp.Samples.Len() - 1)
 	if last.Packets != 2 || int64(last.Bytes) != 2000 {
 		t.Errorf("last sample: %+v", last)
 	}
@@ -98,7 +98,7 @@ func TestQueueProbeDropEvents(t *testing.T) {
 
 	q.Enqueue(&packet.Packet{Flow: 1, ID: 1, Size: 1400}, eng.Now())
 	q.Enqueue(&packet.Packet{Flow: 2, ID: 2, Size: 1400}, eng.Now()) // over limit
-	if len(qp.DropEvents) != 1 || qp.DropEvents[0].ID != 2 {
+	if qp.DropEvents.Len() != 1 || qp.DropEvents.At(0).ID != 2 {
 		t.Fatalf("drop events: %+v", qp.DropEvents)
 	}
 	evs := p.Events().Events()
@@ -143,8 +143,8 @@ func TestExportCSVShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
-	if len(lines) != 1+len(p.Queues()[0].Samples) {
-		t.Fatalf("lines = %d, samples = %d", len(lines), len(p.Queues()[0].Samples))
+	if len(lines) != 1+p.Queues()[0].Samples.Len() {
+		t.Fatalf("lines = %d, samples = %d", len(lines), p.Queues()[0].Samples.Len())
 	}
 	if !strings.HasPrefix(lines[0], "queue,t_s,packets,bytes") {
 		t.Fatalf("header = %q", lines[0])
@@ -154,7 +154,7 @@ func TestExportCSVShape(t *testing.T) {
 	}
 
 	m := p.Meta()
-	if m.QueueSamples != len(p.Queues()[0].Samples) || m.IntervalMS != 250 {
+	if m.QueueSamples != p.Queues()[0].Samples.Len() || m.IntervalMS != 250 {
 		t.Fatalf("meta: %+v", m)
 	}
 }

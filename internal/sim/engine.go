@@ -10,9 +10,12 @@
 // The event core is built for zero steady-state allocations on the hot
 // path (see docs/ARCHITECTURE.md, "hot path & memory discipline"):
 //
-//   - the queue is a concrete-typed 4-ary min-heap of event values, so
-//     pushing an event never boxes through interface{} the way
+//   - the queue is a concrete-typed 4-ary min-heap of 48-byte event values,
+//     so pushing an event never boxes through interface{} the way
 //     container/heap does;
+//   - Run drains all events sharing the head timestamp into a small fixed
+//     batch buffer and dispatches them without re-touching the heap root
+//     per event;
 //   - popped heap slots are zeroed so dispatched closures and arguments
 //     become garbage-collectable immediately;
 //   - Timer and Ticker own an indexed heap entry that Reset/Stop move or
@@ -54,27 +57,43 @@ func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
 // String formats t as a duration since the start of the run.
 func (t Time) String() string { return time.Duration(t).String() }
 
-// event is one queued dispatch. Exactly one of the three dispatch forms is
-// set: fn (a one-shot closure), call+arg (a prebuilt function applied to an
-// argument, the allocation-free form used for per-packet delivery), or ent
-// (an indexed Timer/Ticker entry).
+// event is one queued dispatch, kept at 48 bytes so heap sift copies stay
+// cheap. Exactly one of the two dispatch forms is set: call+arg (a prebuilt
+// function applied to an argument; one-shot closures from Schedule travel
+// this way too, as runClosure applied to the func() boxed in arg — func
+// values are pointer-shaped, so the boxing never allocates), or ent (an
+// indexed Timer/Ticker entry).
 type event struct {
 	at   Time
 	seq  uint64 // tiebreaker: preserves scheduling order for simultaneous events
-	fn   func()
 	call func(any)
 	arg  any
 	ent  *entry
 }
 
+// runClosure is the shared dispatch shim for Schedule: the scheduled func()
+// rides in the event's arg slot.
+func runClosure(a any) { a.(func())() }
+
 // entry is the reschedulable heap handle owned by a Timer or Ticker. The
 // heap keeps pos up to date as the entry's event moves, so Reset and Stop
 // operate on the live queue position in O(log n) instead of abandoning a
 // tombstone event per call.
+//
+// pos encodes where the entry's event lives: a heap index when queued,
+// -1 when disarmed, and -2-i when drained into batch slot i of the Run
+// loop's dispatch buffer but not yet dispatched. Reset/Stop on a drained
+// entry adjust pos (and the engine's inBatch count), which makes the
+// dispatch loop skip the stale batch slot.
 type entry struct {
 	fn  func()
-	pos int // current heap index; -1 when not queued
+	pos int
 }
+
+// batchCap bounds one drain pass of the Run loop. Bursts of more than
+// batchCap events at one instant are dispatched in successive passes, still
+// in seq order, so the cap affects only locality, never semantics.
+const batchCap = 64
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
 // one with NewEngine.
@@ -83,6 +102,14 @@ type Engine struct {
 	seq     uint64 // ordering counter; advances on every (re)schedule
 	events  []event
 	stopped bool
+	// serial disables the batched drain loop (SetBatchDispatch(false)),
+	// keeping the one-pop-per-event reference path for differential tests.
+	serial bool
+	// inBatch counts events drained into the Run loop's batch buffer that
+	// have not yet dispatched (or been cancelled/moved from the buffer).
+	// Logical pending = len(events) + inBatch, so Stats taken from inside a
+	// callback are identical between batched and serial dispatch.
+	inBatch int
 	rng     *RNG
 	// processed counts dispatched events, for diagnostics and benchmarks.
 	processed uint64
@@ -122,7 +149,8 @@ type Stats struct {
 	// (Timer.Reset on an armed timer). Each one is a dead event the
 	// tombstone design would have queued and dispatched for nothing.
 	TimerMoves uint64
-	// Pending is the number of events still waiting in the queue.
+	// Pending is the number of events still waiting in the queue, including
+	// any drained into the in-progress dispatch batch but not yet run.
 	Pending int
 	// PeakPending is the high-water mark of the event queue depth, a proxy
 	// for the simulation's working-set size.
@@ -159,7 +187,7 @@ func (e *Engine) Stats() Stats {
 		EventsScheduled:  e.scheduled,
 		EventsCancelled:  e.cancelled,
 		TimerMoves:       e.moved,
-		Pending:          len(e.events),
+		Pending:          len(e.events) + e.inBatch,
 		PeakPending:      e.peakPending,
 		SimTime:          e.now,
 		WallTime:         e.wall,
@@ -181,6 +209,12 @@ func (e *Engine) Rand() *RNG { return e.rng }
 // Processed reports how many events have been dispatched so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
+// SetBatchDispatch selects between the batched drain loop (the default) and
+// the serial one-pop-per-event reference path. Both dispatch the same events
+// in the same order with identical Stats; the toggle exists so differential
+// tests can prove it.
+func (e *Engine) SetBatchDispatch(enabled bool) { e.serial = !enabled }
+
 // --- 4-ary min-heap ---
 //
 // Children of i live at 4i+1..4i+4; the parent of i is (i-1)/4. A 4-ary
@@ -192,91 +226,119 @@ func lessEv(a, b *event) bool {
 	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
-// setpos records i as the heap position of the entry backing events[i], if
-// any — the bookkeeping that makes in-place Reset/Stop possible.
-func (e *Engine) setpos(i int) {
-	if ent := e.events[i].ent; ent != nil {
+// down sifts the event at index i toward the leaves, moving a hole rather
+// than swapping so each displaced event is copied once. The slice header and
+// length are loaded once; the 4-child minimum scan is unrolled.
+func (e *Engine) down(i int) {
+	evs := e.events
+	n := len(evs)
+	ev := evs[i]
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		if c+1 < n && lessEv(&evs[c+1], &evs[m]) {
+			m = c + 1
+		}
+		if c+2 < n && lessEv(&evs[c+2], &evs[m]) {
+			m = c + 2
+		}
+		if c+3 < n && lessEv(&evs[c+3], &evs[m]) {
+			m = c + 3
+		}
+		if !lessEv(&evs[m], &ev) {
+			break
+		}
+		evs[i] = evs[m]
+		if ent := evs[i].ent; ent != nil {
+			ent.pos = i
+		}
+		i = m
+	}
+	evs[i] = ev
+	if ent := ev.ent; ent != nil {
 		ent.pos = i
 	}
 }
 
-// up sifts the event at index i toward the root, moving a hole rather than
-// swapping so each displaced event is copied once.
+// up sifts the event at index i toward the root.
 func (e *Engine) up(i int) {
-	ev := e.events[i]
+	evs := e.events
+	ev := evs[i]
 	for i > 0 {
-		parent := (i - 1) / 4
-		if !lessEv(&ev, &e.events[parent]) {
+		p := int(uint(i-1) >> 2)
+		if !lessEv(&ev, &evs[p]) {
 			break
 		}
-		e.events[i] = e.events[parent]
-		e.setpos(i)
-		i = parent
+		evs[i] = evs[p]
+		if ent := evs[i].ent; ent != nil {
+			ent.pos = i
+		}
+		i = p
 	}
-	e.events[i] = ev
-	e.setpos(i)
+	evs[i] = ev
+	if ent := ev.ent; ent != nil {
+		ent.pos = i
+	}
 }
 
-// down sifts the event at index i toward the leaves.
-func (e *Engine) down(i int) {
-	ev := e.events[i]
-	n := len(e.events)
-	for {
-		first := 4*i + 1
-		if first >= n {
-			break
-		}
-		min := first
-		last := first + 4
-		if last > n {
-			last = n
-		}
-		for c := first + 1; c < last; c++ {
-			if lessEv(&e.events[c], &e.events[min]) {
-				min = c
-			}
-		}
-		if !lessEv(&e.events[min], &ev) {
-			break
-		}
-		e.events[i] = e.events[min]
-		e.setpos(i)
-		i = min
-	}
-	e.events[i] = ev
-	e.setpos(i)
-}
-
-// push appends ev and restores heap order.
+// push appends ev, restores heap order with the sift fused in (the appended
+// value stays in a register until its final slot is known), and maintains
+// the scheduled counter and pending high-water mark.
 func (e *Engine) push(ev event) {
-	e.events = append(e.events, ev)
-	i := len(e.events) - 1
-	e.setpos(i)
-	e.up(i)
+	e.pushNoCount(ev)
 	e.scheduled++
-	if n := len(e.events); n > e.peakPending {
+	if n := len(e.events) + e.inBatch; n > e.peakPending {
 		e.peakPending = n
 	}
 }
 
-// popRoot removes and returns the earliest event. The vacated tail slot is
+// pushNoCount inserts ev without touching the scheduled counter or the peak
+// watermark. It is the raw insert under push, and is used directly when an
+// event re-enters the heap without being newly scheduled: a timer move out
+// of the dispatch batch, or restoring undispatched batch events on Stop —
+// cases where logical pending does not grow.
+func (e *Engine) pushNoCount(ev event) {
+	evs := append(e.events, ev)
+	e.events = evs
+	i := len(evs) - 1
+	for i > 0 {
+		p := int(uint(i-1) >> 2)
+		if !lessEv(&ev, &evs[p]) {
+			break
+		}
+		evs[i] = evs[p]
+		if ent := evs[i].ent; ent != nil {
+			ent.pos = i
+		}
+		i = p
+	}
+	evs[i] = ev
+	if ent := ev.ent; ent != nil {
+		ent.pos = i
+	}
+}
+
+// popInto removes the earliest event into *dst. The vacated tail slot is
 // zeroed so the dispatched closure, call argument, and entry pointer do not
-// pin garbage from the backing array.
-func (e *Engine) popRoot() event {
-	root := e.events[0]
-	n := len(e.events) - 1
-	last := e.events[n]
-	e.events[n] = event{}
-	e.events = e.events[:n]
+// pin garbage from the backing array. The caller is responsible for the
+// popped entry's pos (disarmed vs batch-slot encoding).
+func (e *Engine) popInto(dst *event) {
+	evs := e.events
+	*dst = evs[0]
+	n := len(evs) - 1
+	last := evs[n]
+	evs[n] = event{}
+	e.events = evs[:n]
 	if n > 0 {
-		e.events[0] = last
-		e.setpos(0)
+		evs[0] = last
+		if ent := last.ent; ent != nil {
+			ent.pos = 0
+		}
 		e.down(0)
 	}
-	if root.ent != nil {
-		root.ent.pos = -1
-	}
-	return root
 }
 
 // removeAt deletes the event at index i without dispatching it, zeroing the
@@ -295,7 +357,9 @@ func (e *Engine) removeAt(i int) {
 	e.events[n] = event{}
 	e.events = e.events[:n]
 	e.events[i] = moved
-	e.setpos(i)
+	if ent := moved.ent; ent != nil {
+		ent.pos = i
+	}
 	if i > 0 && lessEv(&e.events[i], &e.events[(i-1)/4]) {
 		e.up(i)
 	} else {
@@ -336,7 +400,7 @@ func (e *Engine) Schedule(d time.Duration, fn func()) {
 func (e *Engine) ScheduleAt(t Time, fn func()) {
 	e.checkFuture(t)
 	e.seq++
-	e.push(event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, call: runClosure, arg: fn})
 }
 
 // ScheduleCall runs fn(arg) after delay d (negative delays clamp to zero).
@@ -358,10 +422,11 @@ func (e *Engine) ScheduleCallAt(t Time, fn func(any), arg any) {
 }
 
 // scheduleEntry arms (or re-arms) an indexed entry for time t. An entry
-// already in the queue is rekeyed in place; a disarmed one is pushed.
-// Either way it receives a fresh sequence number, so a re-armed timer
-// orders after events already scheduled for the same instant, exactly as a
-// freshly scheduled event would.
+// already in the queue is rekeyed in place; one drained into the dispatch
+// batch is pulled back into the heap (the stale batch slot is skipped);
+// a disarmed one is pushed. Either way it receives a fresh sequence number,
+// so a re-armed timer orders after events already scheduled for the same
+// instant, exactly as a freshly scheduled event would.
 func (e *Engine) scheduleEntry(ent *entry, t Time) {
 	e.checkFuture(t)
 	e.seq++
@@ -370,17 +435,33 @@ func (e *Engine) scheduleEntry(ent *entry, t Time) {
 		e.updateAt(ent.pos, t, e.seq)
 		return
 	}
+	if ent.pos <= -2 {
+		// Drained but not yet dispatched: this Reset supersedes the pending
+		// firing, which in serial dispatch would have been an in-place heap
+		// move. Re-enter the heap without counting a new schedule; logical
+		// pending (heap + batch) is unchanged.
+		e.moved++
+		e.inBatch--
+		e.pushNoCount(event{at: t, seq: e.seq, ent: ent})
+		return
+	}
 	e.push(event{at: t, seq: e.seq, ent: ent})
 }
 
-// cancelEntry removes an armed entry from the queue; disarmed entries are
-// a no-op.
+// cancelEntry removes an armed entry from the queue — or invalidates its
+// batch slot if it has been drained but not yet dispatched. Disarmed
+// entries are a no-op.
 func (e *Engine) cancelEntry(ent *entry) {
-	if ent.pos < 0 {
+	if ent.pos >= 0 {
+		e.cancelled++
+		e.removeAt(ent.pos)
 		return
 	}
-	e.cancelled++
-	e.removeAt(ent.pos)
+	if ent.pos <= -2 {
+		e.cancelled++
+		e.inBatch--
+		ent.pos = -1
+	}
 }
 
 // Stop halts the run loop after the current event finishes. It only affects
@@ -391,25 +472,113 @@ func (e *Engine) Stop() { e.stopped = true }
 // called, or the clock would pass until. Events scheduled exactly at until
 // are dispatched. It returns the final virtual time.
 //
+// Run drains all events sharing the head timestamp (up to batchCap per
+// pass) into a fixed on-stack buffer and dispatches them in seq order
+// without re-touching the heap root per event. A lone head event — the
+// common case — takes a direct pop-and-dispatch fast path.
+//
 // Run clears any previous Stop before dispatching, so an engine stopped
 // mid-run can be resumed simply by calling Run again.
 func (e *Engine) Run(until Time) Time {
+	if e.serial {
+		return e.runSerial(until)
+	}
 	start := time.Now()
 	e.stopped = false
+	var batch [batchCap]event
+	for len(e.events) > 0 && !e.stopped {
+		t := e.events[0].at
+		if t > until {
+			break
+		}
+		e.now = t
+		e.popInto(&batch[0])
+		if len(e.events) == 0 || e.events[0].at != t {
+			// Single event at this instant: dispatch without batch
+			// bookkeeping. Identical to one serial loop iteration.
+			ev := &batch[0]
+			e.processed++
+			if ent := ev.ent; ent != nil {
+				ent.pos = -1
+				ent.fn()
+			} else {
+				ev.call(ev.arg)
+			}
+			continue
+		}
+		if ent := batch[0].ent; ent != nil {
+			ent.pos = -2
+		}
+		n := 1
+		for {
+			e.popInto(&batch[n])
+			if ent := batch[n].ent; ent != nil {
+				ent.pos = -2 - n
+			}
+			n++
+			if n == batchCap || len(e.events) == 0 || e.events[0].at != t {
+				break
+			}
+		}
+		e.inBatch = n
+		for i := 0; i < n; i++ {
+			ev := &batch[i]
+			if ent := ev.ent; ent != nil {
+				if ent.pos != -2-i {
+					// Cancelled or re-armed while waiting in the batch;
+					// already accounted for there.
+					continue
+				}
+				ent.pos = -1
+				e.inBatch--
+				e.processed++
+				ent.fn()
+			} else {
+				e.inBatch--
+				e.processed++
+				ev.call(ev.arg)
+			}
+			if e.stopped {
+				// Restore undispatched live batch events to the heap with
+				// their original keys, as if they had never been drained.
+				for j := i + 1; j < n; j++ {
+					rv := &batch[j]
+					if ent := rv.ent; ent != nil && ent.pos != -2-j {
+						continue
+					}
+					e.inBatch--
+					e.pushNoCount(*rv)
+				}
+				break
+			}
+		}
+	}
+	if e.now < until && !e.stopped {
+		e.now = until
+	}
+	e.wall += time.Since(start)
+	return e.now
+}
+
+// runSerial is the one-pop-per-event reference dispatch loop, selected by
+// SetBatchDispatch(false). It must remain observably identical to the
+// batched loop; the differential determinism tests compare the two.
+func (e *Engine) runSerial(until Time) Time {
+	start := time.Now()
+	e.stopped = false
+	var ev event
 	for len(e.events) > 0 && !e.stopped {
 		if e.events[0].at > until {
 			break
 		}
-		ev := e.popRoot()
+		e.popInto(&ev)
 		e.now = ev.at
 		e.processed++
-		switch {
-		case ev.ent != nil:
-			ev.ent.fn()
-		case ev.call != nil:
+		if ent := ev.ent; ent != nil {
+			ent.pos = -1
+			ent.fn()
+		} else {
 			ev.call(ev.arg)
-		default:
-			ev.fn()
 		}
 	}
 	if e.now < until && !e.stopped {
@@ -422,8 +591,9 @@ func (e *Engine) Run(until Time) Time {
 // RunFor is shorthand for Run(Now().Add(d)).
 func (e *Engine) RunFor(d time.Duration) Time { return e.Run(e.now.Add(d)) }
 
-// Pending reports how many events are waiting to dispatch.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending reports how many events are waiting to dispatch, including any
+// drained into the in-progress dispatch batch but not yet run.
+func (e *Engine) Pending() int { return len(e.events) + e.inBatch }
 
 // Timer is a cancellable, reschedulable single-shot timer bound to an engine.
 // It is the building block for retransmission timeouts, delayed ACKs, and
@@ -463,8 +633,9 @@ func (t *Timer) ResetAt(at Time) {
 // Stop disarms the timer. It is safe to call on a disarmed timer.
 func (t *Timer) Stop() { t.eng.cancelEntry(&t.ent) }
 
-// Armed reports whether the timer is waiting to fire.
-func (t *Timer) Armed() bool { return t.ent.pos >= 0 }
+// Armed reports whether the timer is waiting to fire (queued or drained
+// into the in-progress dispatch batch).
+func (t *Timer) Armed() bool { return t.ent.pos != -1 }
 
 // Deadline returns when the timer will fire; meaningful only when Armed.
 func (t *Timer) Deadline() Time { return t.at }
@@ -499,7 +670,7 @@ func (t *Ticker) tick() {
 		return
 	}
 	t.fn()
-	if t.running && t.ent.pos < 0 {
+	if t.running && t.ent.pos == -1 {
 		t.eng.scheduleEntry(&t.ent, t.eng.now.Add(t.interval))
 	}
 }

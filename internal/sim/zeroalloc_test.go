@@ -84,7 +84,7 @@ func TestPoppedSlotsZeroed(t *testing.T) {
 	}
 	spare := e.events[:cap(e.events)]
 	for i, ev := range spare {
-		if ev.fn != nil || ev.call != nil || ev.arg != nil || ev.ent != nil {
+		if ev.call != nil || ev.arg != nil || ev.ent != nil {
 			t.Fatalf("vacated slot %d not zeroed: %+v", i, ev)
 		}
 	}

@@ -64,7 +64,7 @@ type BBR struct {
 	mss int64
 
 	state       bbrState
-	btlBw       []bwSample // max filter, entries within bbrBtlBwWindow rounds
+	btlBw       []bwSample // max filter: monotone-decreasing deque within bbrBtlBwWindow rounds
 	rtProp      time.Duration
 	rtPropAt    sim.Time
 	rtPropStale bool
@@ -125,15 +125,16 @@ func (b *BBR) Init(mss int64) {
 // State returns the current BBR state name, for tests and traces.
 func (b *BBR) State() string { return b.state.String() }
 
-// BtlBw returns the current bottleneck bandwidth estimate.
+// BtlBw returns the current bottleneck bandwidth estimate. The filter is
+// kept as a monotone-decreasing deque (newer, larger samples evict the
+// dominated tail on insert), so the windowed max is always the front
+// element — O(1) per call instead of a scan, and OnAck calls this several
+// times per ACK.
 func (b *BBR) BtlBw() units.Rate {
-	var maxRate units.Rate
-	for _, s := range b.btlBw {
-		if s.rate > maxRate {
-			maxRate = s.rate
-		}
+	if len(b.btlBw) == 0 {
+		return 0
 	}
-	return maxRate
+	return b.btlBw[0].rate
 }
 
 // RTProp returns the current min-RTT estimate (-1 before any sample).
@@ -155,13 +156,23 @@ func (b *BBR) OnAck(s AckSample) {
 	// Update the bandwidth filter. App-limited samples only count if they
 	// raise the estimate.
 	if s.DeliveryRate > 0 && (!s.RateAppLimited || s.DeliveryRate > b.BtlBw()) {
+		// A new sample dominates every older entry with rate <= its own
+		// (those could never again be the windowed max, since they expire
+		// first); popping them keeps the deque decreasing and bounded.
+		for n := len(b.btlBw); n > 0 && b.btlBw[n-1].rate <= s.DeliveryRate; n-- {
+			b.btlBw = b.btlBw[:n-1]
+		}
 		b.btlBw = append(b.btlBw, bwSample{rate: s.DeliveryRate, round: s.RoundTrips})
-		// Expire entries beyond the window.
+		// Expire entries beyond the window. Shift in place so the backing
+		// array is reused instead of crawling forward allocation by
+		// allocation.
 		cut := 0
 		for cut < len(b.btlBw) && b.btlBw[cut].round < s.RoundTrips-bbrBtlBwWindow {
 			cut++
 		}
-		b.btlBw = b.btlBw[cut:]
+		if cut > 0 {
+			b.btlBw = b.btlBw[:copy(b.btlBw, b.btlBw[cut:])]
+		}
 	}
 
 	// Update min-RTT; schedule PROBE_RTT on expiry.

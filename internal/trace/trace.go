@@ -15,12 +15,19 @@ import (
 // DefaultBin matches the paper's 0.5 s bitrate computation interval.
 const DefaultBin = 500 * time.Millisecond
 
+// binCount holds all four per-bin counters for one flow in one record, so
+// each packet tap touches a single flat array (and usually a single cache
+// line) instead of four separately grown slices.
+type binCount struct {
+	bytes int64 // offered at the router (pre-queue)
+	pkts  int64
+	drops int64
+	dlv   int64 // delivered past the bottleneck (post-queue)
+}
+
 // FlowTrace accumulates one flow's per-bin counters.
 type FlowTrace struct {
-	byteBins []int64 // offered at the router (pre-queue)
-	pktBins  []int64
-	dropBins []int64
-	dlvBins  []int64 // delivered past the bottleneck (post-queue)
+	bins []binCount
 
 	// Totals since capture start.
 	Packets   int64
@@ -105,10 +112,7 @@ func (c *Capture) flow(id packet.FlowID) *FlowTrace {
 func (c *Capture) newFlowTrace() *FlowTrace {
 	f := &FlowTrace{}
 	if c.binHint > 0 {
-		f.byteBins = make([]int64, 0, c.binHint)
-		f.pktBins = make([]int64, 0, c.binHint)
-		f.dropBins = make([]int64, 0, c.binHint)
-		f.dlvBins = make([]int64, 0, c.binHint)
+		f.bins = make([]binCount, 0, c.binHint)
 	}
 	return f
 }
@@ -118,7 +122,7 @@ func (c *Capture) bin() int { return int(c.eng.Now() / c.binDur) }
 // grow extends s with zeros so bin is addressable. When reallocation is
 // needed (horizon unset or exceeded) capacity at least doubles, keeping the
 // packet-path cost amortised O(1) instead of O(bins) appends per packet.
-func grow(s []int64, bin int) []int64 {
+func grow(s []binCount, bin int) []binCount {
 	if bin < len(s) {
 		return s
 	}
@@ -129,7 +133,7 @@ func grow(s []int64, bin int) []int64 {
 	if ncap <= bin {
 		ncap = bin + 1
 	}
-	ns := make([]int64, bin+1, ncap)
+	ns := make([]binCount, bin+1, ncap)
 	copy(ns, s)
 	return ns
 }
@@ -138,10 +142,9 @@ func grow(s []int64, bin int) []int64 {
 func (c *Capture) Tap(p *packet.Packet) {
 	f := c.flow(p.Flow)
 	b := c.bin()
-	f.byteBins = grow(f.byteBins, b)
-	f.pktBins = grow(f.pktBins, b)
-	f.byteBins[b] += int64(p.Size)
-	f.pktBins[b]++
+	f.bins = grow(f.bins, b)
+	f.bins[b].bytes += int64(p.Size)
+	f.bins[b].pkts++
 	f.Packets++
 	f.Bytes += int64(p.Size)
 }
@@ -152,8 +155,8 @@ func (c *Capture) Tap(p *packet.Packet) {
 func (c *Capture) TapDelivered(p *packet.Packet) {
 	f := c.flow(p.Flow)
 	b := c.bin()
-	f.dlvBins = grow(f.dlvBins, b)
-	f.dlvBins[b] += int64(p.Size)
+	f.bins = grow(f.bins, b)
+	f.bins[b].dlv += int64(p.Size)
 	f.Delivered += int64(p.Size)
 }
 
@@ -162,8 +165,8 @@ func (c *Capture) TapDelivered(p *packet.Packet) {
 func (c *Capture) OnDrop(p *packet.Packet) {
 	f := c.flow(p.Flow)
 	b := c.bin()
-	f.dropBins = grow(f.dropBins, b)
-	f.dropBins[b]++
+	f.bins = grow(f.bins, b)
+	f.bins[b].drops++
 	f.Drops++
 }
 
@@ -178,8 +181,8 @@ func (c *Capture) BitrateSeries(id packet.FlowID, n int) []float64 {
 	f := c.flow(id)
 	sec := c.binDur.Duration().Seconds()
 	out := make([]float64, n)
-	for i := 0; i < n && i < len(f.dlvBins); i++ {
-		out[i] = float64(f.dlvBins[i]) * 8 / sec / 1e6
+	for i := 0; i < n && i < len(f.bins); i++ {
+		out[i] = float64(f.bins[i].dlv) * 8 / sec / 1e6
 	}
 	return out
 }
@@ -190,8 +193,8 @@ func (c *Capture) OfferedSeries(id packet.FlowID, n int) []float64 {
 	f := c.flow(id)
 	sec := c.binDur.Duration().Seconds()
 	out := make([]float64, n)
-	for i := 0; i < n && i < len(f.byteBins); i++ {
-		out[i] = float64(f.byteBins[i]) * 8 / sec / 1e6
+	for i := 0; i < n && i < len(f.bins); i++ {
+		out[i] = float64(f.bins[i].bytes) * 8 / sec / 1e6
 	}
 	return out
 }
@@ -202,8 +205,8 @@ func (c *Capture) RateBetween(id packet.FlowID, from, to sim.Time) units.Rate {
 	f := c.flow(id)
 	var total int64
 	lo, hi := int(from/c.binDur), int(to/c.binDur)
-	for i := lo; i < hi && i < len(f.dlvBins); i++ {
-		total += f.dlvBins[i]
+	for i := lo; i < hi && i < len(f.bins); i++ {
+		total += f.bins[i].dlv
 	}
 	if hi <= lo {
 		return 0
@@ -220,13 +223,9 @@ func (c *Capture) LossBetween(id packet.FlowID, from, to sim.Time) float64 {
 	f := c.flow(id)
 	lo, hi := int(from/c.binDur), int(to/c.binDur)
 	var pkts, drops int64
-	for i := lo; i < hi; i++ {
-		if i < len(f.pktBins) {
-			pkts += f.pktBins[i]
-		}
-		if i < len(f.dropBins) {
-			drops += f.dropBins[i]
-		}
+	for i := lo; i < hi && i < len(f.bins); i++ {
+		pkts += f.bins[i].pkts
+		drops += f.bins[i].drops
 	}
 	if pkts == 0 {
 		return 0

@@ -166,16 +166,16 @@ func TestSetHorizonPreallocates(t *testing.T) {
 	c := NewCapture(eng, 500*time.Millisecond)
 	c.SetHorizon(10 * time.Second) // 20 bins + 1
 	f := c.flow(1)
-	if cap(f.byteBins) < 21 {
-		t.Fatalf("byteBins cap = %d, want >= 21", cap(f.byteBins))
+	if cap(f.bins) < 21 {
+		t.Fatalf("bins cap = %d, want >= 21", cap(f.bins))
 	}
 	// Taps within the horizon must not reallocate.
-	base := &f.byteBins[:1][0]
+	base := &f.bins[:1][0]
 	eng.Schedule(9*time.Second+900*time.Millisecond, func() {
 		c.Tap(&packet.Packet{Flow: 1, Size: 100})
 	})
 	eng.Run(sim.At(10 * time.Second))
-	if &f.byteBins[0] != base {
+	if &f.bins[0] != base {
 		t.Error("tap within horizon reallocated the bin slice")
 	}
 	// Past the horizon the capture keeps working.
@@ -186,7 +186,7 @@ func TestSetHorizonPreallocates(t *testing.T) {
 	if f.Packets != 2 {
 		t.Errorf("packets = %d, want 2", f.Packets)
 	}
-	if got := f.byteBins[len(f.byteBins)-1]; got != 100 {
+	if got := f.bins[len(f.bins)-1].bytes; got != 100 {
 		t.Errorf("last bin = %d, want 100", got)
 	}
 }
@@ -196,13 +196,13 @@ func TestGrowDoubling(t *testing.T) {
 	if len(s) != 1 {
 		t.Fatalf("len = %d", len(s))
 	}
-	s[0] = 7
+	s[0].pkts = 7
 	s = grow(s, 100)
-	if len(s) != 101 || s[0] != 7 {
-		t.Fatalf("len = %d, s[0] = %d", len(s), s[0])
+	if len(s) != 101 || s[0].pkts != 7 {
+		t.Fatalf("len = %d, s[0] = %d", len(s), s[0].pkts)
 	}
 	for _, v := range s[1:] {
-		if v != 0 {
+		if v != (binCount{}) {
 			t.Fatal("grown region not zeroed")
 		}
 	}
@@ -215,7 +215,7 @@ func TestGrowDoubling(t *testing.T) {
 }
 
 // BenchmarkBinGrowth isolates the packet-path cost of extending the bin
-// slices across a 9-minute trace (1080 bins, one count per bin): "horizon"
+// array across a 9-minute trace (1080 bins, one count per bin): "horizon"
 // preallocates via SetHorizon and never reallocates; "fallback" relies on
 // grow's doubling. The previous element-at-a-time append walked every
 // missing bin on each advance; both variants here are amortised O(1), with
@@ -229,13 +229,13 @@ func BenchmarkBinGrowth(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				var s []int64
+				var s []binCount
 				if pre > 0 {
-					s = make([]int64, 0, pre)
+					s = make([]binCount, 0, pre)
 				}
 				for bin := 0; bin <= 1080; bin++ {
 					s = grow(s, bin)
-					s[bin]++
+					s[bin].pkts++
 				}
 			}
 		})

@@ -4,13 +4,13 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race bench bench-json bench-compare probe-demo fuzz-smoke cover-netem cover-runcache cover-obs impair-demo docs-check
+.PHONY: verify build test vet race bench bench-json bench-compare probe-demo fuzz-smoke cover-netem cover-runcache cover-obs impair-demo docs-check chaos-smoke
 
 # BENCH_N matches this PR's position in the stacked sequence; bump it when a
 # later change re-baselines the trajectory file. BENCH_PREV is the baseline
 # the bench-compare gate diffs against.
-BENCH_N ?= 8
-BENCH_PREV ?= 7
+BENCH_N ?= 9
+BENCH_PREV ?= 8
 
 verify: build vet test race cover-netem cover-runcache cover-obs
 
@@ -31,10 +31,11 @@ vet:
 race:
 	$(GO) test -race ./internal/experiment/... ./internal/sim/... ./internal/obs/... ./internal/netem/... ./internal/tcp/... ./internal/runcache/...
 
-# Short coverage-guided sessions: the receiver-reassembly target plus the
-# three experiment-flag parsers (schedule/loss/probability). Corpora are
-# checked in under internal/*/testdata/fuzz. Raise FUZZTIME (and
-# PARSEFUZZTIME for the cheap string parsers) for a real local campaign.
+# Short coverage-guided sessions: the receiver-reassembly target, the
+# three experiment-flag parsers (schedule/loss/probability), and the
+# scenario-file parser. Corpora are checked in under
+# internal/*/testdata/fuzz. Raise FUZZTIME (and PARSEFUZZTIME for the
+# cheap string parsers) for a real local campaign.
 FUZZTIME ?= 30s
 PARSEFUZZTIME ?= 10s
 fuzz-smoke:
@@ -42,6 +43,7 @@ fuzz-smoke:
 	$(GO) test ./internal/experiment -run '^$$' -fuzz FuzzParseSchedule -fuzztime $(PARSEFUZZTIME)
 	$(GO) test ./internal/experiment -run '^$$' -fuzz FuzzParseLoss -fuzztime $(PARSEFUZZTIME)
 	$(GO) test ./internal/experiment -run '^$$' -fuzz FuzzParseProb -fuzztime $(PARSEFUZZTIME)
+	$(GO) test ./internal/scenario -run '^$$' -fuzz FuzzParseScenario -fuzztime $(PARSEFUZZTIME)
 
 # The impairment subsystem is the loss model under every CC validation
 # claim; hold its statement coverage at >= 80%.
@@ -87,9 +89,23 @@ bench-compare:
 	$(GO) run ./cmd/gsbench -bench-compare BENCH_$(BENCH_PREV).json BENCH_$(BENCH_N).json
 
 # Documentation gate: every markdown link and backticked file reference in
-# the root and docs/ markdown must resolve to a real file.
+# the root and docs/ markdown must resolve to a real file, and every
+# shipped scenario file must parse to a cacheable configuration.
 docs-check:
-	$(GO) test -run TestDocsLinksResolve -count=1 .
+	$(GO) test -run 'TestDocsLinksResolve|TestScenarioFilesParse' -count=1 .
+
+# The EXPERIMENTS.md chaos example at CI size: a seeded campaign through a
+# throwaway cache, rendered as the per-invariant verdict table, then
+# re-run to prove the 100% cache hit. Exit status is non-zero on any
+# invariant violation.
+chaos-smoke:
+	rm -rf chaos-smoke.cache
+	$(GO) run ./cmd/gssim -chaos -chaos-runs 40 -seed 42 -scale 0.05 \
+		-cache chaos-smoke.cache -invariants-out chaos-smoke.json
+	$(GO) run ./cmd/gssim -chaos -chaos-runs 40 -seed 42 -scale 0.05 \
+		-cache chaos-smoke.cache
+	$(GO) run ./cmd/gsreport -invariants chaos-smoke.json
+	rm -rf chaos-smoke.cache chaos-smoke.json
 
 # The EXPERIMENTS.md worked example: one probed Cubic-vs-BBR run plus the
 # terminal summaries of the exported CC and queue telemetry.

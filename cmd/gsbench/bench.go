@@ -75,6 +75,24 @@ var benchCases = []struct {
 	}},
 }
 
+// benchReps is how many times each case is measured; the fastest rep is
+// reported. Events and allocs are deterministic so any rep carries them;
+// taking the minimum wall time filters scheduler and cache noise that a
+// single-shot measurement passes straight into the trajectory file — and
+// from there into spurious bench-compare regressions.
+const benchReps = 3
+
+// measureBest measures fn benchReps times and keeps the fastest rep.
+func measureBest(fn func() (events uint64, simTime time.Duration)) BenchResult {
+	best := measure(fn)
+	for i := 1; i < benchReps; i++ {
+		if r := measure(fn); r.WallNS < best.WallNS {
+			best = r
+		}
+	}
+	return best
+}
+
 // measure runs fn once and returns wall time plus the goroutine-local
 // allocation deltas. A GC up front keeps dead objects from a previous case
 // out of this case's numbers.
@@ -114,7 +132,7 @@ func runBenchJSON(path string) error {
 	// Engine microbenchmark: raw schedule+dispatch throughput with a
 	// reused closure, the figure that bounds every number below.
 	const microEvents = 2_000_000
-	micro := measure(func() (uint64, time.Duration) {
+	micro := measureBest(func() (uint64, time.Duration) {
 		e := sim.NewEngine(1)
 		n := 0
 		var fn func()
@@ -134,7 +152,7 @@ func runBenchJSON(path string) error {
 
 	for _, bc := range benchCases {
 		cfg := bc.cfg
-		r := measure(func() (uint64, time.Duration) {
+		r := measureBest(func() (uint64, time.Duration) {
 			res := experiment.Run(cfg)
 			return res.Engine.EventsDispatched, res.Engine.SimTime.Duration()
 		})

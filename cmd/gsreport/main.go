@@ -25,6 +25,9 @@
 //
 //	gssim -cca cubic,bbr -probe -probe-out demo
 //	gsreport -cc demo.cc.csv -queue demo.queue.csv
+//
+//	gssim -chaos -invariants-out campaign.json
+//	gsreport -invariants campaign.json
 package main
 
 import (
@@ -52,8 +55,16 @@ func main() {
 	queuePath := flag.String("queue", "", "summarise a probe queue.csv export (depth-vs-time per queue)")
 	dropsPath := flag.String("drops", "", "summarise a probe drops.csv export as loss episodes")
 	dropsGap := flag.Duration("drops-gap", 100*time.Millisecond, "gap that separates two loss episodes in -drops mode")
+	invariants := flag.String("invariants", "", "render a chaos campaign report (gssim -chaos -invariants-out) as a per-invariant verdict table")
 	flag.Parse()
 
+	if *invariants != "" {
+		if err := reportInvariants(*invariants); err != nil {
+			fmt.Fprintln(os.Stderr, "gsreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *telemetry != "" {
 		if err := reportTelemetry(*telemetry); err != nil {
 			fmt.Fprintln(os.Stderr, "gsreport:", err)

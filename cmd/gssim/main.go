@@ -8,10 +8,20 @@
 // Usage:
 //
 //	gssim -system stadia -cca cubic -capacity 25 -queue 2 > trace.csv
+//	gssim -scenario scenarios/paper_1v1.scn > trace.csv
 //	gssim -flows 20 -flow-mix "iperf:cubic,dash" -runlog runs.jsonl
 //	gssim -sweep -progress -runlog runs.jsonl -iters 15
 //	gssim -sweep -cache runs.cache -cache-stats   # resumable/incremental
 //	gssim -sweep -iters 1 -scale 0.2 -cpuprofile cpu.out
+//	gssim -chaos -chaos-runs 200 -seed 42 -scale 0.1 -cache runs.cache \
+//	      -invariants-out campaign.json
+//
+// With -scenario the condition comes from a declarative scenario file
+// (docs/SCENARIOS.md) instead of flags; the same condition built either way
+// produces byte-identical results. With -chaos the tool generates a
+// seed-derived random impairment campaign, checks every run against the
+// metamorphic invariant suite, prints the per-invariant verdict table, and
+// exits non-zero if any invariant was violated.
 //
 // A sweep interrupted with Ctrl-C drains its in-flight runs, reports the
 // partial results, and marks them "interrupted" on stderr and in the exit
@@ -33,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/figures"
 	"repro/internal/gamestream"
 	"repro/internal/obs"
 	"repro/internal/packet"
@@ -55,6 +66,11 @@ func main() {
 		sweep   = flag.Bool("sweep", false, "run the paper's full sweep grid instead of a single condition")
 		iters   = flag.Int("iters", 15, "sweep iterations per condition")
 		workers = flag.Int("workers", 0, "sweep parallelism (0 = one worker per CPU)")
+
+		scenarioPath = flag.String("scenario", "", "run a declarative scenario file instead of flag-built conditions (see docs/SCENARIOS.md)")
+		chaos        = flag.Bool("chaos", false, "run a seed-derived chaos campaign checked against the invariant suite (-seed selects the campaign)")
+		chaosRuns    = flag.Int("chaos-runs", 200, "with -chaos: number of generated runs")
+		invOut       = flag.String("invariants-out", "", "with -chaos: write the campaign report JSON here (render with gsreport -invariants)")
 
 		cacheDir   = flag.String("cache", "", "content-addressed run cache directory (created if missing)")
 		cacheStats = flag.Bool("cache-stats", false, "print run-cache hit/miss/store counters to stderr on exit")
@@ -162,11 +178,130 @@ func main() {
 	}
 	defer telem.close()
 
+	if *chaos {
+		runChaos(*seed, *chaosRuns, *scale, *workers, *invOut, *progress, runLog, cache)
+		return
+	}
+	if *scenarioPath != "" {
+		runScenario(*scenarioPath, *progress, runLog, cache)
+		return
+	}
 	if *sweep {
 		runSweep(*iters, *scale, *workers, *aqm, *progress, runLog, probeCfg, *probeOut, impair, sched, pop, cache, telem, *discard)
 		return
 	}
 	runSingle(*system, *cca, *capacity, *queue, *aqm, *seed, *scale, *pcapPath, *progress, runLog, probeCfg, *probeOut, impair, sched, pop, cache)
+}
+
+// runScenario executes every iteration of a scenario file. A single
+// iteration prints the same CSV time series as the flag path (the scenario
+// and flag constructions of the same condition are byte-identical); multi-
+// iteration scenarios print one summary line per run.
+func runScenario(path string, progress bool, runLog *obs.JSONL, cache *core.RunCache) {
+	sp, err := core.LoadScenario(path)
+	if err != nil {
+		fatal(err)
+	}
+	iters := sp.Iterations
+	if iters <= 0 {
+		iters = 1
+	}
+	fmt.Fprintf(os.Stderr, "gssim: scenario %q: %d iteration(s), seed %d\n", sp.Name, iters, sp.Seed)
+	for it := 0; it < iters; it++ {
+		res := core.RunScenario(sp, it, cache)
+		if runLog != nil {
+			rec := res.Record(it)
+			rec.Cached = res.Cached
+			if err := runLog.Log(rec); err != nil {
+				fmt.Fprintln(os.Stderr, "gssim:", err)
+			}
+		}
+		if iters == 1 {
+			printTrace(res)
+		} else {
+			rr := res.ResponseRecovery()
+			fmt.Printf("iter %2d seed %d: original %5.1f Mb/s, contended %5.1f Mb/s, fairness %+5.2f, rtt %5.1f ms\n",
+				it, res.Cfg.Seed, rr.OriginalMbs, rr.AdjustedMbs, res.FairnessRatio(), res.MeanRTT())
+		}
+		if progress {
+			src := "run"
+			if res.Cached {
+				src = "cache hit"
+			}
+			fmt.Fprintf(os.Stderr, "gssim: scenario iter %d/%d (%s)\n", it+1, iters, src)
+		}
+	}
+}
+
+// printTrace writes a run's 0.5 s time series as CSV, the single-run
+// output contract shared by the flag and scenario paths.
+func printTrace(res core.Result) {
+	n := len(res.GameMbps)
+	tcol := make([]float64, n)
+	rttCol := make([]float64, n)
+	fpsCol := make([]float64, n)
+	for i := 0; i < n; i++ {
+		at := time.Duration(i) * res.Bin
+		tcol[i] = at.Seconds()
+		if xs := res.RTTBetween(at, at+res.Bin); len(xs) > 0 {
+			sum := 0.0
+			for _, x := range xs {
+				sum += x
+			}
+			rttCol[i] = sum / float64(len(xs))
+		}
+		fpsBin := int(at / time.Second)
+		if fpsBin < len(res.FPSBins) {
+			fpsCol[i] = res.FPSBins[fpsBin]
+		}
+	}
+	fmt.Print(report.CSV(
+		[]string{"t_sec", "game_mbps", "tcp_mbps", "rtt_ms", "fps", "game_loss"},
+		[][]float64{tcol, res.GameMbps, res.TCPMbps, rttCol, fpsCol, res.GameLossBins},
+	))
+}
+
+// runChaos executes a seed-derived chaos campaign, prints the per-invariant
+// verdict table, and exits non-zero when any invariant was violated.
+func runChaos(seed uint64, runs int, scale float64, workers int, invOut string, progress bool, runLog *obs.JSONL, cache *core.RunCache) {
+	opts := core.ChaosOptions{
+		Seed:    seed,
+		Runs:    runs,
+		Scale:   scale,
+		Workers: workers,
+		Cache:   cache,
+	}
+	if workers == 0 {
+		opts.Workers = runtime.NumCPU()
+	}
+	if runLog != nil {
+		opts.Log = runLog
+	}
+	if progress {
+		opts.Progress = func(done, total, violations int) {
+			fmt.Fprintf(os.Stderr, "\rgssim: chaos %d/%d runs, %d violations", done, total, violations)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	start := time.Now()
+	rep, err := core.RunChaos(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(figures.InvariantTable(rep))
+	fmt.Fprintf(os.Stderr, "gssim: chaos campaign: %d runs in %v, %d cache hits, %d violations\n",
+		rep.Runs, time.Since(start).Round(time.Millisecond), rep.CacheHits, rep.Violations)
+	if invOut != "" {
+		if err := core.SaveCampaignReport(invOut, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gssim: campaign report written to %s\n", invOut)
+	}
+	if !rep.Passed() {
+		os.Exit(1)
+	}
 }
 
 // runSweep executes the paper's campaign with live observability and clean
@@ -306,29 +441,7 @@ func runSingle(system, cca string, capacity, queue float64, aqm string, seed uin
 		fmt.Fprintln(os.Stderr, "gssim: run served from cache")
 	}
 
-	n := len(res.GameMbps)
-	tcol := make([]float64, n)
-	rttCol := make([]float64, n)
-	fpsCol := make([]float64, n)
-	for i := 0; i < n; i++ {
-		at := time.Duration(i) * res.Bin
-		tcol[i] = at.Seconds()
-		if xs := res.RTTBetween(at, at+res.Bin); len(xs) > 0 {
-			sum := 0.0
-			for _, x := range xs {
-				sum += x
-			}
-			rttCol[i] = sum / float64(len(xs))
-		}
-		fpsBin := int(at / time.Second)
-		if fpsBin < len(res.FPSBins) {
-			fpsCol[i] = res.FPSBins[fpsBin]
-		}
-	}
-	fmt.Print(report.CSV(
-		[]string{"t_sec", "game_mbps", "tcp_mbps", "rtt_ms", "fps", "game_loss"},
-		[][]float64{tcol, res.GameMbps, res.TCPMbps, rttCol, fpsCol, res.GameLossBins},
-	))
+	printTrace(res)
 
 	if pop.Flows > 0 || pop.Streams > 0 {
 		fs := res.FlowSummary

@@ -16,7 +16,7 @@ import (
 // (a profile recalibration, a new default, a persistence format change):
 // every old entry then misses and is recomputed. See docs/ARCHITECTURE.md,
 // "Run cache: the key contract".
-const cacheSchema = "run-v2"
+const cacheSchema = "run-v4"
 
 // cacheVersion is the module-version component of every cache key: the
 // schema generation plus the main module's version and VCS revision when
@@ -42,9 +42,12 @@ var cacheVersion = func() string {
 // Cacheable reports whether a run can be served from (and stored into) a
 // run cache. Runs carrying live observers — a probe capture, a per-packet
 // tap, a profile override — are excluded: their value is exactly the part
-// of the run a stored RunResult does not round-trip.
+// of the run a stored RunResult does not round-trip. ForceImpairer runs
+// are excluded too: they exist to differentially test the impairment
+// stage, and serving them from the cache of their (equivalent) plain runs
+// would erase exactly the difference under test.
 func (c RunConfig) Cacheable() bool {
-	return c.Probe == nil && c.OnPacket == nil && c.Profile == nil
+	return c.Probe == nil && c.OnPacket == nil && c.Profile == nil && !c.ForceImpairer
 }
 
 // CacheKey derives the content address of cfg's result: a SHA-256 over the

@@ -15,6 +15,7 @@ import (
 	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/tcp"
 	"repro/internal/trace"
 )
 
@@ -208,6 +209,7 @@ type popSlot struct {
 	kind string
 	cca  string
 	flow packet.FlowID
+	eng  *sim.Engine
 
 	bulk *iperf.Flow
 	sess *dash.Session
@@ -219,6 +221,14 @@ type popSlot struct {
 	arrivals int
 	srttMS   float64
 }
+
+// popSlotStart and popSlotStop are the shared schedule callbacks: every
+// arrival/departure event across the whole population carries one of
+// these two functions plus its slot pointer, so scheduling a slot's
+// entire ON/OFF history allocates no closures at all.
+func popSlotStart(a any) { sl := a.(*popSlot); sl.start(sl.eng.Now()) }
+
+func popSlotStop(a any) { sl := a.(*popSlot); sl.stop(sl.eng.Now()) }
 
 // start activates the slot (an arrival).
 func (sl *popSlot) start(now sim.Time) {
@@ -269,6 +279,18 @@ type population struct {
 	cfg     FlowPopulation
 	slots   []*popSlot
 	streams []packet.FlowID // extra game-stream flow IDs
+
+	// slotStore and bulkStore are the bulk backing arrays the slot
+	// pointers index into; binStore backs every iperf slot's goodput
+	// bins. One allocation each, however many flows the population has.
+	slotStore []popSlot
+	bulkStore []iperf.Flow
+	binStore  []int64
+	// segPool/ackPool are the shared TCP freelists across all iperf
+	// slots: records in circulation scale with concurrent in-flight
+	// data, not with slot count.
+	segPool tcp.SegPool
+	ackPool tcp.AckPool
 }
 
 // popHosts carries the four endpoint hosts a population attaches to.
@@ -316,13 +338,59 @@ func buildPopulation(eng *sim.Engine, cfg RunConfig, hosts popHosts, prb *probe.
 		}
 		mix = []Competitor{{Kind: CompIperf, CCA: cca}}
 	}
+	// Slots, iperf endpoints, and goodput bins live in bulk arrays sized
+	// up front: a 500-flow population costs a handful of allocations, not
+	// a handful per slot. Slot pointers into slotStore are stable because
+	// the array never grows.
+	nIperf := 0
+	for i := 0; i < pcfg.Flows; i++ {
+		if mix[i%len(mix)].Kind == CompIperf {
+			nIperf++
+		}
+	}
+	pop.slotStore = make([]popSlot, pcfg.Flows)
+	pop.bulkStore = make([]iperf.Flow, nIperf)
+	binDur := sim.At(trace.DefaultBin)
+	// Bins cover the whole trace, not just the contention window: flows
+	// stop sending at FlowStop but in-flight data keeps delivering while
+	// it drains, and a too-short carve would spill every late bin to the
+	// heap.
+	binsPer := int(sim.At(cfg.Timeline.TraceEnd)/binDur) + 2
+	if nIperf > 0 {
+		pop.binStore = make([]int64, nIperf*binsPer)
+	}
+	pop.slots = make([]*popSlot, 0, pcfg.Flows)
+
+	// Controllers for iperf slots come from per-algorithm bulk arrays,
+	// consumed in slot order.
+	ccCount := make(map[string]int)
+	for i := 0; i < pcfg.Flows; i++ {
+		if m := mix[i%len(mix)]; m.Kind == CompIperf {
+			ccCount[m.CCA]++
+		}
+	}
+	ccByAlg := make(map[string][]tcp.CongestionControl, len(ccCount))
+	for alg, n := range ccCount {
+		ccByAlg[alg] = tcp.NewBulk(alg, n)
+	}
+
+	nextBulk := 0
 	for i := 0; i < pcfg.Flows; i++ {
 		m := mix[i%len(mix)]
-		sl := &popSlot{kind: m.Kind, cca: m.CCA, flow: popFlowBase + packet.FlowID(i)}
+		sl := &pop.slotStore[i]
+		sl.kind, sl.cca, sl.flow, sl.eng = m.Kind, m.CCA, popFlowBase+packet.FlowID(i), eng
 		switch m.Kind {
 		case CompIperf:
-			sl.bulk = iperf.New(hosts.iperfServer, hosts.iperfClient, sl.flow, m.CCA, sim.At(trace.DefaultBin))
-			sl.bulk.PresizeBins(winStop)
+			sl.bulk = &pop.bulkStore[nextBulk]
+			ccs := ccByAlg[m.CCA]
+			sl.bulk.InitWithCC(hosts.iperfServer, hosts.iperfClient, sl.flow, ccs[0], binDur)
+			ccByAlg[m.CCA] = ccs[1:]
+			sl.bulk.ShareSegPool(&pop.segPool, &pop.ackPool)
+			// Carve this slot's bin capacity out of the bulk store; the
+			// three-index slice pins cap so a (theoretical) overflow
+			// spills to a fresh array instead of a neighbour's bins.
+			sl.bulk.SetBinStore(pop.binStore[nextBulk*binsPer : nextBulk*binsPer : (nextBulk+1)*binsPer])
+			nextBulk++
 			if prb != nil {
 				prb.AttachSender(fmt.Sprintf("pop-iperf-%s-%d", m.CCA, i), sl.bulk.Sender)
 			}
@@ -339,10 +407,8 @@ func buildPopulation(eng *sim.Engine, cfg RunConfig, hosts popHosts, prb *probe.
 
 		// Draw the slot's full ON/OFF schedule now. Phases are staggered
 		// by a uniform initial offset so the population doesn't arrive in
-		// lockstep at FlowStart. One start/stop closure pair serves every
+		// lockstep at FlowStart. The two shared callbacks serve every
 		// period, so schedule length costs events, not closures.
-		startFn := func() { sl.start(eng.Now()) }
-		stopFn := func() { sl.stop(eng.Now()) }
 		t := winStart.Add(time.Duration(rng.Float64() * float64(pcfg.MeanOn+pcfg.MeanOff)))
 		for t < winStop {
 			onDur := paretoDuration(rng, pcfg.MeanOn, pcfg.Shape)
@@ -350,8 +416,8 @@ func buildPopulation(eng *sim.Engine, cfg RunConfig, hosts popHosts, prb *probe.
 			if end > winStop {
 				end = winStop
 			}
-			eng.ScheduleAt(t, startFn)
-			eng.ScheduleAt(end, stopFn)
+			eng.ScheduleCallAt(t, popSlotStart, sl)
+			eng.ScheduleCallAt(end, popSlotStop, sl)
 			off := time.Duration(rng.Exp(pcfg.MeanOff.Seconds()) * float64(time.Second))
 			t = end.Add(off)
 		}

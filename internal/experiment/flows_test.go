@@ -317,6 +317,38 @@ func TestManyFlowsSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestManyFlowsAllocBudget pins the absolute allocation cost of the
+// 200-flow reference run (the many_flows_200 benchmark condition, full
+// paper timeline): construction plus steady state must stay under 2,000
+// heap allocations for the whole run. TestManyFlowsSteadyStateAllocs
+// proves the steady state doesn't leak; this bound additionally pins the
+// per-slot construction cost — bulk slot/endpoint arrays, shared
+// scoreboard/ACK-option pools, and arena-carved trace state — so a
+// regression back toward per-slot churn (~50 allocs per slot) fails
+// loudly rather than fading into the benchmark noise.
+func TestManyFlowsAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full-timeline 200-flow runs take a few seconds")
+	}
+	const budget = 2000
+	cfg := RunConfig{
+		Condition: Condition{
+			System: gamestream.Stadia, Capacity: units.Mbps(25), QueueMult: 2,
+		},
+		Population: FlowPopulation{Flows: 200},
+		Seed:       1,
+	}
+	Run(cfg) // warm lazily initialised globals (profiles, tables, pools)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	Run(cfg)
+	runtime.ReadMemStats(&after)
+	if allocs := after.Mallocs - before.Mallocs; allocs > budget {
+		t.Errorf("many_flows_200 run cost %d allocs, budget %d", allocs, budget)
+	}
+}
+
 // TestSteadyStateAllocsBBRAndImpaired extends the allocation-discipline
 // check beyond the cubic reference run to the two holdout classes the
 // profile work targeted: a BBR competitor (delivery-rate sampling and the

@@ -54,6 +54,10 @@ func (s ScheduleStep) String() string {
 // or a plain fraction ("0.02").
 func ParseProb(s string) (float64, error) { return parseProb(s) }
 
+// ParseRate reads a rate given as "10mbit", "250kbit", or a bare number of
+// Mb/s ("10").
+func ParseRate(s string) (units.Rate, error) { return parseRate(s) }
+
 // parseProb reads a probability given either as a percentage ("2%", "0.5%")
 // or a plain fraction ("0.02").
 func parseProb(s string) (float64, error) {

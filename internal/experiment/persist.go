@@ -8,6 +8,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/netem"
 	"repro/internal/ping"
 	"repro/internal/sim"
 )
@@ -31,6 +32,7 @@ type persistedRun struct {
 	TCPRetransmits   int
 	EventsProcessed  uint64
 	Engine           sim.Stats
+	Impair           netem.ImpairStats
 	Flows            []FlowStats
 	FlowSummary      FlowSummary
 }
@@ -153,6 +155,7 @@ func toPersisted(r *RunResult) persistedRun {
 		TCPRetransmits:   r.TCPRetransmits,
 		EventsProcessed:  r.EventsProcessed,
 		Engine:           r.Engine,
+		Impair:           r.Impair,
 		Flows:            r.Flows,
 		FlowSummary:      r.FlowSummary,
 	}
@@ -179,6 +182,7 @@ func fromPersisted(p *persistedRun) *RunResult {
 		TCPRetransmits:   p.TCPRetransmits,
 		EventsProcessed:  p.EventsProcessed,
 		Engine:           p.Engine,
+		Impair:           p.Impair,
 		Flows:            p.Flows,
 		FlowSummary:      p.FlowSummary,
 	}

@@ -32,6 +32,13 @@ const (
 	flowPing  packet.FlowID = 3
 )
 
+// impairerSeedTag ("impairer" in ASCII) separates the impairment stage's
+// random stream from the engine stream it used to fork from. Deriving it
+// straight from the run seed makes the stage's presence invisible to every
+// other component's stream — the property the clean-run-equivalence
+// invariant checks.
+const impairerSeedTag uint64 = 0x696d706169726572
+
 // Queue disciplines for the bottleneck.
 const (
 	AQMDropTail = "droptail"
@@ -137,6 +144,12 @@ type RunConfig struct {
 	// dispatch are contractually identical (same order, same output, same
 	// stats); this knob exists so differential tests can prove it.
 	SerialDispatch bool
+	// ForceImpairer constructs the impairment stage even when no static
+	// impairment or schedule is configured. An inert impairer is
+	// contractually invisible — no events, no RNG draws, no extra delay —
+	// and this knob lets differential tests (the clean-run-equivalence
+	// invariant) prove it by comparing against a run without the stage.
+	ForceImpairer bool
 }
 
 // Defaults fills zero fields with the paper's parameters.
@@ -329,13 +342,15 @@ func Run(cfg RunConfig) *RunResult {
 	// Impairments sit between the shaper and the delivered tap: a packet the
 	// impairer kills was offered to the bottleneck (counted by the router
 	// tap) but never delivered, so it shows up as loss in the capture — the
-	// same accounting as a queue drop. The impairer (and its RNG fork) exist
-	// only when something is configured, so clean-path runs keep their event
-	// and random streams bit-for-bit unchanged.
+	// same accounting as a queue drop. The impairer exists only when
+	// something is configured (or ForceImpairer demands it), and its RNG is
+	// derived directly from the run seed rather than forked from the engine
+	// stream, so whether the stage is present or not, every other
+	// component's random stream is bit-for-bit unchanged.
 	var impairer *netem.Impairer
 	shaperOut := deliveredTap
-	if cfg.Impair.Enabled() || len(cfg.Schedule) > 0 {
-		impairer = netem.NewImpairer(eng, cfg.Impair, eng.Rand().Fork(), deliveredTap)
+	if cfg.Impair.Enabled() || len(cfg.Schedule) > 0 || cfg.ForceImpairer {
+		impairer = netem.NewImpairer(eng, cfg.Impair, sim.NewRNG(cfg.Seed^impairerSeedTag), deliveredTap)
 		impairer.SetPool(pool)
 		if prb != nil {
 			ip := prb.AttachDropSource("impairer")

@@ -1,0 +1,38 @@
+package figures
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+	"repro/internal/scenario"
+)
+
+// InvariantTable renders a chaos campaign's per-invariant verdicts: how
+// many runs each property was checked on, how many passed, how many were
+// outside its applicability gate, and the first recorded reproducer when
+// it failed.
+func InvariantTable(rep *scenario.CampaignReport) *report.Table {
+	tb := report.NewTable(
+		fmt.Sprintf("Chaos campaign seed=%d: %d runs at scale %g (%d cache hits)",
+			rep.Seed, rep.Runs, rep.Scale, rep.CacheHits),
+		"Invariant", "Checked", "Passed", "Skipped", "Verdict")
+	for _, inv := range rep.Invariants {
+		verdict := "PASS"
+		if inv.Checked == 0 {
+			verdict = "not exercised"
+		}
+		if n := inv.Checked - inv.Passed; n > 0 {
+			verdict = fmt.Sprintf("FAIL (%d)", n)
+			if len(inv.ViolationList) > 0 {
+				v := inv.ViolationList[0]
+				verdict += fmt.Sprintf(" e.g. run %d seed %d", v.Run, v.Seed)
+			}
+		}
+		tb.AddRow(inv.Name,
+			fmt.Sprintf("%d", inv.Checked),
+			fmt.Sprintf("%d", inv.Passed),
+			fmt.Sprintf("%d", inv.Skipped),
+			verdict)
+	}
+	return tb
+}

@@ -70,6 +70,12 @@ type Client struct {
 	// High-watermark capacities for the per-slot arrays (see initSlot).
 	bitsCapHW int
 	nackCapHW int
+	// bitsArena/nackArena are carve-forward blocks backing fresh slot
+	// arrays: a whole ring's worth of slots first-touch in a burst at
+	// startup, and chunked carving turns those hundreds of small makes
+	// into a handful of block allocations.
+	bitsArena []uint64
+	nackArena []sim.Time
 
 	ticker *sim.Ticker
 
@@ -231,13 +237,21 @@ func (c *Client) slotFor(info *FrameInfo) *frameSlot {
 // high-watermark, so once the largest frame shape has been seen every slot
 // reaches a stable capacity after at most one more growth and the ring
 // stops touching the allocator.
+// slotArenaChunk is how many high-watermark-sized slot arrays one arena
+// block backs.
+const slotArenaChunk = 64
+
 func (c *Client) initSlot(fs *frameSlot, info *FrameInfo) {
 	words := (info.Count + info.Parity + 63) / 64
 	if words > c.bitsCapHW {
 		c.bitsCapHW = roundPow2(words)
 	}
 	if cap(fs.gotBits) < words {
-		fs.gotBits = make([]uint64, words, c.bitsCapHW)
+		if len(c.bitsArena) < c.bitsCapHW {
+			c.bitsArena = make([]uint64, slotArenaChunk*c.bitsCapHW)
+		}
+		fs.gotBits = c.bitsArena[:words:c.bitsCapHW]
+		c.bitsArena = c.bitsArena[c.bitsCapHW:]
 	} else {
 		fs.gotBits = fs.gotBits[:words]
 		for i := range fs.gotBits {
@@ -248,7 +262,11 @@ func (c *Client) initSlot(fs *frameSlot, info *FrameInfo) {
 		c.nackCapHW = roundPow2(info.Count)
 	}
 	if cap(fs.nackAt) < info.Count {
-		fs.nackAt = make([]sim.Time, info.Count, c.nackCapHW)
+		if len(c.nackArena) < c.nackCapHW {
+			c.nackArena = make([]sim.Time, slotArenaChunk*c.nackCapHW)
+		}
+		fs.nackAt = c.nackArena[:info.Count:c.nackCapHW]
+		c.nackArena = c.nackArena[c.nackCapHW:]
 	} else {
 		fs.nackAt = fs.nackAt[:info.Count]
 		for i := range fs.nackAt {

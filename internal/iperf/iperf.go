@@ -19,9 +19,13 @@ import (
 
 // Flow is one bulk-download TCP flow: the sender lives on the server host,
 // the receiver (the "iperf client" doing the download) on the client host.
+// The endpoints are embedded by value so a population of flows can live in
+// one bulk array; Sender and Receiver point at the embedded state.
 type Flow struct {
 	Sender   *tcp.Sender
 	Receiver *tcp.Receiver
+	sender   tcp.Sender
+	receiver tcp.Receiver
 	eng      *sim.Engine
 
 	startAt sim.Time
@@ -37,23 +41,53 @@ type Flow struct {
 // ("cubic" or "bbr"), sending from serverHost to clientHost. binDur sets
 // the goodput time-series resolution.
 func New(serverHost, clientHost *netem.Host, flow packet.FlowID, alg string, binDur sim.Time) *Flow {
-	f := &Flow{
-		eng:    serverHost.Engine(),
-		binDur: binDur,
-	}
-	f.Sender = tcp.NewSender(serverHost, flow, clientHost.Addr, tcp.New(alg))
-	f.Receiver = tcp.NewReceiver(clientHost, flow, serverHost.Addr)
-	f.Receiver.OnDeliver = func(n int64) {
-		if f.binDur <= 0 {
-			return
-		}
-		bin := int(f.eng.Now() / f.binDur)
-		for len(f.rxBins) <= bin {
-			f.rxBins = append(f.rxBins, 0)
-		}
-		f.rxBins[bin] += n
-	}
+	f := &Flow{}
+	f.Init(serverHost, clientHost, flow, alg, binDur)
 	return f
+}
+
+// Init readies a zero-valued Flow in place — the bulk-array twin of New.
+// A Flow must not be copied after Init (the embedded endpoints hold
+// intrusive timer state).
+func (f *Flow) Init(serverHost, clientHost *netem.Host, flow packet.FlowID, alg string, binDur sim.Time) {
+	f.InitWithCC(serverHost, clientHost, flow, tcp.New(alg), binDur)
+}
+
+// InitWithCC is Init with a caller-supplied congestion controller, for
+// populations that construct controllers in bulk (tcp.NewBulk).
+func (f *Flow) InitWithCC(serverHost, clientHost *netem.Host, flow packet.FlowID, cc tcp.CongestionControl, binDur sim.Time) {
+	f.eng = serverHost.Engine()
+	f.binDur = binDur
+	f.sender.Init(serverHost, flow, clientHost.Addr, cc)
+	f.receiver.Init(clientHost, flow, serverHost.Addr)
+	f.Sender = &f.sender
+	f.Receiver = &f.receiver
+	f.receiver.SetSink(f)
+}
+
+// Deliver implements tcp.DeliverSink, accumulating goodput bins.
+func (f *Flow) Deliver(n int64) {
+	if f.binDur <= 0 {
+		return
+	}
+	bin := int(f.eng.Now() / f.binDur)
+	for len(f.rxBins) <= bin {
+		f.rxBins = append(f.rxBins, 0)
+	}
+	f.rxBins[bin] += n
+}
+
+// ShareSegPool attaches a shared scoreboard freelist to the flow's sender
+// and a shared ACK-option pool to its receiver; see tcp.Sender.SetSegPool.
+func (f *Flow) ShareSegPool(segs *tcp.SegPool, acks *tcp.AckPool) {
+	f.sender.SetSegPool(segs)
+	f.receiver.SetAckPool(acks)
+}
+
+// SetBinStore hands the flow a preallocated (empty) goodput-bin backing
+// array, letting populations carve per-slot bins from one bulk allocation.
+func (f *Flow) SetBinStore(buf []int64) {
+	f.rxBins = buf[:0]
 }
 
 // PresizeBins grows the goodput-bin store to cover times up to t, so the

@@ -375,9 +375,17 @@ func (h *Host) NewPacket() *packet.Packet { return h.pool.Get() }
 func (h *Host) Bind(flow packet.FlowID, handler packet.Handler) {
 	if flow >= 0 && flow < maxDenseFlow {
 		if int(flow) >= len(h.flows) {
-			nf := make([]packet.Handler, flow+1)
-			copy(nf, h.flows)
-			h.flows = nf
+			if int(flow) < cap(h.flows) {
+				h.flows = h.flows[:flow+1]
+			} else {
+				// Grow geometrically: population flow IDs ascend one at
+				// a time, and reallocating per new maximum would make
+				// binding N flows O(N²).
+				newCap := 2 * (int(flow) + 1)
+				nf := make([]packet.Handler, flow+1, newCap)
+				copy(nf, h.flows)
+				h.flows = nf
+			}
 		}
 		h.flows[flow] = handler
 		return

@@ -1,0 +1,112 @@
+package scenario
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// FuzzParseScenario feeds the spec parser arbitrary file contents. The
+// parser must never panic, must be deterministic, and any spec it accepts
+// must satisfy the structural contract RunConfig depends on: a valid
+// system, a resolvable path with a well-defined bottleneck, finite
+// positive capacity, a consistent timeline, and a buildable, cacheable
+// run configuration for iteration 0.
+func FuzzParseScenario(f *testing.F) {
+	seeds := []string{
+		headlineSpec,
+		// A spec exercising every section.
+		`[run]
+name = full
+seed = 9
+iterations = 2
+scale = 0.5
+[game]
+system = luna
+[link access]
+rate = 100mbit
+delay = 2ms
+[link bottleneck]
+rate = 25mbit
+delay = 6.25ms
+queue = 4
+aqm = codel
+[path]
+hops = access, bottleneck
+[flow a]
+kind = iperf
+cca = bbr
+[flow b]
+kind = dash
+[impair]
+loss = 1%
+jitter = 2ms
+[schedule]
+step = 100s rate=10mbit
+step = 120s rate=25mbit
+[population]
+flows = 8
+mix = iperf:cubic,dash
+`,
+		// Hostile shapes the parser must reject without panicking.
+		"[link l]\nrate = NaN",
+		"[link l]\nrate = +Inf\ndelay = -1ms",
+		"[game]\nsystem = stadia\n[link a]\nrate = 1mbit\n[path]\nhops = a, a",
+		"[game]\nsystem = stadia\n[link l]\nrate = 25mbit\nqueue = 1e308xbdp",
+		"[schedule]\nstep = 10s loss=200%",
+		"[flow f]\nstart = 100000h\nstop = -3s",
+		"[run]\nseed = 99999999999999999999999999",
+		"= value without key",
+		"[link " + strings.Repeat("x", 100) + "]\nrate = 1mbit",
+		"\x00\x01\x02[game]",
+		"[game]\nsystem = stadia\n" + strings.Repeat("#pad\n", 50),
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		sp, err := Parse(strings.NewReader(text))
+		if err != nil {
+			if sp != nil {
+				t.Fatalf("Parse returned both a spec and an error: %v", err)
+			}
+			return
+		}
+		// Determinism: same bytes, same spec.
+		sp2, err2 := Parse(strings.NewReader(text))
+		if err2 != nil || !reflect.DeepEqual(sp, sp2) {
+			t.Fatalf("re-parse diverged: %v", err2)
+		}
+		// Structural contract of an accepted spec.
+		if sp.System == "" || len(sp.Links) == 0 {
+			t.Fatalf("accepted spec missing system or links: %+v", sp)
+		}
+		bn := sp.bottleneck()
+		if bn.Rate <= 0 || math.IsNaN(float64(bn.Rate)) || math.IsInf(float64(bn.Rate), 0) {
+			t.Fatalf("bottleneck rate %v not finite positive", bn.Rate)
+		}
+		if sp.BaseRTT() < 0 {
+			t.Fatalf("negative base RTT %v", sp.BaseRTT())
+		}
+		cfg := sp.RunConfig(0).Defaults()
+		tl := cfg.Timeline
+		if !(tl.FlowStart < tl.FlowStop && tl.FlowStop <= tl.TraceEnd) {
+			t.Fatalf("inconsistent timeline %+v", tl)
+		}
+		for _, st := range cfg.Schedule {
+			if st.At < 0 || st.At > tl.TraceEnd {
+				t.Fatalf("schedule step outside trace: %+v", st)
+			}
+		}
+		if cfg.QueueBytes() <= 0 {
+			t.Fatalf("non-positive queue: %d", cfg.QueueBytes())
+		}
+		if _, ok := experiment.CacheKey(cfg); !ok {
+			t.Fatalf("spec-built config not cacheable: %+v", cfg)
+		}
+	})
+}

@@ -1,0 +1,289 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/gamestream"
+	"repro/internal/metrics"
+	"repro/internal/netem"
+	"repro/internal/ping"
+	"repro/internal/units"
+)
+
+// Negative tests: every invariant checker must be shown to fire on an
+// injected violation. A checker that has never turned red is not evidence
+// of anything when it stays green.
+
+// fabricateRun builds a result whose game bitrate follows rate(t), binned
+// at one-second resolution over the run's timeline.
+func fabricateRun(tl metrics.Timeline, rate func(t time.Duration) float64) *experiment.RunResult {
+	bin := time.Second
+	r := &experiment.RunResult{
+		Cfg: experiment.RunConfig{
+			Condition: experiment.Condition{
+				System:    gamestream.Stadia,
+				CCA:       "cubic",
+				Capacity:  units.Mbps(25),
+				QueueMult: 2,
+				AQM:       experiment.AQMDropTail,
+			},
+			Timeline: tl,
+			Seed:     1,
+		},
+		Bin: bin,
+	}
+	for t := time.Duration(0); t < tl.TraceEnd; t += bin {
+		r.GameMbps = append(r.GameMbps, rate(t))
+	}
+	return r
+}
+
+// steadyThen returns a rate curve: pre Mb/s before the competing flow
+// arrives, mid during contention, post after departure.
+func steadyThen(tl metrics.Timeline, pre, mid, post float64) func(time.Duration) float64 {
+	return func(t time.Duration) float64 {
+		switch {
+		case t < tl.FlowStart:
+			return pre
+		case t < tl.FlowStop:
+			return mid
+		default:
+			return post
+		}
+	}
+}
+
+func outcomeOf(t *testing.T, name string, cr *ChaosRun, sampleEvery int) (skip bool, violation string) {
+	t.Helper()
+	for _, inv := range Invariants {
+		if inv.Name == name {
+			return inv.Check(cr, sampleEvery)
+		}
+	}
+	t.Fatalf("no invariant named %q", name)
+	return false, ""
+}
+
+func TestRecoveryCheckerFires(t *testing.T) {
+	tl := metrics.PaperTimeline.Scale(0.1) // tail 17s: room for small deficits
+	// Mild contention (deficit 1 Mb/s -> settle well inside the tail), then
+	// the stream collapses instead of recovering: must fire.
+	cr := &ChaosRun{Result: fabricateRun(tl, steadyThen(tl, 25, 24, 5))}
+	if skip, v := outcomeOf(t, "recovery-after-departure", cr, 0); skip || v == "" {
+		t.Fatalf("collapsed tail not flagged (skip=%v, violation=%q)", skip, v)
+	}
+	// Full recovery: must pass.
+	cr = &ChaosRun{Result: fabricateRun(tl, steadyThen(tl, 25, 24, 25))}
+	if skip, v := outcomeOf(t, "recovery-after-departure", cr, 0); skip || v != "" {
+		t.Fatalf("recovered run flagged (skip=%v, violation=%q)", skip, v)
+	}
+	// Deep contention: the slowest controller cannot close a 20 Mb/s
+	// deficit inside a 17 s tail, so the run must be skipped, not failed.
+	cr = &ChaosRun{Result: fabricateRun(tl, steadyThen(tl, 25, 5, 5))}
+	if skip, _ := outcomeOf(t, "recovery-after-departure", cr, 0); !skip {
+		t.Fatal("undecidable run (tail shorter than required settle) was not skipped")
+	}
+	// A stream that never established is outside the invariant.
+	cr = &ChaosRun{Result: fabricateRun(tl, steadyThen(tl, 0.2, 0.2, 0.2))}
+	if skip, _ := outcomeOf(t, "recovery-after-departure", cr, 0); !skip {
+		t.Fatal("never-established stream was not skipped")
+	}
+}
+
+func TestQueueBoundCheckerFires(t *testing.T) {
+	tl := metrics.PaperTimeline.Scale(0.1)
+	res := fabricateRun(tl, steadyThen(tl, 25, 20, 25))
+	cfg := res.Cfg.Defaults()
+	// One sample just under the bound: pass. One absurd sample: fire.
+	sojourn := time.Duration(float64(cfg.QueueBytes()) * 8 / float64(cfg.Capacity) * float64(time.Second))
+	bound := cfg.BaseRTT + sojourn + queueBoundPad
+	res.RTT = []ping.Sample{{At: 0, RTT: bound - time.Millisecond}}
+	cr := &ChaosRun{Result: res}
+	if skip, v := outcomeOf(t, "queue-bound", cr, 0); skip || v != "" {
+		t.Fatalf("in-bound RTT flagged (skip=%v, violation=%q)", skip, v)
+	}
+	res.RTT = append(res.RTT, ping.Sample{At: 0, RTT: bound + 10*time.Millisecond})
+	if skip, v := outcomeOf(t, "queue-bound", cr, 0); skip || v == "" {
+		t.Fatalf("out-of-bound RTT not flagged (skip=%v, violation=%q)", skip, v)
+	}
+	// A delay retune moves the base RTT out from under the bound: skip.
+	res.Cfg.Schedule = []experiment.ScheduleStep{{At: tl.FlowStart, Kind: experiment.ScheduleDelay, Delay: 50 * time.Millisecond}}
+	if skip, _ := outcomeOf(t, "queue-bound", cr, 0); !skip {
+		t.Fatal("delay-retuned run was not skipped")
+	}
+}
+
+// swapRunFn substitutes the differential runner for one test.
+func swapRunFn(t *testing.T, fn func(experiment.RunConfig) *experiment.RunResult) {
+	t.Helper()
+	prev := runFn
+	runFn = fn
+	t.Cleanup(func() { runFn = prev })
+}
+
+func TestDeterminismCheckerFires(t *testing.T) {
+	tl := metrics.PaperTimeline.Scale(0.1)
+	res := fabricateRun(tl, steadyThen(tl, 25, 20, 25))
+	cr := &ChaosRun{Index: 0, Cfg: res.Cfg, Result: res}
+
+	// Re-run reproduces the result: pass.
+	swapRunFn(t, func(experiment.RunConfig) *experiment.RunResult { return res })
+	if skip, v := outcomeOf(t, "determinism", cr, 1); skip || v != "" {
+		t.Fatalf("identical re-run flagged (skip=%v, violation=%q)", skip, v)
+	}
+	// Re-run diverges by a single counter: fire.
+	diverged := *res
+	diverged.FramesSent = res.FramesSent + 1
+	swapRunFn(t, func(experiment.RunConfig) *experiment.RunResult { return &diverged })
+	if skip, v := outcomeOf(t, "determinism", cr, 1); skip || v == "" {
+		t.Fatalf("diverged re-run not flagged (skip=%v, violation=%q)", skip, v)
+	}
+	// Off-sample runs are skipped and must not pay the extra simulation.
+	called := false
+	swapRunFn(t, func(experiment.RunConfig) *experiment.RunResult { called = true; return res })
+	off := &ChaosRun{Index: 1, Cfg: res.Cfg, Result: res}
+	if skip, _ := outcomeOf(t, "determinism", off, 2); !skip || called {
+		t.Fatalf("off-sample run not skipped (called=%v)", called)
+	}
+}
+
+func TestLossMonotonicCheckerFires(t *testing.T) {
+	tl := metrics.PaperTimeline.Scale(0.1)
+	res := fabricateRun(tl, steadyThen(tl, 20, 15, 20))
+	cr := &ChaosRun{Index: 0, Cfg: res.Cfg, Result: res}
+
+	var gotCfg experiment.RunConfig
+	// Perturbed run delivers MORE under added loss: fire.
+	more := fabricateRun(tl, steadyThen(tl, 25, 25, 25))
+	swapRunFn(t, func(cfg experiment.RunConfig) *experiment.RunResult { gotCfg = cfg; return more })
+	if skip, v := outcomeOf(t, "loss-monotonicity", cr, 1); skip || v == "" {
+		t.Fatalf("anti-monotone delivery not flagged (skip=%v, violation=%q)", skip, v)
+	}
+	// The perturbation itself must actually add loss.
+	if gotCfg.Impair.LossModel != netem.LossBernoulli || gotCfg.Impair.LossRate != extraLoss {
+		t.Fatalf("perturbed config did not add loss: %+v", gotCfg.Impair)
+	}
+	// Less delivery under loss: pass.
+	less := fabricateRun(tl, steadyThen(tl, 15, 10, 15))
+	swapRunFn(t, func(experiment.RunConfig) *experiment.RunResult { return less })
+	if skip, v := outcomeOf(t, "loss-monotonicity", cr, 1); skip || v != "" {
+		t.Fatalf("monotone delivery flagged (skip=%v, violation=%q)", skip, v)
+	}
+}
+
+// TestLossMonotonicLiftsScheduledLoss pins the schedule-aware part of the
+// perturbation: loss steps must be lifted by the same extra rate, or the
+// impairer's Bernoulli rate would be overwritten mid-run and the perturbed
+// run would not be uniformly lossier.
+func TestLossMonotonicLiftsScheduledLoss(t *testing.T) {
+	tl := metrics.PaperTimeline.Scale(0.1)
+	res := fabricateRun(tl, steadyThen(tl, 20, 15, 20))
+	res.Cfg.Schedule = []experiment.ScheduleStep{
+		{At: tl.FlowStart, Kind: experiment.ScheduleLoss, LossRate: 0.02},
+		{At: tl.FlowStop, Kind: experiment.ScheduleLoss},
+	}
+	cr := &ChaosRun{Index: 0, Cfg: res.Cfg, Result: res}
+	var gotCfg experiment.RunConfig
+	swapRunFn(t, func(cfg experiment.RunConfig) *experiment.RunResult { gotCfg = cfg; return res })
+	if skip, v := outcomeOf(t, "loss-monotonicity", cr, 1); skip || v != "" {
+		t.Fatalf("equal delivery flagged (skip=%v, violation=%q)", skip, v)
+	}
+	if got := gotCfg.Schedule[0].LossRate; got != 0.02+extraLoss {
+		t.Fatalf("scheduled loss step not lifted: %g", got)
+	}
+	if got := gotCfg.Schedule[1].LossRate; got != extraLoss {
+		t.Fatalf("restore step not lifted: %g", got)
+	}
+	// The original config's schedule must not have been mutated in place.
+	if cr.Cfg.Schedule[0].LossRate != 0.02 {
+		t.Fatal("perturbation mutated the original schedule")
+	}
+}
+
+func TestCleanEquivalenceCheckerFires(t *testing.T) {
+	tl := metrics.PaperTimeline.Scale(0.1)
+	res := fabricateRun(tl, steadyThen(tl, 25, 20, 25))
+	cr := &ChaosRun{Index: 0, Cfg: res.Cfg, Result: res}
+
+	// Forced stage changes behaviour (one extra frame): fire.
+	swapRunFn(t, func(cfg experiment.RunConfig) *experiment.RunResult {
+		r := *res
+		if cfg.ForceImpairer {
+			r.FramesSent++
+		}
+		return &r
+	})
+	if skip, v := outcomeOf(t, "clean-run-equivalence", cr, 0); skip || v == "" {
+		t.Fatalf("behaviour change not flagged (skip=%v, violation=%q)", skip, v)
+	}
+	// Forced stage only counts packets (pure bookkeeping): pass.
+	swapRunFn(t, func(cfg experiment.RunConfig) *experiment.RunResult {
+		r := *res
+		if cfg.ForceImpairer {
+			r.Impair.Packets = 12345
+		}
+		return &r
+	})
+	if skip, v := outcomeOf(t, "clean-run-equivalence", cr, 0); skip || v != "" {
+		t.Fatalf("bookkeeping-only stage flagged (skip=%v, violation=%q)", skip, v)
+	}
+	// Only run 0 of a campaign pays the two extra simulations.
+	if skip, _ := outcomeOf(t, "clean-run-equivalence", &ChaosRun{Index: 3, Cfg: res.Cfg, Result: res}, 0); !skip {
+		t.Fatal("non-zero index not skipped")
+	}
+}
+
+// TestDigestSensitivity proves the digest covers each field class it
+// claims to: flipping any one of them must change the hash.
+func TestDigestSensitivity(t *testing.T) {
+	tl := metrics.PaperTimeline.Scale(0.1)
+	base := fabricateRun(tl, steadyThen(tl, 25, 20, 25))
+	base.RTT = []ping.Sample{{At: 1000, RTT: 20 * time.Millisecond}}
+	base.CompetitorTraces = []experiment.CompetitorTrace{{Competitor: experiment.Competitor{Kind: "iperf", CCA: "cubic"}, Mbps: []float64{1, 2}}}
+	base.Flows = []experiment.FlowStats{{Arrivals: 3, ActiveSec: 1.5, MeanMbps: 4, SRTTms: 20}}
+	d0 := Digest(base)
+	if d1 := Digest(base); d1 != d0 {
+		t.Fatal("digest not deterministic")
+	}
+	mutations := map[string]func(r *experiment.RunResult){
+		"game series":  func(r *experiment.RunResult) { r.GameMbps[0]++ },
+		"rtt sample":   func(r *experiment.RunResult) { r.RTT[0].RTT += time.Millisecond },
+		"frames":       func(r *experiment.RunResult) { r.FramesDisplayed++ },
+		"retransmits":  func(r *experiment.RunResult) { r.TCPRetransmits++ },
+		"engine":       func(r *experiment.RunResult) { r.Engine.EventsDispatched++ },
+		"impair drops": func(r *experiment.RunResult) { r.Impair.LossDrops++ },
+		"trace":        func(r *experiment.RunResult) { r.CompetitorTraces[0].Mbps[0]++ },
+		"flow stats":   func(r *experiment.RunResult) { r.Flows[0].MeanMbps++ },
+	}
+	for name, mutate := range mutations {
+		c := *base
+		c.GameMbps = append([]float64(nil), base.GameMbps...)
+		c.RTT = append([]ping.Sample(nil), base.RTT...)
+		c.CompetitorTraces = []experiment.CompetitorTrace{{
+			Competitor: experiment.Competitor{Kind: "iperf", CCA: "cubic"},
+			Mbps:       append([]float64(nil), base.CompetitorTraces[0].Mbps...),
+		}}
+		c.Flows = append([]experiment.FlowStats(nil), base.Flows...)
+		mutate(&c)
+		if Digest(&c) == d0 {
+			t.Errorf("digest blind to %s", name)
+		}
+	}
+}
+
+// TestViolationMessagesCarryReproInfo pins the report contract: a
+// violation message names concrete quantities, and the campaign report
+// records the run index and seed that reproduce it.
+func TestViolationMessagesCarryReproInfo(t *testing.T) {
+	tl := metrics.PaperTimeline.Scale(0.1)
+	cr := &ChaosRun{Result: fabricateRun(tl, steadyThen(tl, 25, 24, 5))}
+	_, v := outcomeOf(t, "recovery-after-departure", cr, 0)
+	for _, want := range []string{"Mb/s", "deficit", "settle"} {
+		if !strings.Contains(v, want) {
+			t.Errorf("violation %q missing %q", v, want)
+		}
+	}
+}

@@ -80,14 +80,31 @@ func runClosure(a any) { a.(func())() }
 // operate on the live queue position in O(log n) instead of abandoning a
 // tombstone event per call.
 //
+// An entry fires through exactly one of two callback forms: fn (a plain
+// func(), possibly a method value allocated at construction) or call+arg
+// (a shared prebuilt func(any) applied to a pointer-shaped argument — the
+// ScheduleCall pattern, which lets value-embedded timers initialise with
+// zero allocations; see Timer.InitCall).
+//
 // pos encodes where the entry's event lives: a heap index when queued,
 // -1 when disarmed, and -2-i when drained into batch slot i of the Run
 // loop's dispatch buffer but not yet dispatched. Reset/Stop on a drained
 // entry adjust pos (and the engine's inBatch count), which makes the
 // dispatch loop skip the stale batch slot.
 type entry struct {
-	fn  func()
-	pos int
+	fn   func()
+	call func(any)
+	arg  any
+	pos  int
+}
+
+// fire dispatches the entry's callback.
+func (en *entry) fire() {
+	if en.call != nil {
+		en.call(en.arg)
+		return
+	}
+	en.fn()
 }
 
 // batchCap bounds one drain pass of the Run loop. Bursts of more than
@@ -500,7 +517,7 @@ func (e *Engine) Run(until Time) Time {
 			e.processed++
 			if ent := ev.ent; ent != nil {
 				ent.pos = -1
-				ent.fn()
+				ent.fire()
 			} else {
 				ev.call(ev.arg)
 			}
@@ -532,7 +549,7 @@ func (e *Engine) Run(until Time) Time {
 				ent.pos = -1
 				e.inBatch--
 				e.processed++
-				ent.fn()
+				ent.fire()
 			} else {
 				e.inBatch--
 				e.processed++
@@ -576,7 +593,7 @@ func (e *Engine) runSerial(until Time) Time {
 		e.processed++
 		if ent := ev.ent; ent != nil {
 			ent.pos = -1
-			ent.fn()
+			ent.fire()
 		} else {
 			ev.call(ev.arg)
 		}
@@ -615,8 +632,21 @@ type Timer struct {
 func NewTimer(eng *Engine, fn func()) *Timer {
 	t := &Timer{eng: eng, fn: fn}
 	t.ent.pos = -1
-	t.ent.fn = func() { t.fn() }
+	t.ent.fn = fn
 	return t
+}
+
+// InitCall prepares a zero-value Timer in place to fire fn(arg), the
+// value-embedding construction path: a struct that embeds a Timer by value
+// and initialises it with a shared package-level fn and itself as arg arms
+// and fires with no per-timer allocation at all (NewTimer costs the Timer
+// box plus the callback's closure or method value). The timer starts
+// disarmed. Like every Timer, it must not be copied once initialised.
+func (t *Timer) InitCall(eng *Engine, fn func(any), arg any) {
+	t.eng = eng
+	t.ent.pos = -1
+	t.ent.call = fn
+	t.ent.arg = arg
 }
 
 // Reset (re)arms the timer to fire after d, cancelling any earlier deadline.

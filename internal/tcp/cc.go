@@ -132,3 +132,22 @@ func New(name string) CongestionControl {
 	}
 	panic("tcp: unknown congestion control " + name)
 }
+
+// NewBulk returns n independent controllers of the named algorithm. Cubic
+// controllers — the default for large flow populations — come from one
+// backing array, so constructing hundreds costs one allocation; other
+// algorithms fall back to per-controller construction.
+func NewBulk(name string, n int) []CongestionControl {
+	out := make([]CongestionControl, n)
+	if name == AlgCubic {
+		arr := make([]Cubic, n)
+		for i := range out {
+			out[i] = &arr[i]
+		}
+		return out
+	}
+	for i := range out {
+		out[i] = New(name)
+	}
+	return out
+}

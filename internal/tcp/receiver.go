@@ -35,12 +35,17 @@ type Receiver struct {
 
 	rcvNxt  int64
 	ooo     []span
+	oooBuf  [8]span // inline backing for ooo; spills to the heap past 8 holes
 	lastTS  sim.Time
 	pending int  // full-size segments since last ACK
 	ceSeen  bool // CE mark arrived since the last ACK
 
-	delAck   *sim.Timer
-	metaPool ackMetaPool
+	delAck sim.Timer
+	// metaPool supplies ackMeta records. It points at ownPool by default;
+	// population receivers share one pool via SetAckPool so SACK episodes
+	// across hundreds of flows recycle a single freelist.
+	metaPool *ackMetaPool
+	ownPool  ackMetaPool
 
 	// BytesReceived counts distinct payload bytes delivered in order.
 	BytesReceived int64
@@ -48,16 +53,49 @@ type Receiver struct {
 	DupSegments int
 	// OnDeliver, when set, is invoked with newly in-order byte counts.
 	OnDeliver func(n int64)
+	// sink, when set, takes precedence over OnDeliver. Attaching a
+	// pointer-shaped value through the interface costs no allocation,
+	// unlike the closure (or method value) OnDeliver needs.
+	sink DeliverSink
 }
+
+// DeliverSink observes newly in-order byte counts; see Receiver.SetSink.
+type DeliverSink interface{ Deliver(n int64) }
+
+// SetSink registers s to observe in-order deliveries, taking precedence
+// over OnDeliver.
+func (r *Receiver) SetSink(s DeliverSink) { r.sink = s }
 
 // NewReceiver creates a receiver for flow on host, acknowledging to peer.
 // It binds itself to the host for data delivery.
 func NewReceiver(host *netem.Host, flow packet.FlowID, peer packet.Addr) *Receiver {
-	r := &Receiver{host: host, eng: host.Engine(), flow: flow, peer: peer}
-	r.delAck = sim.NewTimer(r.eng, func() { r.sendAck() })
-	host.Bind(flow, r)
+	r := &Receiver{}
+	r.Init(host, flow, peer)
 	return r
 }
+
+func receiverAck(a any) { a.(*Receiver).sendAck() }
+
+// Init readies a (possibly embedded, zero-valued) Receiver in place —
+// the allocation-free twin of NewReceiver for callers that lay receivers
+// out in bulk arrays.
+func (r *Receiver) Init(host *netem.Host, flow packet.FlowID, peer packet.Addr) {
+	r.host = host
+	r.eng = host.Engine()
+	r.flow = flow
+	r.peer = peer
+	r.ooo = r.oooBuf[:0]
+	r.metaPool = &r.ownPool
+	r.delAck.InitCall(r.eng, receiverAck, r)
+	host.Bind(flow, r)
+}
+
+// SetAckPool shares one ACK-option freelist across receivers (population
+// slots), replacing the receiver's private pool.
+func (r *Receiver) SetAckPool(p *ackMetaPool) { r.metaPool = p }
+
+// AckPool exposes the pool type for wiring shared state; see SetAckPool.
+type AckPool = ackMetaPool
 
 // RcvNxt returns the cumulative in-order frontier.
 func (r *Receiver) RcvNxt() int64 { return r.rcvNxt }
@@ -143,7 +181,9 @@ func (r *Receiver) advance(end int64) {
 		r.ooo = r.ooo[:n]
 	}
 	r.BytesReceived += grown
-	if r.OnDeliver != nil {
+	if r.sink != nil {
+		r.sink.Deliver(grown)
+	} else if r.OnDeliver != nil {
 		r.OnDeliver(grown)
 	}
 }

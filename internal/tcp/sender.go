@@ -118,7 +118,8 @@ type Sender struct {
 
 	segs        []*seg
 	segBase     []*seg // full-capacity backing array of segs (see pushSeg)
-	segFree     []*seg // freelist of scoreboard records (per-sender, deterministic)
+	segFree     []*seg   // freelist of scoreboard records (per-sender, deterministic)
+	segShared   *SegPool // optional shared freelist (population senders); overrides segFree
 	pipeBytes   int64  // bytes considered in flight
 	highSacked  int64  // highest sequence+len SACKed
 	retxPending int    // segments marked lost awaiting retransmit
@@ -132,7 +133,7 @@ type Sender struct {
 
 	srtt, rttvar, rto time.Duration
 	minRTT            time.Duration
-	rtoTimer          *sim.Timer
+	rtoTimer          sim.Timer
 	backoff           uint
 
 	inRecovery  bool
@@ -152,7 +153,7 @@ type Sender struct {
 	rackTime sim.Time
 
 	paceNext  sim.Time
-	paceTimer *sim.Timer
+	paceTimer sim.Timer
 
 	// lastRate retains the most recent valid delivery-rate sample so
 	// interval-based probes can read it between ACKs.
@@ -169,21 +170,37 @@ type Sender struct {
 // NewSender creates a sender on host for the given flow, destined for dst,
 // governed by cc. The sender binds itself to the host for ACK delivery.
 func NewSender(host *netem.Host, flow packet.FlowID, dst packet.Addr, cc CongestionControl) *Sender {
-	s := &Sender{
-		host:   host,
-		eng:    host.Engine(),
-		flow:   flow,
-		dst:    dst,
-		cc:     cc,
-		mss:    packet.MSS,
-		rto:    initialRTO,
-		minRTT: -1,
-	}
-	s.rtoTimer = sim.NewTimer(s.eng, s.onRTO)
-	s.paceTimer = sim.NewTimer(s.eng, s.trySend)
+	s := &Sender{}
+	s.Init(host, flow, dst, cc)
+	return s
+}
+
+// senderRTO and senderTrySend are the shared timer dispatch shims: every
+// Sender's timers carry the same two package-level functions plus the
+// sender itself as the argument, so arming a value-embedded sender's timers
+// never allocates a closure or method value.
+func senderRTO(a any)     { a.(*Sender).onRTO() }
+func senderTrySend(a any) { a.(*Sender).trySend() }
+
+// Init prepares a zero-value Sender in place — the value-embedding
+// construction path for flow populations, where hundreds of senders live
+// inside one backing array and construction must not allocate per slot.
+// Like NewSender, it binds the sender to the host for ACK delivery. A
+// Sender must be Init'ed exactly once, before any use, and (like its
+// timers) must not be copied afterwards.
+func (s *Sender) Init(host *netem.Host, flow packet.FlowID, dst packet.Addr, cc CongestionControl) {
+	s.host = host
+	s.eng = host.Engine()
+	s.flow = flow
+	s.dst = dst
+	s.cc = cc
+	s.mss = packet.MSS
+	s.rto = initialRTO
+	s.minRTT = -1
+	s.rtoTimer.InitCall(s.eng, senderRTO, s)
+	s.paceTimer.InitCall(s.eng, senderTrySend, s)
 	cc.Init(s.mss)
 	host.Bind(flow, s)
-	return s
 }
 
 // EnableECN marks outgoing data ECN-capable (RFC 3168). ECE echoes from
@@ -249,7 +266,7 @@ func (s *Sender) Reset(cc CongestionControl) {
 	s.paceTimer.Stop()
 	for i, sg := range s.segs {
 		s.segs[i] = nil
-		s.segFree = append(s.segFree, sg)
+		s.freeSeg(sg)
 	}
 	if len(s.segBase) > 0 {
 		s.segs = s.segBase[:0]
@@ -391,9 +408,77 @@ func (s *Sender) paceAfter(bytes int64) {
 // allocation divides the miss cost without changing peak memory much.
 const segBlock = 16
 
+// SegPool is a shared scoreboard-record freelist. Senders that share one
+// bottleneck (an N-flow population's slots) attach the same pool via
+// SetSegPool, so the records in circulation are bounded by the total
+// in-flight window across the population rather than by per-sender
+// high-water marks — a 200-sender population warms up one freelist, not
+// two hundred. Get/put order is deterministic (the engine is
+// single-goroutine), so sharing never perturbs run output.
+type SegPool struct {
+	free []*seg
+	// boards is a carve-forward arena handing pool-attached senders their
+	// initial scoreboard backing, so a population's 200 scoreboards cost a
+	// few chunk allocations instead of a geometric-growth ladder each.
+	boards []*seg
+}
+
+// boardCap is the initial scoreboard capacity carved for pool-attached
+// senders: enough for a full BDP worth of in-flight segments on the
+// shared-bottleneck scenarios populations model, so pushSeg's growth
+// path is reserved for genuinely window-heavy flows.
+const boardCap = 64
+
+// boardChunk is how many boards one arena block holds.
+const boardChunk = 32
+
+func (p *SegPool) board() []*seg {
+	if len(p.boards) < boardCap {
+		p.boards = make([]*seg, boardChunk*boardCap)
+	}
+	b := p.boards[:boardCap:boardCap]
+	p.boards = p.boards[boardCap:]
+	return b
+}
+
+// get returns a zeroed record, replenishing a block at a time on miss.
+func (p *SegPool) get() *seg {
+	if len(p.free) == 0 {
+		block := make([]seg, segBlock)
+		for i := range block {
+			p.free = append(p.free, &block[i])
+		}
+	}
+	n := len(p.free)
+	sg := p.free[n-1]
+	p.free[n-1] = nil
+	p.free = p.free[:n-1]
+	*sg = seg{}
+	return sg
+}
+
+func (p *SegPool) put(sg *seg) { p.free = append(p.free, sg) }
+
+// SetSegPool attaches a shared scoreboard-record freelist, replacing the
+// sender's private one. Call before the first transmission; records from
+// the private freelist are handed to the shared pool so none strand.
+func (s *Sender) SetSegPool(p *SegPool) {
+	p.free = append(p.free, s.segFree...)
+	s.segFree = nil
+	s.segShared = p
+	if cap(s.segs) == 0 && len(s.segBase) == 0 {
+		b := p.board()
+		s.segBase = b
+		s.segs = b[:0]
+	}
+}
+
 // newSeg returns a zeroed scoreboard record, reusing a retired one when
 // available and replenishing the freelist a block at a time otherwise.
 func (s *Sender) newSeg() *seg {
+	if s.segShared != nil {
+		return s.segShared.get()
+	}
 	if len(s.segFree) == 0 {
 		block := make([]seg, segBlock)
 		for i := range block {
@@ -406,6 +491,16 @@ func (s *Sender) newSeg() *seg {
 	s.segFree = s.segFree[:n-1]
 	*sg = seg{}
 	return sg
+}
+
+// freeSeg retires a scoreboard record to whichever freelist the sender
+// draws from.
+func (s *Sender) freeSeg(sg *seg) {
+	if s.segShared != nil {
+		s.segShared.put(sg)
+		return
+	}
+	s.segFree = append(s.segFree, sg)
 }
 
 // pushSeg appends sg to the scoreboard. The scoreboard is a sliding
@@ -557,7 +652,7 @@ func (s *Sender) Handle(p *packet.Packet) {
 			}
 			s.segs[0] = nil
 			s.segs = s.segs[1:]
-			s.segFree = append(s.segFree, sg)
+			s.freeSeg(sg)
 		}
 		if len(s.segs) == 0 && len(s.segBase) > 0 {
 			s.segs = s.segBase[:0]

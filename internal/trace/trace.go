@@ -55,6 +55,10 @@ type Capture struct {
 	// preallocate their bin slices to it, so the hot taps almost never
 	// grow mid-run.
 	binHint int
+	// arena and binArena are the remainders of the current FlowTrace and
+	// bin allocation blocks; see newFlowTrace.
+	arena    []FlowTrace
+	binArena []binCount
 }
 
 // NewCapture creates a capture with the given bin duration (DefaultBin if
@@ -87,9 +91,16 @@ func (c *Capture) SetHorizon(d time.Duration) {
 func (c *Capture) flow(id packet.FlowID) *FlowTrace {
 	if id >= 0 && id < maxDenseFlow {
 		if int(id) >= len(c.flows) {
-			nf := make([]*FlowTrace, id+1)
-			copy(nf, c.flows)
-			c.flows = nf
+			if int(id) < cap(c.flows) {
+				c.flows = c.flows[:id+1]
+			} else {
+				// Geometric growth: population flow IDs arrive in
+				// ascending order, so per-maximum reallocation would be
+				// quadratic in the flow count.
+				nf := make([]*FlowTrace, id+1, 2*(int(id)+1))
+				copy(nf, c.flows)
+				c.flows = nf
+			}
 		}
 		if f := c.flows[id]; f != nil {
 			return f
@@ -109,10 +120,27 @@ func (c *Capture) flow(id packet.FlowID) *FlowTrace {
 	return f
 }
 
+// flowTraceChunk is how many FlowTrace records one arena block holds.
+const flowTraceChunk = 32
+
 func (c *Capture) newFlowTrace() *FlowTrace {
-	f := &FlowTrace{}
+	// FlowTrace records are carved from chunked arena blocks: a campaign
+	// population touches hundreds of flows, and one allocation per 32
+	// keeps trace setup out of the per-flow cost.
+	if len(c.arena) == 0 {
+		c.arena = make([]FlowTrace, flowTraceChunk)
+	}
+	f := &c.arena[0]
+	c.arena = c.arena[1:]
 	if c.binHint > 0 {
-		f.bins = make([]binCount, 0, c.binHint)
+		// Bin backings come from the same chunking discipline; the
+		// three-index carve pins capacity so a flow outliving the horizon
+		// spills to its own array rather than a neighbour's bins.
+		if len(c.binArena) < c.binHint {
+			c.binArena = make([]binCount, flowTraceChunk*c.binHint)
+		}
+		f.bins = c.binArena[:0:c.binHint]
+		c.binArena = c.binArena[c.binHint:]
 	}
 	return f
 }

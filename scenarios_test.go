@@ -1,0 +1,41 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/scenario"
+)
+
+// TestScenarioFilesParse keeps every shipped scenario file loadable and
+// compilable to a cacheable run configuration — the same gate docs-check
+// applies to markdown links. A scenario that ships broken is worse than no
+// scenario at all.
+func TestScenarioFilesParse(t *testing.T) {
+	files, err := filepath.Glob("scenarios/*.scn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no scenario files found under scenarios/")
+	}
+	for _, f := range files {
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			sp, err := scenario.Load(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			iters := sp.Iterations
+			if iters <= 0 {
+				iters = 1
+			}
+			for it := 0; it < iters; it++ {
+				cfg := sp.RunConfig(it).Defaults()
+				if _, ok := experiment.CacheKey(cfg); !ok {
+					t.Fatalf("iteration %d not cacheable: %+v", it, cfg)
+				}
+			}
+		})
+	}
+}

@@ -4,15 +4,15 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race bench bench-json bench-compare probe-demo fuzz-smoke cover-netem cover-runcache cover-obs impair-demo docs-check chaos-smoke
+.PHONY: verify build test vet race bench bench-json bench-compare probe-demo fuzz-smoke cover-netem cover-runcache cover-obs cover-campaign impair-demo docs-check chaos-smoke campaign-smoke
 
 # BENCH_N matches this PR's position in the stacked sequence; bump it when a
 # later change re-baselines the trajectory file. BENCH_PREV is the baseline
 # the bench-compare gate diffs against.
-BENCH_N ?= 9
-BENCH_PREV ?= 8
+BENCH_N ?= 10
+BENCH_PREV ?= 9
 
-verify: build vet test race cover-netem cover-runcache cover-obs
+verify: build vet test race cover-netem cover-runcache cover-obs cover-campaign
 
 build:
 	$(GO) build ./...
@@ -23,19 +23,19 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The sweep runner, the observability sinks, and the run cache are the only
-# concurrent code in the repository; keep them race-clean. netem and tcp
-# ride along: they are single-threaded by design, and -race on them proves
-# a future refactor didn't quietly share an impairer or a sender across
-# workers.
+# The sweep runner, the observability sinks, the run cache, and the campaign
+# coordinator are the only concurrent code in the repository; keep them
+# race-clean. netem and tcp ride along: they are single-threaded by design,
+# and -race on them proves a future refactor didn't quietly share an
+# impairer or a sender across workers.
 race:
-	$(GO) test -race ./internal/experiment/... ./internal/sim/... ./internal/obs/... ./internal/netem/... ./internal/tcp/... ./internal/runcache/...
+	$(GO) test -race ./internal/experiment/... ./internal/sim/... ./internal/obs/... ./internal/netem/... ./internal/tcp/... ./internal/runcache/... ./internal/campaign/...
 
 # Short coverage-guided sessions: the receiver-reassembly target, the
-# three experiment-flag parsers (schedule/loss/probability), and the
-# scenario-file parser. Corpora are checked in under
-# internal/*/testdata/fuzz. Raise FUZZTIME (and PARSEFUZZTIME for the
-# cheap string parsers) for a real local campaign.
+# three experiment-flag parsers (schedule/loss/probability), the
+# scenario-file parser, and the campaign-spec parser. Corpora are checked
+# in under internal/*/testdata/fuzz. Raise FUZZTIME (and PARSEFUZZTIME for
+# the cheap string parsers) for a real local campaign.
 FUZZTIME ?= 30s
 PARSEFUZZTIME ?= 10s
 fuzz-smoke:
@@ -44,6 +44,7 @@ fuzz-smoke:
 	$(GO) test ./internal/experiment -run '^$$' -fuzz FuzzParseLoss -fuzztime $(PARSEFUZZTIME)
 	$(GO) test ./internal/experiment -run '^$$' -fuzz FuzzParseProb -fuzztime $(PARSEFUZZTIME)
 	$(GO) test ./internal/scenario -run '^$$' -fuzz FuzzParseScenario -fuzztime $(PARSEFUZZTIME)
+	$(GO) test ./internal/campaign -run '^$$' -fuzz FuzzParseCampaign -fuzztime $(PARSEFUZZTIME)
 
 # The impairment subsystem is the loss model under every CC validation
 # claim; hold its statement coverage at >= 80%.
@@ -73,6 +74,16 @@ cover-obs:
 		else printf "obs coverage %.1f%% (gate 80%%)\n", $$3 }'
 	@rm -f obs.cover.out
 
+# The campaign coordinator turns a spec into the merged telemetry every
+# report consumes; a sharding or merge bug silently biases whole campaigns.
+# Hold its statement coverage at >= 80%.
+cover-campaign:
+	@$(GO) test -short -coverprofile=campaign.cover.out ./internal/campaign > /dev/null
+	@$(GO) tool cover -func=campaign.cover.out | awk '/^total:/ { gsub(/%/, "", $$3); \
+		if ($$3 + 0 < 80) { printf "campaign coverage %.1f%% < 80%%\n", $$3; exit 1 } \
+		else printf "campaign coverage %.1f%% (gate 80%%)\n", $$3 }'
+	@rm -f campaign.cover.out
+
 # One regeneration per benchmark target (reduced-size campaigns), then the
 # fixed trajectory suite written as BENCH_$(BENCH_N).json (see README).
 bench: bench-json
@@ -90,9 +101,28 @@ bench-compare:
 
 # Documentation gate: every markdown link and backticked file reference in
 # the root and docs/ markdown must resolve to a real file, and every
-# shipped scenario file must parse to a cacheable configuration.
+# shipped scenario and campaign file must parse to a cacheable
+# configuration.
 docs-check:
-	$(GO) test -run 'TestDocsLinksResolve|TestScenarioFilesParse' -count=1 .
+	$(GO) test -run 'TestDocsLinksResolve|TestScenarioFilesParse|TestCampaignFilesParse' -count=1 .
+
+# A sharded campaign end to end at CI size: the coordinator spawns two
+# gscampaign worker processes over a throwaway directory, sweeps up and
+# merges their shards, and gsreport renders the merged telemetry. The
+# second pass resumes the finished campaign (a pure re-merge) and must
+# leave the deterministic artefact byte-identical.
+campaign-smoke:
+	rm -rf campaign-smoke.dir
+	printf '%s\n' '[campaign]' 'name = ci-smoke' 'seed = 42' 'iterations = 2' \
+		'scale = 0.05' 'shards = 4' '' '[grid]' 'systems = stadia, luna' \
+		'ccas = cubic, solo' 'capacities = 25mbit' 'queue_mults = 2' \
+		> campaign-smoke.campaign
+	$(GO) run ./cmd/gscampaign -spec campaign-smoke.campaign -dir campaign-smoke.dir -workers 2
+	cp campaign-smoke.dir/merged.det.json campaign-smoke.det1.json
+	$(GO) run ./cmd/gscampaign -dir campaign-smoke.dir -resume > /dev/null
+	cmp campaign-smoke.det1.json campaign-smoke.dir/merged.det.json
+	$(GO) run ./cmd/gsreport -campaign campaign-smoke.dir
+	rm -rf campaign-smoke.dir campaign-smoke.campaign campaign-smoke.det1.json
 
 # The EXPERIMENTS.md chaos example at CI size: a seeded campaign through a
 # throwaway cache, rendered as the per-invariant verdict table, then

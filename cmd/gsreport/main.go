@@ -7,6 +7,8 @@
 // With -telemetry it renders quantiles-with-CI tables for every paper
 // metric from a persisted sketch snapshot (gssim/gsbench -telemetry-out)
 // alone — no per-run data needed, however large the campaign was.
+// With -campaign it reports a gscampaign directory: shard completion from
+// the manifest, then the merged campaign's telemetry tables.
 // With -cc / -queue it summarises probe exports (gssim -probe): per-flow
 // cwnd-vs-time and per-queue depth-vs-time with terminal sparklines.
 // This separates data collection from analysis the way the paper's
@@ -22,6 +24,9 @@
 //
 //	gssim -sweep -telemetry-out telemetry.json
 //	gsreport -telemetry telemetry.json
+//
+//	gscampaign -spec paper.campaign -dir camp -workers 4
+//	gsreport -campaign camp
 //
 //	gssim -cca cubic,bbr -probe -probe-out demo
 //	gsreport -cc demo.cc.csv -queue demo.queue.csv
@@ -51,6 +56,7 @@ func main() {
 	flowStop := flag.Float64("flow-stop", 370, "competing flow departure (s)")
 	runlog := flag.String("runlog", "", "aggregate a JSONL run log instead of a trace CSV")
 	telemetry := flag.String("telemetry", "", "render quantiles-with-CI tables from a telemetry snapshot (gssim/gsbench -telemetry-out)")
+	campaignDir := flag.String("campaign", "", "render a gscampaign directory: shard status plus the merged telemetry tables")
 	ccPath := flag.String("cc", "", "summarise a probe cc.csv export (cwnd-vs-time per flow)")
 	queuePath := flag.String("queue", "", "summarise a probe queue.csv export (depth-vs-time per queue)")
 	dropsPath := flag.String("drops", "", "summarise a probe drops.csv export as loss episodes")
@@ -60,6 +66,13 @@ func main() {
 
 	if *invariants != "" {
 		if err := reportInvariants(*invariants); err != nil {
+			fmt.Fprintln(os.Stderr, "gsreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *campaignDir != "" {
+		if err := reportCampaign(*campaignDir); err != nil {
 			fmt.Fprintln(os.Stderr, "gsreport:", err)
 			os.Exit(1)
 		}

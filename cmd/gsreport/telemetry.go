@@ -2,20 +2,12 @@ package main
 
 import (
 	"fmt"
-	"sort"
+	"os"
 
+	"repro/internal/campaign"
+	"repro/internal/figures"
 	"repro/internal/obs"
-	"repro/internal/report"
-	"repro/internal/stats"
 )
-
-// fmtQ renders a sketch quantile, "-" when the metric has no samples.
-func fmtQ(ms *stats.MetricSketch, q float64) string {
-	if ms == nil || ms.N() == 0 {
-		return "-"
-	}
-	return fmt.Sprintf("%.2f", ms.Quantile(q))
-}
 
 // reportTelemetry renders a persisted telemetry snapshot (gssim/gsbench
 // -telemetry-out, or a saved /snapshot body): quantiles-with-CI tables for
@@ -25,67 +17,35 @@ func reportTelemetry(path string) error {
 	if err != nil {
 		return err
 	}
+	figures.RenderTelemetry(os.Stdout, path, snap)
+	return nil
+}
 
-	state := "complete"
-	if snap.Interrupted {
-		state = "interrupted"
-	} else if snap.Done < snap.Total {
-		state = "in progress"
+// reportCampaign renders a gscampaign directory: shard completion status
+// from the manifest, then the merged telemetry tables if the campaign has
+// been merged (every table RenderTelemetry prints for a live snapshot).
+func reportCampaign(dir string) error {
+	m, _, err := campaign.ReadManifest(dir)
+	if err != nil {
+		return err
 	}
-	fmt.Printf("telemetry snapshot: %s (%s, %d/%d runs", path, state, snap.Done, snap.Total)
-	if snap.Cached > 0 {
-		fmt.Printf(", %d cached", snap.Cached)
-	}
-	fmt.Printf(", %d conditions, %.1fs elapsed)\n", len(snap.Conditions), snap.ElapsedS)
-	if c := snap.Cache; c != nil && c.Lookups() > 0 {
-		fmt.Printf("run cache: %s\n", c)
-	}
-	if h := snap.Health; h != nil && h.EventsPerSRoll > 0 {
-		fmt.Printf("engine: %.3g events/s rolling (opening %.3g)", h.EventsPerSRoll, h.EventsPerSOpen)
-		if h.Drift {
-			fmt.Printf("  [drift warning: %.0f%% below opening window]", h.DriftPct)
+	done, n := campaign.Status(dir, m)
+	fmt.Printf("campaign %s (%s): %d runs in %d shards, %d done\n", m.Name, m.ID, m.Total, m.Shards, n)
+	if n < m.Shards {
+		missing := make([]int, 0, m.Shards-n)
+		for i, d := range done {
+			if !d {
+				missing = append(missing, i)
+			}
 		}
-		fmt.Println()
+		fmt.Printf("missing shards: %v (resume with gscampaign -dir %s -resume)\n", missing, dir)
+		return nil
+	}
+	snap, err := obs.ReadSnapshot(campaign.MergedSnapPath(dir))
+	if err != nil {
+		return fmt.Errorf("campaign complete but not merged (run gscampaign -dir %s -resume): %w", dir, err)
 	}
 	fmt.Println()
-
-	// Campaign-wide table: one row per paper metric, quantiles + exact CI.
-	tb := report.NewTable("campaign metrics (across all conditions)",
-		"metric", "n", "mean ± ci95", "p10", "p50", "p90", "min", "max")
-	names := make([]string, 0, len(snap.Campaign))
-	for name := range snap.Campaign {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		ms := snap.Campaign[name]
-		if ms == nil || ms.N() == 0 {
-			continue
-		}
-		tb.AddRow(name, fmt.Sprintf("%d", ms.N()),
-			report.MeanCI(ms.Mean(), ms.CI95()),
-			fmtQ(ms, 0.10), fmtQ(ms, 0.50), fmtQ(ms, 0.90),
-			fmt.Sprintf("%.2f", ms.Min()), fmt.Sprintf("%.2f", ms.Max()))
-	}
-	fmt.Println(tb)
-
-	// Per-condition table over the paper's headline metrics.
-	ct := report.NewTable("per-condition stream metrics",
-		"condition", "runs", "game Mb/s ± ci", "game p50", "rtt ms ± ci", "fps ± ci", "loss % p90")
-	for _, c := range snap.Conditions {
-		game, rtt, fps, loss := c.Metrics["game_mbps"], c.Metrics["rtt_ms"], c.Metrics["fps"], c.Metrics["loss_pct"]
-		if game == nil {
-			continue
-		}
-		mc := func(ms *stats.MetricSketch) string {
-			if ms == nil || ms.N() == 0 {
-				return "-"
-			}
-			return report.MeanCI(ms.Mean(), ms.CI95())
-		}
-		ct.AddRow(c.Cond, fmt.Sprintf("%d", c.Runs),
-			mc(game), fmtQ(game, 0.50), mc(rtt), mc(fps), fmtQ(loss, 0.90))
-	}
-	fmt.Println(ct)
+	figures.RenderTelemetry(os.Stdout, dir, snap)
 	return nil
 }

@@ -1,0 +1,299 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// These tests exercise the campaign machinery the way production does: real
+// gscampaign worker processes sharing a directory and a cache, killed with
+// SIGKILL mid-shard, racing each other on purpose, and recovering from
+// deliberately corrupted cache entries — with the merged outputs required
+// to stay byte-identical through all of it.
+
+// procSpecText is sized so a 4-worker fleet is busy for long enough that a
+// kill at ~100 ms lands mid-shard: 24 runs in 6 shards of 4.
+const procSpecText = `
+[campaign]
+name = proc-crash
+seed = 7
+iterations = 2
+scale = 0.06
+shards = 6
+
+[grid]
+systems = stadia, geforce, luna
+ccas = cubic, solo
+capacities = 25mbit
+queue_mults = 0.5, 2
+`
+
+// raceSpecText is the smaller grid the contention tests race over: 12 runs
+// in 4 shards.
+const raceSpecText = `
+[campaign]
+name = proc-race
+seed = 7
+iterations = 1
+scale = 0.06
+shards = 4
+
+[grid]
+systems = stadia, geforce, luna
+ccas = cubic, solo
+capacities = 25mbit
+queue_mults = 0.5, 2
+`
+
+var (
+	binOnce sync.Once
+	binDir  string
+	binPath string
+	binErr  error
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if binDir != "" {
+		os.RemoveAll(binDir)
+	}
+	os.Exit(code)
+}
+
+// gscampaignBin builds the gscampaign binary once per test process.
+func gscampaignBin(t *testing.T) string {
+	t.Helper()
+	binOnce.Do(func() {
+		binDir, binErr = os.MkdirTemp("", "gscampaign-bin-")
+		if binErr != nil {
+			return
+		}
+		binPath = filepath.Join(binDir, "gscampaign")
+		cmd := exec.Command("go", "build", "-o", binPath, "./cmd/gscampaign")
+		cmd.Dir = "../.." // module root, so package paths resolve
+		if out, err := cmd.CombinedOutput(); err != nil {
+			binErr = fmt.Errorf("build gscampaign: %v\n%s", err, out)
+		}
+	})
+	if binErr != nil {
+		t.Fatal(binErr)
+	}
+	return binPath
+}
+
+// runBin executes the gscampaign binary and fails the test on a non-zero
+// exit, returning the combined output either way.
+func runBin(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	out, err := exec.CommandContext(ctx, bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("gscampaign %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+// startWorker launches one gscampaign -worker process over dir/cacheDir.
+func startWorker(t *testing.T, ctx context.Context, bin, dir, cacheDir, owner string, ignoreClaims bool) (*exec.Cmd, *bytes.Buffer) {
+	t.Helper()
+	args := []string{"-worker", "-dir", dir, "-cache", cacheDir,
+		"-owner", owner, "-lease", "1s", "-poll", "50ms", "-quiet"}
+	if ignoreClaims {
+		args = append(args, "-ignore-claims")
+	}
+	var out bytes.Buffer
+	cmd := exec.CommandContext(ctx, bin, args...)
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start worker %s: %v", owner, err)
+	}
+	return cmd, &out
+}
+
+func writeSpecFile(t *testing.T, text string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.campaign")
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func readFileT(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestProcessCrashResumeByteIdentical is the headline crash story: a
+// 4-worker fleet loses one worker to SIGKILL mid-shard, the survivors steal
+// its expired lease and finish, -resume merges — and the merged
+// deterministic telemetry and runlog are byte-identical to an uninterrupted
+// single-process run of the same spec.
+func TestProcessCrashResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process tests skipped in -short mode")
+	}
+	bin := gscampaignBin(t)
+	spec := writeSpecFile(t, procSpecText)
+
+	// Reference: the whole campaign in one uninterrupted process.
+	refDir := filepath.Join(t.TempDir(), "ref")
+	runBin(t, bin, "-spec", spec, "-dir", refDir, "-quiet")
+	refDet := readFileT(t, MergedDetPath(refDir))
+	refLog := readFileT(t, MergedRunlogPath(refDir))
+
+	// The crashing fleet: initialise the directory, start 4 workers, and
+	// SIGKILL one while its first shard is still executing.
+	dir := filepath.Join(t.TempDir(), "crash")
+	cacheDir := filepath.Join(dir, "cache")
+	sp := parseSpec(t, procSpecText)
+	if _, _, err := Init(dir, sp, false); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	type worker struct {
+		cmd *exec.Cmd
+		out *bytes.Buffer
+	}
+	var fleet []worker
+	for i := 0; i < 4; i++ {
+		cmd, out := startWorker(t, ctx, bin, dir, cacheDir, fmt.Sprintf("w%d", i), false)
+		fleet = append(fleet, worker{cmd, out})
+	}
+	time.Sleep(100 * time.Millisecond)
+	if err := fleet[0].cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL worker 0: %v", err)
+	}
+	if err := fleet[0].cmd.Wait(); err == nil {
+		t.Fatal("worker 0 exited cleanly before the kill; campaign too fast to test crashes")
+	}
+	for i := 1; i < 4; i++ {
+		if err := fleet[i].cmd.Wait(); err != nil {
+			t.Fatalf("worker %d: %v\n%s", i, err, fleet[i].out)
+		}
+	}
+
+	// The survivors finished every shard, including whatever the dead
+	// worker had claimed (its lease expired and was stolen).
+	m, _, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done := Status(dir, m); done != m.Shards {
+		t.Fatalf("fleet left %d of %d shards unfinished", m.Shards-(done), m.Shards)
+	}
+
+	// Resume merges; nothing re-executes.
+	runBin(t, bin, "-dir", dir, "-cache", cacheDir, "-resume", "-quiet")
+	if got := readFileT(t, MergedDetPath(dir)); !bytes.Equal(got, refDet) {
+		t.Error("crashed campaign deterministic telemetry differs from uninterrupted run")
+	}
+	if got := readFileT(t, MergedRunlogPath(dir)); !bytes.Equal(got, refLog) {
+		t.Error("crashed campaign merged runlog differs from uninterrupted run")
+	}
+}
+
+// TestProcessCacheContention races two -ignore-claims workers over every
+// shard of one campaign: both execute everything, their atomic Puts and
+// publishes may interleave arbitrarily, and the result must still be a
+// complete, mergeable campaign whose cache holds exactly one intact entry
+// per run. A renamed replay through the same cache then proves every entry
+// is readable (100% hit rate), and a deliberately truncated blob proves the
+// integrity check fires and the run is recomputed across processes.
+func TestProcessCacheContention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process tests skipped in -short mode")
+	}
+	bin := gscampaignBin(t)
+	base := t.TempDir()
+	cacheDir := filepath.Join(base, "cache")
+
+	// Race two unclaimed workers over the campaign.
+	dir1 := filepath.Join(base, "race")
+	sp := parseSpec(t, raceSpecText)
+	if _, _, err := Init(dir1, sp, false); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	cmdA, outA := startWorker(t, ctx, bin, dir1, cacheDir, "race-a", true)
+	cmdB, outB := startWorker(t, ctx, bin, dir1, cacheDir, "race-b", true)
+	if err := cmdA.Wait(); err != nil {
+		t.Fatalf("worker a: %v\n%s", err, outA)
+	}
+	if err := cmdB.Wait(); err != nil {
+		t.Fatalf("worker b: %v\n%s", err, outB)
+	}
+	runBin(t, bin, "-dir", dir1, "-cache", cacheDir, "-resume", "-quiet")
+	det1 := readFileT(t, MergedDetPath(dir1))
+
+	// Exactly one blob per distinct run, despite the duplicated Puts.
+	blobs, err := filepath.Glob(filepath.Join(cacheDir, "*", "*.blob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) != sp.Total() {
+		t.Fatalf("cache holds %d blobs, want %d", len(blobs), sp.Total())
+	}
+
+	// A renamed campaign over the same cache replays every run: the name is
+	// not part of the cache key, so 100% of lookups must hit — which also
+	// proves no racing Put left a torn blob behind.
+	replaySpec := writeSpecFile(t, strings.Replace(raceSpecText, "name = proc-race", "name = proc-replay", 1))
+	dir2 := filepath.Join(base, "replay")
+	out := runBin(t, bin, "-spec", replaySpec, "-dir", dir2, "-cache", cacheDir, "-quiet")
+	if !strings.Contains(out, "hit rate 100.0%") {
+		t.Fatalf("replay through the contended cache was not fully hit:\n%s", out)
+	}
+	if det2 := readFileT(t, MergedDetPath(dir2)); !bytes.Equal(det2, det1) {
+		t.Error("replayed campaign deterministic telemetry differs from the raced one")
+	}
+
+	// Truncate one blob. The next process must detect the damage, recompute
+	// that run, repair the entry, and still produce identical telemetry.
+	if err := truncateBlob(blobs[0]); err != nil {
+		t.Fatal(err)
+	}
+	repairSpec := writeSpecFile(t, strings.Replace(raceSpecText, "name = proc-race", "name = proc-repair", 1))
+	dir3 := filepath.Join(base, "repair")
+	out = runBin(t, bin, "-spec", repairSpec, "-dir", dir3, "-cache", cacheDir, "-quiet")
+	if strings.Contains(out, "hit rate 100.0%") {
+		t.Fatalf("truncated blob went undetected (full hit rate):\n%s", out)
+	}
+	if det3 := readFileT(t, MergedDetPath(dir3)); !bytes.Equal(det3, det1) {
+		t.Error("campaign through a truncated cache entry differs from the raced one")
+	}
+	// The recompute overwrote the entry: one more replay is fully hit again.
+	finalSpec := writeSpecFile(t, strings.Replace(raceSpecText, "name = proc-race", "name = proc-final", 1))
+	dir4 := filepath.Join(base, "final")
+	out = runBin(t, bin, "-spec", finalSpec, "-dir", dir4, "-cache", cacheDir, "-quiet")
+	if !strings.Contains(out, "hit rate 100.0%") {
+		t.Fatalf("truncated entry was not repaired by the recompute:\n%s", out)
+	}
+}
+
+// truncateBlob cuts a cache blob to half its length, simulating a partial
+// write that somehow landed (a filesystem that lost the tail after rename).
+func truncateBlob(path string) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	return os.Truncate(path, fi.Size()/2)
+}

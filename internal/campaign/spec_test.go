@@ -1,0 +1,183 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+)
+
+const gridSpecText = `
+# paper-sized grid, cut down
+[campaign]
+name = unit-grid
+seed = 7
+mode = grid
+iterations = 2
+scale = 0.02
+shards = 3
+
+[grid]
+systems = stadia, luna
+ccas = cubic, solo
+capacities = 15mbit, 25mbit
+queue_mults = 0.5, 2
+`
+
+const mcSpecText = `
+[campaign]
+name = unit-mc
+seed = 11
+mode = mc
+draws = 10
+scale = 0.02
+shards = 4
+
+[mc]
+systems = stadia
+ccas = cubic, bbr
+rate_mbps = 10..30:3, 30..50:1
+rtt_ms = 10..40
+queue_mult = 0.5:1, 2:2, 7:1
+`
+
+func parseSpec(t *testing.T, text string) *Spec {
+	t.Helper()
+	sp, err := ParseSpec(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestParseGridSpec(t *testing.T) {
+	sp := parseSpec(t, gridSpecText)
+	if sp.Name != "unit-grid" || sp.Seed != 7 || sp.Mode != ModeGrid {
+		t.Fatalf("header = %q/%d/%q", sp.Name, sp.Seed, sp.Mode)
+	}
+	if len(sp.Systems) != 2 || len(sp.CCAs) != 2 || len(sp.Capacities) != 2 || len(sp.QueueMults) != 2 {
+		t.Fatalf("axes = %d/%d/%d/%d", len(sp.Systems), len(sp.CCAs), len(sp.Capacities), len(sp.QueueMults))
+	}
+	if sp.CCAs[1] != "" {
+		t.Fatalf("solo cca = %q, want empty", sp.CCAs[1])
+	}
+	if got := sp.Total(); got != 2*2*2*2*2 {
+		t.Fatalf("Total = %d, want 32", got)
+	}
+	if sp.ShardCount() != 3 || sp.ShardSize() != 11 {
+		t.Fatalf("shards = %d × %d", sp.ShardCount(), sp.ShardSize())
+	}
+}
+
+func TestParseMCSpec(t *testing.T) {
+	sp := parseSpec(t, mcSpecText)
+	if sp.Mode != ModeMC || sp.Draws != 10 || sp.Total() != 10 {
+		t.Fatalf("mode=%q draws=%d total=%d", sp.Mode, sp.Draws, sp.Total())
+	}
+	if sp.Rate == nil || sp.RTT == nil || sp.Queue == nil {
+		t.Fatal("missing distributions")
+	}
+	if lo, hi := sp.Rate.Bounds(); lo != 10 || hi != 50 {
+		t.Fatalf("rate bounds = (%g,%g)", lo, hi)
+	}
+}
+
+func TestCanonicalRoundTrip(t *testing.T) {
+	for _, text := range []string{gridSpecText, mcSpecText} {
+		sp := parseSpec(t, text)
+		canon := sp.Canonical()
+		back, err := ParseSpec(strings.NewReader(canon))
+		if err != nil {
+			t.Fatalf("canonical text does not re-parse: %v\n%s", err, canon)
+		}
+		if got := back.Canonical(); got != canon {
+			t.Fatalf("canonical not a fixed point:\n%s\nvs\n%s", canon, got)
+		}
+		if back.ID() != sp.ID() {
+			t.Fatal("round trip changed the campaign ID")
+		}
+	}
+}
+
+func TestIDSensitivity(t *testing.T) {
+	base := parseSpec(t, gridSpecText)
+	renamed := parseSpec(t, strings.Replace(gridSpecText, "name = unit-grid", "name = other", 1))
+	reseeded := parseSpec(t, strings.Replace(gridSpecText, "seed = 7", "seed = 8", 1))
+	if base.ID() == renamed.ID() {
+		t.Error("renaming did not change the ID")
+	}
+	if base.ID() == reseeded.ID() {
+		t.Error("reseeding did not change the ID")
+	}
+	if id := base.ID(); len(id) != 16 {
+		t.Errorf("ID %q not 16 hex digits", id)
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"unknown-section", "[bogus]\n"},
+		{"unknown-key", "[campaign]\nfrobnicate = 1\n"},
+		{"key-outside-section", "name = x\n"},
+		{"duplicate-key", "[campaign]\nseed = 1\nseed = 2\n"},
+		{"duplicate-section", "[campaign]\n[campaign]\n"},
+		{"unterminated-header", "[campaign\n"},
+		{"bad-mode", "[campaign]\nmode = quantum\n"},
+		{"grid-in-mc", "[campaign]\nmode = mc\ndraws = 1\n[grid]\n"},
+		{"mc-in-grid", "[campaign]\n[mc]\nrate_mbps = 10\n"},
+		{"mc-without-draws", "[campaign]\nmode = mc\n[mc]\nrate_mbps = 10\nrtt_ms = 20\nqueue_mult = 2\n"},
+		{"mc-without-dists", "[campaign]\nmode = mc\ndraws = 5\n"},
+		{"bad-system", "[grid]\nsystems = atari\n"},
+		{"bad-cca", "[grid]\nccas = warp\n"},
+		{"bad-capacity", "[grid]\ncapacities = -3mbit\n"},
+		{"bad-queue", "[grid]\nqueue_mults = 0\n"},
+		{"bad-aqm", "[grid]\naqm = red\n"},
+		{"bad-name", "[campaign]\nname = sp aces\n"},
+		{"bad-seed", "[campaign]\nseed = -1\n"},
+		{"oversized-grid", "[campaign]\niterations = 2000000\n"},
+		{"bad-shards", "[campaign]\nshards = 0\n"},
+		{"bad-scale", "[campaign]\nscale = 0\n"},
+		{"bad-dist-weight", "[campaign]\nmode = mc\ndraws = 1\n[mc]\nrate_mbps = 10:0\nrtt_ms = 20\nqueue_mult = 2\n"},
+		{"bad-dist-range", "[campaign]\nmode = mc\ndraws = 1\n[mc]\nrate_mbps = 30..10\nrtt_ms = 20\nqueue_mult = 2\n"},
+		{"dist-out-of-bounds", "[campaign]\nmode = mc\ndraws = 1\n[mc]\nrate_mbps = 0..99999999\nrtt_ms = 20\nqueue_mult = 2\n"},
+		{"not-key-value", "[campaign]\njust words\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseSpec(strings.NewReader(c.text)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestParseSpecDefaults(t *testing.T) {
+	sp := parseSpec(t, "[campaign]\nname = defaults\n")
+	if sp.Mode != ModeGrid || sp.Iterations != 15 || sp.Scale != 1 {
+		t.Fatalf("defaults = %q/%d/%g", sp.Mode, sp.Iterations, sp.Scale)
+	}
+	// Paper grid defaults: 3 systems × 2 ccas × 3 capacities × 3 queues.
+	if got := sp.Total(); got != 15*3*2*3*3 {
+		t.Fatalf("default Total = %d, want 810", got)
+	}
+	if sp.Shards != 16 {
+		t.Fatalf("default shards = %d, want 16", sp.Shards)
+	}
+	// A tiny campaign never has more shards than cells.
+	tiny := parseSpec(t, "[campaign]\nname = tiny\niterations = 1\n[grid]\nsystems = stadia\nccas = cubic\ncapacities = 25mbit\nqueue_mults = 2\n")
+	if tiny.ShardCount() != 1 {
+		t.Fatalf("tiny shards = %d, want 1", tiny.ShardCount())
+	}
+}
+
+func TestParseSpecHostileInput(t *testing.T) {
+	// Over-long line.
+	if _, err := ParseSpec(strings.NewReader("[campaign]\nname = " + strings.Repeat("a", 8192))); err == nil {
+		t.Error("8 KiB line accepted")
+	}
+	// Oversized spec body.
+	var b strings.Builder
+	b.WriteString("[campaign]\n")
+	for i := 0; i < 600000; i++ {
+		b.WriteString("# pad\n")
+	}
+	if _, err := ParseSpec(strings.NewReader(b.String())); err == nil {
+		t.Error("multi-MiB spec accepted")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"reflect"
 	"sort"
 	"sync"
@@ -185,6 +187,55 @@ func TestRunCachedRecoversFromCorruptEntry(t *testing.T) {
 	// The recompute overwrote the entry; the next lookup replays cleanly.
 	if _, hit := RunCached(cache, cfg); !hit {
 		t.Fatal("entry not repaired after corrupt read")
+	}
+}
+
+// TestRunCachedRejectsTruncatedBlob corrupts an entry the way a dying
+// machine would — the blob file loses its tail on disk — and proves the
+// decode check fires: the lookup must not replay the damaged entry, the
+// recompute must repair it, and the repaired entry must replay cleanly.
+func TestRunCachedRejectsTruncatedBlob(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := runcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cacheCfg(42)
+	fresh, hit := RunCached(cache, cfg)
+	if hit {
+		t.Fatal("first run hit an empty cache")
+	}
+
+	blobs, err := filepath.Glob(filepath.Join(dir, "*", "*.blob"))
+	if err != nil || len(blobs) != 1 {
+		t.Fatalf("want exactly 1 blob, got %d (err %v)", len(blobs), err)
+	}
+	fi, err := os.Stat(blobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(blobs[0], fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	res, hit := RunCached(cache, cfg)
+	if hit {
+		t.Fatal("truncated blob was replayed as a hit")
+	}
+	if s := cache.Stats(); s.Errors == 0 {
+		t.Fatalf("truncated blob left no error in stats: %+v", s)
+	}
+	strip := func(r *RunResult) persistedRun {
+		p := toPersisted(r)
+		p.Engine.WallTime = 0
+		return p
+	}
+	if !reflect.DeepEqual(strip(res), strip(fresh)) {
+		t.Fatal("recompute after truncation diverged from the fresh run")
+	}
+	// The recompute overwrote the damaged entry.
+	if _, hit := RunCached(cache, cfg); !hit {
+		t.Fatal("entry not repaired after truncation")
 	}
 }
 

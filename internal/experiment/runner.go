@@ -134,6 +134,14 @@ func probeBase(cond Condition, seed uint64) string {
 	return fmt.Sprintf("%s__seed%d", strings.ReplaceAll(cond.String(), "/", "_"), seed)
 }
 
+// RunSeed derives the deterministic seed for one run from its grid
+// position, exactly as RunSweep does. External schedulers (the campaign
+// coordinator) use it so their cells reproduce sweep-built runs bit for
+// bit — same condition, same iteration, same seed, same cache key.
+func RunSeed(base uint64, iter int, cond Condition) uint64 {
+	return runSeed(base, iter, cond)
+}
+
 // runSeed derives a deterministic seed for one run from its grid position.
 func runSeed(base uint64, iter int, cond Condition) uint64 {
 	h := base

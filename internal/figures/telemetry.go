@@ -1,0 +1,91 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// fmtQ renders a sketch quantile, "-" when the metric has no samples.
+func fmtQ(ms *stats.MetricSketch, q float64) string {
+	if ms == nil || ms.N() == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", ms.Quantile(q))
+}
+
+// fmtMeanCI renders mean ± ci95, "-" when the metric has no samples.
+func fmtMeanCI(ms *stats.MetricSketch) string {
+	if ms == nil || ms.N() == 0 {
+		return "-"
+	}
+	return report.MeanCI(ms.Mean(), ms.CI95())
+}
+
+// RenderTelemetry renders a telemetry snapshot as the standard report:
+// a header line, the campaign-wide quantiles-with-CI table over every
+// recorded metric, and the per-condition table over the paper's headline
+// metrics. It is shared by gsreport -telemetry/-campaign and gscampaign,
+// and works on any snapshot — live, persisted, or merged from shards —
+// because everything it prints comes from the sketches alone.
+func RenderTelemetry(w io.Writer, label string, snap *obs.Snapshot) {
+	state := "complete"
+	if snap.Interrupted {
+		state = "interrupted"
+	} else if snap.Done < snap.Total {
+		state = "in progress"
+	}
+	fmt.Fprintf(w, "telemetry snapshot: %s (%s, %d/%d runs", label, state, snap.Done, snap.Total)
+	if snap.Cached > 0 {
+		fmt.Fprintf(w, ", %d cached", snap.Cached)
+	}
+	fmt.Fprintf(w, ", %d conditions, %.1fs elapsed)\n", len(snap.Conditions), snap.ElapsedS)
+	if c := snap.Cache; c != nil && c.Lookups() > 0 {
+		fmt.Fprintf(w, "run cache: %s\n", c)
+	}
+	if h := snap.Health; h != nil && h.EventsPerSRoll > 0 {
+		fmt.Fprintf(w, "engine: %.3g events/s rolling (opening %.3g)", h.EventsPerSRoll, h.EventsPerSOpen)
+		if h.Drift {
+			fmt.Fprintf(w, "  [drift warning: %.0f%% below opening window]", h.DriftPct)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+
+	// Campaign-wide table: one row per paper metric, quantiles + exact CI.
+	tb := report.NewTable("campaign metrics (across all conditions)",
+		"metric", "n", "mean ± ci95", "p10", "p50", "p90", "min", "max")
+	names := make([]string, 0, len(snap.Campaign))
+	for name := range snap.Campaign {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ms := snap.Campaign[name]
+		if ms == nil || ms.N() == 0 {
+			continue
+		}
+		tb.AddRow(name, fmt.Sprintf("%d", ms.N()),
+			fmtMeanCI(ms),
+			fmtQ(ms, 0.10), fmtQ(ms, 0.50), fmtQ(ms, 0.90),
+			fmt.Sprintf("%.2f", ms.Min()), fmt.Sprintf("%.2f", ms.Max()))
+	}
+	fmt.Fprintln(w, tb)
+
+	// Per-condition table over the paper's headline metrics.
+	ct := report.NewTable("per-condition stream metrics",
+		"condition", "runs", "game Mb/s ± ci", "game p50", "rtt ms ± ci", "fps ± ci", "loss % p90")
+	for _, c := range snap.Conditions {
+		game, rtt, fps, loss := c.Metrics["game_mbps"], c.Metrics["rtt_ms"], c.Metrics["fps"], c.Metrics["loss_pct"]
+		if game == nil {
+			continue
+		}
+		ct.AddRow(c.Cond, fmt.Sprintf("%d", c.Runs),
+			fmtMeanCI(game), fmtQ(game, 0.50), fmtMeanCI(rtt), fmtMeanCI(fps), fmtQ(loss, 0.90))
+	}
+	fmt.Fprintln(w, ct)
+}

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/runcache"
+)
+
+// mergeRec builds a synthetic record whose metric values are a deterministic
+// function of (cond, iter) so shard partitions of the same record set always
+// carry identical samples.
+func mergeRec(cond string, iter int, base float64) *Record {
+	v := base + float64(iter)
+	return &Record{
+		Cond:      cond,
+		Iteration: iter,
+		Seed:      uint64(iter + 1),
+		GameMbps:  v,
+		TCPMbps:   v / 2,
+		Fairness:  0.5,
+		RTTMs:     20 + v,
+		FPS:       60 - v/10,
+		LossPct:   v / 100,
+		Engine:    EngineStats{Events: 1000, WallSeconds: 0.5, Speedup: 100, EventsPerSecond: 2000},
+	}
+}
+
+// shardSnapshot folds the given records through a fresh Aggregator the way a
+// campaign worker does: SweepStart, RunDone per record, SweepDone, Snapshot.
+func shardSnapshot(t *testing.T, recs []*Record) *Snapshot {
+	t.Helper()
+	a := NewAggregator()
+	a.SweepStart(len(recs))
+	for _, r := range recs {
+		a.RunDone(Update{Record: r})
+	}
+	a.SweepDone(false, 0)
+	return a.Snapshot()
+}
+
+// roundTrip pushes a snapshot through its on-disk form, canonicalising the
+// sketches the way the coordinator sees them when it reads worker files.
+func roundTrip(t *testing.T, snap *Snapshot) *Snapshot {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := WriteSnapshot(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return back
+}
+
+func TestMergeSnapshotsValidation(t *testing.T) {
+	if _, err := MergeSnapshots(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := MergeSnapshots([]*Snapshot{nil}); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+	bad := &Snapshot{Schema: "wrong-schema"}
+	if _, err := MergeSnapshots([]*Snapshot{bad}); err == nil {
+		t.Error("wrong schema accepted")
+	}
+}
+
+func TestMergeSnapshotsTotalsAndCache(t *testing.T) {
+	s1 := shardSnapshot(t, []*Record{mergeRec("a", 0, 10)})
+	s2 := shardSnapshot(t, []*Record{mergeRec("b", 0, 20)})
+	s1.Total, s1.Done, s1.Cached, s1.ElapsedS = 5, 3, 1, 2.5
+	s2.Total, s2.Done, s2.Cached, s2.ElapsedS = 7, 4, 2, 1.5
+	s2.Interrupted = true
+	s1.Cache = &runcache.Stats{Hits: 1, Misses: 2, Stored: 2}
+	s2.Cache = &runcache.Stats{Hits: 10, Misses: 20, Stored: 20}
+
+	m, err := MergeSnapshots([]*Snapshot{s1, s2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Total != 12 || m.Done != 7 || m.Cached != 3 {
+		t.Fatalf("totals = %d/%d/%d, want 12/7/3", m.Total, m.Done, m.Cached)
+	}
+	if math.Abs(m.ElapsedS-4.0) > 1e-12 {
+		t.Fatalf("ElapsedS = %g, want 4", m.ElapsedS)
+	}
+	if !m.Interrupted {
+		t.Fatal("Interrupted flag not propagated")
+	}
+	if m.Cache == nil || m.Cache.Hits != 11 || m.Cache.Misses != 22 || m.Cache.Stored != 22 {
+		t.Fatalf("cache sum = %+v", m.Cache)
+	}
+	if m.Health != nil {
+		t.Fatal("merged snapshot must not carry a live health point")
+	}
+}
+
+func TestMergeSnapshotsCondUnion(t *testing.T) {
+	// Shard 1 covers conditions {a, y}; shard 2 covers {y, z}. The merge
+	// must union them sorted, and sum y's runs across shards.
+	s1 := shardSnapshot(t, []*Record{
+		mergeRec("y", 0, 10), mergeRec("a", 0, 1), mergeRec("y", 1, 10),
+	})
+	s2 := shardSnapshot(t, []*Record{
+		mergeRec("z", 0, 30), mergeRec("y", 2, 10),
+	})
+
+	m, err := MergeSnapshots([]*Snapshot{s1, s2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, c := range m.Conditions {
+		names = append(names, c.Cond)
+	}
+	want := []string{"a", "y", "z"}
+	if len(names) != 3 || names[0] != "a" || names[1] != "y" || names[2] != "z" {
+		t.Fatalf("conditions = %v, want %v", names, want)
+	}
+	y := m.Conditions[1]
+	if y.Runs != 3 {
+		t.Fatalf("y.Runs = %d, want 3", y.Runs)
+	}
+	// Welford merge is exact: game_mbps samples for y are 10, 11, 12.
+	gm := y.Metrics["game_mbps"]
+	if gm.N() != 3 || math.Abs(gm.Mean()-11) > 1e-12 {
+		t.Fatalf("y game_mbps: n=%d mean=%g, want n=3 mean=11", gm.N(), gm.Mean())
+	}
+	// Campaign-wide sketch spans all five runs.
+	if cg := m.Campaign["game_mbps"]; cg.N() != 5 {
+		t.Fatalf("campaign game_mbps n = %d, want 5", cg.N())
+	}
+}
+
+// TestMergeSnapshotsSingleShardIdentity pins the core byte-identity contract
+// at its smallest size: merging a single shard snapshot reproduces that
+// snapshot's DeterministicJSON exactly, because MergeSnapshots rebuilds the
+// campaign section with the same sorted-order merge discipline as
+// Aggregator.Snapshot and the canonical (round-tripped) sketch form is a
+// fixed point of re-merging.
+func TestMergeSnapshotsSingleShardIdentity(t *testing.T) {
+	recs := []*Record{
+		mergeRec("b", 0, 5), mergeRec("a", 0, 1), mergeRec("a", 1, 1), mergeRec("b", 1, 5),
+	}
+	snap := roundTrip(t, shardSnapshot(t, recs))
+	wantJSON, err := snap.DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := MergeSnapshots([]*Snapshot{snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := m.DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatalf("merge of one shard drifted:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+}
+
+// TestMergeSnapshotsDeterministic pins the crash/resume contract at unit
+// level: shard snapshots re-created from scratch (as a resumed worker does
+// after a SIGKILL) merge to byte-identical DeterministicJSON, and merging is
+// stable across repeated invocations and across the on-disk round trip.
+func TestMergeSnapshotsDeterministic(t *testing.T) {
+	shard0 := []*Record{mergeRec("a", 0, 1), mergeRec("a", 1, 1), mergeRec("c", 0, 9)}
+	shard1 := []*Record{mergeRec("b", 0, 4), mergeRec("b", 1, 4)}
+	shard2 := []*Record{mergeRec("a", 2, 1), mergeRec("c", 1, 9)}
+
+	build := func() []byte {
+		snaps := []*Snapshot{
+			roundTrip(t, shardSnapshot(t, shard0)),
+			roundTrip(t, shardSnapshot(t, shard1)),
+			roundTrip(t, shardSnapshot(t, shard2)),
+		}
+		m, err := MergeSnapshots(snaps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := m.DeterministicJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	first := build()
+	second := build() // fresh aggregators + fresh round trips, same records
+	if !bytes.Equal(first, second) {
+		t.Fatal("re-executed shards merged to different deterministic JSON")
+	}
+	if !bytes.Contains(first, []byte(`"cond":"a"`)) {
+		t.Fatalf("merged JSON missing condition: %s", first)
+	}
+}

@@ -87,6 +87,21 @@ type Stats struct {
 	BytesWritten uint64 `json:"bytes_written"`
 }
 
+// Add returns s + o counter-wise: the combined activity of two processes
+// sharing one cache directory (e.g. campaign workers whose stats the
+// coordinator folds together).
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Hits:         s.Hits + o.Hits,
+		Misses:       s.Misses + o.Misses,
+		Stored:       s.Stored + o.Stored,
+		Bypassed:     s.Bypassed + o.Bypassed,
+		Errors:       s.Errors + o.Errors,
+		BytesRead:    s.BytesRead + o.BytesRead,
+		BytesWritten: s.BytesWritten + o.BytesWritten,
+	}
+}
+
 // Sub returns s - o counter-wise: the activity between two snapshots.
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Segment is one piece of a Piecewise distribution: uniform mass W spread
+// over [Lo, Hi]. A point mass is a segment with Lo == Hi.
+type Segment struct {
+	Lo, Hi, W float64
+}
+
+// Piecewise is a mixture of uniform segments — the empirical per-household
+// condition distributions (access rate, base RTT, queue depth) Monte-Carlo
+// campaigns draw from. Sampling goes through the inverse CDF, so one
+// uniform variate from a deterministic RNG yields one deterministic draw:
+// the property the campaign layer's reproducible cell expansion relies on.
+//
+// A Piecewise is immutable after construction; Quantile never mutates, so
+// a single value is safe to share across worker goroutines.
+type Piecewise struct {
+	segs []Segment
+	// cum[i] is the total weight of segs[:i]; cum[len(segs)] the grand total.
+	cum []float64
+}
+
+// NewPiecewise validates and normalises the segments. Weights must be
+// positive and finite, bounds finite with Hi >= Lo; at least one segment is
+// required. Zero-weight segments are rejected rather than dropped so a
+// typo'd spec fails loudly.
+func NewPiecewise(segs []Segment) (*Piecewise, error) {
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("stats: piecewise: no segments")
+	}
+	p := &Piecewise{segs: append([]Segment(nil), segs...), cum: make([]float64, len(segs)+1)}
+	for i, s := range p.segs {
+		if math.IsNaN(s.Lo) || math.IsInf(s.Lo, 0) || math.IsNaN(s.Hi) || math.IsInf(s.Hi, 0) {
+			return nil, fmt.Errorf("stats: piecewise: segment %d has non-finite bounds [%g, %g]", i, s.Lo, s.Hi)
+		}
+		if s.Hi < s.Lo {
+			return nil, fmt.Errorf("stats: piecewise: segment %d inverted: [%g, %g]", i, s.Lo, s.Hi)
+		}
+		if !(s.W > 0) || math.IsInf(s.W, 0) {
+			return nil, fmt.Errorf("stats: piecewise: segment %d weight %g not positive and finite", i, s.W)
+		}
+		p.cum[i+1] = p.cum[i] + s.W
+	}
+	return p, nil
+}
+
+// Segments returns a copy of the validated segments.
+func (p *Piecewise) Segments() []Segment { return append([]Segment(nil), p.segs...) }
+
+// Quantile maps u in [0, 1) through the inverse CDF: the draw lands in the
+// segment whose cumulative weight interval contains u·total, uniformly
+// within it. Quantile is monotone in u, and u exactly on a segment
+// boundary belongs to the later segment.
+func (p *Piecewise) Quantile(u float64) float64 {
+	if math.IsNaN(u) || u < 0 {
+		u = 0
+	}
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	target := u * p.cum[len(p.segs)]
+	// Binary search for the first cum[i+1] > target.
+	lo, hi := 0, len(p.segs)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.cum[mid+1] > target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	s := p.segs[lo]
+	if s.Hi == s.Lo {
+		return s.Lo
+	}
+	frac := (target - p.cum[lo]) / s.W
+	return s.Lo + frac*(s.Hi-s.Lo)
+}
+
+// Mean returns the distribution's expectation.
+func (p *Piecewise) Mean() float64 {
+	total := p.cum[len(p.segs)]
+	m := 0.0
+	for _, s := range p.segs {
+		m += s.W / total * (s.Lo + s.Hi) / 2
+	}
+	return m
+}
+
+// Bounds returns the distribution's support: the smallest Lo and largest Hi.
+func (p *Piecewise) Bounds() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, s := range p.segs {
+		lo = math.Min(lo, s.Lo)
+		hi = math.Max(hi, s.Hi)
+	}
+	return lo, hi
+}

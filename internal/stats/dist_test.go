@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPiecewiseValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		segs []Segment
+	}{
+		{"empty", nil},
+		{"zero-weight", []Segment{{Lo: 0, Hi: 1, W: 0}}},
+		{"negative-weight", []Segment{{Lo: 0, Hi: 1, W: -2}}},
+		{"nan-weight", []Segment{{Lo: 0, Hi: 1, W: math.NaN()}}},
+		{"inf-weight", []Segment{{Lo: 0, Hi: 1, W: math.Inf(1)}}},
+		{"inverted", []Segment{{Lo: 2, Hi: 1, W: 1}}},
+		{"nan-bound", []Segment{{Lo: math.NaN(), Hi: 1, W: 1}}},
+		{"inf-bound", []Segment{{Lo: 0, Hi: math.Inf(1), W: 1}}},
+	}
+	for _, c := range cases {
+		if _, err := NewPiecewise(c.segs); err == nil {
+			t.Errorf("%s: NewPiecewise accepted invalid segments", c.name)
+		}
+	}
+}
+
+func TestPiecewiseSingleUniform(t *testing.T) {
+	p, err := NewPiecewise([]Segment{{Lo: 10, Hi: 20, W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ u, want float64 }{
+		{0, 10}, {0.5, 15}, {0.25, 12.5}, {0.999, 19.99},
+	} {
+		if got := p.Quantile(c.u); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", c.u, got, c.want)
+		}
+	}
+	if m := p.Mean(); math.Abs(m-15) > 1e-12 {
+		t.Errorf("Mean = %g, want 15", m)
+	}
+}
+
+func TestPiecewisePointMasses(t *testing.T) {
+	// Discrete distribution: 15 w.p. 0.25, 25 w.p. 0.5, 35 w.p. 0.25.
+	p, err := NewPiecewise([]Segment{
+		{Lo: 15, Hi: 15, W: 1},
+		{Lo: 25, Hi: 25, W: 2},
+		{Lo: 35, Hi: 35, W: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ u, want float64 }{
+		{0, 15}, {0.24, 15}, {0.25, 25}, {0.5, 25}, {0.74, 25}, {0.75, 35}, {0.99, 35},
+	} {
+		if got := p.Quantile(c.u); got != c.want {
+			t.Errorf("Quantile(%g) = %g, want %g", c.u, got, c.want)
+		}
+	}
+	if m := p.Mean(); math.Abs(m-25) > 1e-12 {
+		t.Errorf("Mean = %g, want 25", m)
+	}
+}
+
+func TestPiecewiseMixtureWeights(t *testing.T) {
+	// 70% in [0,1], 30% in [10,20]: a fine grid of quantiles must land in
+	// each segment in proportion to its weight.
+	p, err := NewPiecewise([]Segment{
+		{Lo: 0, Hi: 1, W: 0.7},
+		{Lo: 10, Hi: 20, W: 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10000
+	low := 0
+	for i := 0; i < n; i++ {
+		u := (float64(i) + 0.5) / n
+		v := p.Quantile(u)
+		switch {
+		case v >= 0 && v <= 1:
+			low++
+		case v >= 10 && v <= 20:
+		default:
+			t.Fatalf("Quantile(%g) = %g outside both segments", u, v)
+		}
+	}
+	if frac := float64(low) / n; math.Abs(frac-0.7) > 0.001 {
+		t.Errorf("low-segment mass %.4f, want 0.70", frac)
+	}
+	if m := p.Mean(); math.Abs(m-(0.7*0.5+0.3*15)) > 1e-12 {
+		t.Errorf("Mean = %g", m)
+	}
+}
+
+func TestPiecewiseMonotoneAndClamped(t *testing.T) {
+	p, err := NewPiecewise([]Segment{
+		{Lo: 1, Hi: 2, W: 1},
+		{Lo: 5, Hi: 5, W: 1},
+		{Lo: 7, Hi: 9, W: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(-1)
+	for i := 0; i <= 1000; i++ {
+		v := p.Quantile(float64(i) / 1000)
+		if v < prev {
+			t.Fatalf("Quantile not monotone at u=%g: %g < %g", float64(i)/1000, v, prev)
+		}
+		prev = v
+	}
+	lo, hi := p.Bounds()
+	if lo != 1 || hi != 9 {
+		t.Fatalf("Bounds = (%g, %g), want (1, 9)", lo, hi)
+	}
+	// Out-of-range and NaN inputs clamp to the support rather than panic.
+	if v := p.Quantile(-3); v != 1 {
+		t.Errorf("Quantile(-3) = %g, want 1", v)
+	}
+	if v := p.Quantile(2); v < lo || v > hi {
+		t.Errorf("Quantile(2) = %g outside support", v)
+	}
+	if v := p.Quantile(math.NaN()); v != 1 {
+		t.Errorf("Quantile(NaN) = %g, want 1", v)
+	}
+}
+
+func TestPiecewiseSegmentsCopy(t *testing.T) {
+	segs := []Segment{{Lo: 0, Hi: 1, W: 1}}
+	p, err := NewPiecewise(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs[0].Lo = 99 // mutating the input must not reach the distribution
+	got := p.Segments()
+	if got[0].Lo != 0 {
+		t.Fatal("NewPiecewise aliased its input slice")
+	}
+	got[0].Hi = 99 // mutating the output must not either
+	if p.Quantile(0.999) > 1 {
+		t.Fatal("Segments leaked internal state")
+	}
+}
